@@ -1,0 +1,256 @@
+// Command srlb-bench regenerates every evaluation artifact of the SRLB
+// paper (figures 2–8), the §V-A λ0 calibration, and the ablation studies,
+// writing one TSV per artifact plus a human-readable summary to stdout.
+//
+// Usage:
+//
+//	srlb-bench -experiment all -out results/
+//	srlb-bench -experiment fig2 -queries 20000
+//	srlb-bench -experiment wiki -compress 24   # 24h replayed as 1 sim-hour
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"srlb"
+	"srlb/internal/appserver"
+	"srlb/internal/plot"
+)
+
+// appserverDefaultWithBacklog returns the paper's server config with a
+// shallower accept queue.
+func appserverDefaultWithBacklog(backlog int) appserver.Config {
+	cfg := appserver.Default()
+	cfg.Backlog = backlog
+	return cfg
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|all (wiki covers figures 6-8)")
+		out        = flag.String("out", "results", "output directory for TSV artifacts")
+		seed       = flag.Uint64("seed", 1, "master RNG seed")
+		queries    = flag.Int("queries", 20000, "queries per Poisson experiment point (paper: 20000)")
+		servers    = flag.Int("servers", 12, "application servers (paper: 12)")
+		compress   = flag.Float64("compress", 24, "wiki replay time compression (1 = full 24h)")
+		rhoPoints  = flag.Int("rho-points", 24, "number of load points for fig2 (paper: 24)")
+		verbose    = flag.Bool("v", false, "log per-point progress")
+		asciiPlot  = flag.Bool("plot", false, "render ASCII charts of figures 2 and 8 to stdout")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "srlb-bench: %v\n", err)
+		os.Exit(1)
+	}
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	cluster := srlb.Cluster{Seed: *seed, Servers: *servers}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "srlb-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	writeFile := func(name string, emit func(f *os.File) error) error {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			return err
+		}
+		fmt.Printf("   wrote %s\n", path)
+		return f.Sync()
+	}
+
+	// λ0 is shared across the Poisson figures: calibrate once. Probe
+	// batches stay at the paper's 20000 queries regardless of -queries —
+	// the drop-onset definition (§V-A) is batch-size dependent, and small
+	// probes overestimate λ0.
+	var lambda0 float64
+	calibrate := func() error {
+		cal := srlb.Calibrate(srlb.Calibration{Cluster: cluster})
+		lambda0 = cal.Lambda0
+		fmt.Printf("   lambda0 = %.1f q/s (theoretical %.1f, %d probes)\n",
+			cal.Lambda0, cal.Theoretical, len(cal.Probes))
+		return writeFile("calibration.tsv", func(f *os.File) error { return cal.WriteTSV(f) })
+	}
+	needLambda0 := func() {
+		if lambda0 == 0 {
+			run("calibrate (SS V-A bootstrap)", calibrate)
+		}
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("calibrate") && *experiment != "all" {
+		run("calibrate (SS V-A bootstrap)", calibrate)
+	}
+
+	if want("fig2") {
+		needLambda0()
+		run("figure 2: mean response time vs load", func() error {
+			rhos := make([]float64, *rhoPoints)
+			for i := range rhos {
+				rhos[i] = float64(i+1) / float64(*rhoPoints+1)
+			}
+			res := srlb.RunFig2(srlb.Fig2Config{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Rhos: rhos, Progress: progress,
+			})
+			if imp, err := res.Improvement("SR 4", 0.88); err == nil {
+				fmt.Printf("   SR4 vs RR at rho=0.88: %.2fx (paper: up to 2.3x)\n", imp)
+			}
+			if *asciiPlot {
+				series := make([]plot.Series, len(res.Policies))
+				for pi, p := range res.Policies {
+					s := plot.Series{Name: p.Name}
+					for ri, rho := range res.Rhos {
+						s.X = append(s.X, rho)
+						s.Y = append(s.Y, res.Points[pi][ri].Mean.Seconds())
+					}
+					series[pi] = s
+				}
+				if err := plot.Render(os.Stdout, plot.Config{
+					Title: "Figure 2: mean response time (s) vs load", XLabel: "rho", YLabel: "rt(s)",
+				}, series...); err != nil {
+					return err
+				}
+			}
+			return writeFile("fig2_mean_rt_vs_load.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("fig3") {
+		needLambda0()
+		run("figure 3: response-time CDF at rho=0.88", func() error {
+			res := srlb.RunFig3(srlb.CDFConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+			})
+			return writeFile("fig3_cdf_rho088.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("fig4") {
+		needLambda0()
+		run("figure 4: server load mean + fairness timeline", func() error {
+			res := srlb.RunFig4(srlb.Fig4Config{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+			})
+			for _, name := range []string{"RR", "SR 4"} {
+				if fair, err := res.MeanFairness(name); err == nil {
+					fmt.Printf("   mean fairness %-5s = %.3f\n", name, fair)
+				}
+			}
+			return writeFile("fig4_load_fairness.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("fig5") {
+		needLambda0()
+		run("figure 5: response-time CDF at rho=0.61", func() error {
+			res := srlb.RunFig5(srlb.CDFConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+			})
+			return writeFile("fig5_cdf_rho061.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("wiki") || want("fig6") || want("fig7") || want("fig8") {
+		run("figures 6-8: Wikipedia day replay (RR vs SR4)", func() error {
+			res := srlb.RunWiki(srlb.WikiConfig{
+				Cluster:  cluster,
+				Day:      srlb.WikiDay{Seed: *seed, Compression: *compress},
+				Progress: progress,
+			})
+			for _, s := range res.Summaries() {
+				fmt.Printf("   %-5s median=%.3fs q3=%.3fs wiki-pages=%d refused=%d cache-hit=%.2f\n",
+					s.Policy, s.Median.Seconds(), s.Q3.Seconds(), s.WikiPages, s.Refused, s.MeanHit)
+			}
+			fmt.Println("   (paper fig 8: median 0.25s->0.20s, Q3 0.48s->0.28s)")
+			if *asciiPlot {
+				var series []plot.Series
+				for _, run := range res.Runs {
+					s := plot.Series{Name: run.Spec.Name}
+					for _, pt := range run.WikiAll.CDF(80) {
+						if pt.Value.Seconds() > 1.2 {
+							break // match the paper's x-range
+						}
+						s.X = append(s.X, pt.Value.Seconds())
+						s.Y = append(s.Y, pt.Fraction)
+					}
+					series = append(series, s)
+				}
+				if err := plot.Render(os.Stdout, plot.Config{
+					Title: "Figure 8: CDF of wiki page load time", XLabel: "rt(s)", YLabel: "cdf",
+				}, series...); err != nil {
+					return err
+				}
+			}
+			if err := writeFile("fig6_wiki_rate_median.tsv", func(f *os.File) error { return res.WriteFig6TSV(f) }); err != nil {
+				return err
+			}
+			if err := writeFile("fig7_wiki_deciles.tsv", func(f *os.File) error { return res.WriteFig7TSV(f) }); err != nil {
+				return err
+			}
+			return writeFile("fig8_wiki_cdf.tsv", func(f *os.File) error { return res.WriteFig8TSV(f) })
+		})
+	}
+
+	if want("ablations") {
+		needLambda0()
+		run("ablations: candidates/threshold/window/scheme/backlog", func() error {
+			results := srlb.RunAllAblations(srlb.AblationConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+			})
+			return writeFile("ablations.tsv", func(f *os.File) error {
+				for _, r := range results {
+					if err := r.WriteTSV(f); err != nil {
+						return err
+					}
+					fmt.Fprintln(f)
+				}
+				return nil
+			})
+		})
+		run("ablation: tcp_abort_on_overflow vs SYN retransmission (SS IV-C)", func() error {
+			// Deep overload + small backlog: the backlog caps queueing
+			// delay, so the completed-query tail isolates the
+			// RST-vs-retransmit difference.
+			shallow := cluster
+			shallow.Server = appserverDefaultWithBacklog(16)
+			res := srlb.RunRetransmitAblation(srlb.RetransmitConfig{
+				Cluster: shallow, Rho: 2.0, Queries: *queries, Progress: progress,
+			})
+			for _, row := range res.Rows {
+				fmt.Printf("   %-30s p99=%.3fs refused=%d timeouts=%d retransmits=%d\n",
+					row.Mode, row.P99.Seconds(), row.Refused, row.TimedOut, row.Retransmits)
+			}
+			return writeFile("ablation_abort_on_overflow.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+		run("extension: heterogeneous cluster", func() error {
+			res := srlb.RunHetero(srlb.HeteroConfig{
+				Cluster: cluster, Queries: *queries, Progress: progress,
+			})
+			for _, row := range res.Rows {
+				fmt.Printf("   %-7s mean=%.3fs slow-share=%.3f (capacity share %.3f)\n",
+					row.Policy, row.Mean.Seconds(), row.SlowShare, res.CapacityShare)
+			}
+			return writeFile("extension_heterogeneous.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Command srlb-sim runs a single Poisson-workload simulation with every
+// testbed knob exposed as a flag, and prints a summary: response-time
+// statistics, per-server utilization and counters — a lab bench for
+// exploring SRLB configurations outside the paper's fixed grid.
+//
+// Usage:
+//
+//	srlb-sim -policy sr4 -rho 0.88
+//	srlb-sim -policy srdyn -rate 150 -queries 50000 -servers 24
+//	srlb-sim -policy src:6 -rho 0.7 -workers 16 -cores 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"srlb"
+	"srlb/internal/appserver"
+	"srlb/internal/experiments"
+	"srlb/internal/testbed"
+)
+
+func parsePolicy(s string) (srlb.Policy, error) {
+	lower := strings.ToLower(s)
+	switch lower {
+	case "rr":
+		return srlb.RR(), nil
+	case "srdyn", "dyn":
+		return srlb.SRDynamic(), nil
+	}
+	switch {
+	case strings.HasPrefix(lower, "src:"):
+		c, err := strconv.Atoi(lower[4:])
+		if err != nil {
+			return srlb.Policy{}, fmt.Errorf("bad policy %q", s)
+		}
+		return srlb.SRStatic(c), nil
+	case strings.HasPrefix(lower, "sr"):
+		c, err := strconv.Atoi(lower[2:])
+		if err != nil {
+			return srlb.Policy{}, fmt.Errorf("bad policy %q", s)
+		}
+		return srlb.SRStatic(c), nil
+	}
+	return srlb.Policy{}, fmt.Errorf("unknown policy %q (want rr, srN, src:N, srdyn)", s)
+}
+
+func main() {
+	var (
+		policyFlag = flag.String("policy", "sr4", "rr | srN (e.g. sr4) | src:N | srdyn")
+		rate       = flag.Float64("rate", 0, "absolute arrival rate in queries/sec")
+		rho        = flag.Float64("rho", 0.88, "normalized load (used when -rate is 0; lambda0 is calibrated first)")
+		queries    = flag.Int("queries", 20000, "number of queries")
+		servers    = flag.Int("servers", 12, "application servers")
+		workers    = flag.Int("workers", 32, "worker threads per server")
+		cores      = flag.Float64("cores", 2, "CPU cores per server")
+		backlog    = flag.Int("backlog", 128, "TCP accept backlog per server")
+		noAbort    = flag.Bool("no-abort-on-overflow", false, "silently drop instead of RST on backlog overflow")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	spec, err := parsePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srlb-sim: %v\n", err)
+		os.Exit(2)
+	}
+	cluster := srlb.Cluster{
+		Seed:    *seed,
+		Servers: *servers,
+		Server: appserver.Config{
+			Workers:         *workers,
+			Cores:           *cores,
+			Backlog:         *backlog,
+			AbortOnOverflow: !*noAbort,
+		},
+	}
+	r := *rate
+	if r == 0 {
+		cal := srlb.Calibrate(srlb.Calibration{Cluster: cluster, Queries: *queries})
+		r = *rho * cal.Lambda0
+		fmt.Printf("lambda0 = %.1f q/s (theoretical %.1f); running at rho=%.2f -> %.1f q/s\n",
+			cal.Lambda0, cal.Theoretical, *rho, r)
+	}
+
+	var tb *testbed.Testbed
+	run := experiments.RunPoisson(cluster, spec, r, *queries, experiments.PoissonHooks{
+		Testbed: func(t *testbed.Testbed, _ time.Duration) { tb = t },
+	})
+
+	fmt.Printf("\npolicy %s: %d queries at %.1f q/s\n", spec.Name, *queries, r)
+	fmt.Printf("  completed : %d (%.2f%%)\n", run.RT.Count(), 100*run.OKFraction())
+	fmt.Printf("  refused   : %d (RST on backlog overflow)\n", run.Refused)
+	fmt.Printf("  unfinished: %d\n", run.Unfinished)
+	if run.RT.Count() > 0 {
+		fmt.Printf("  response time: mean=%.3fs median=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+			run.RT.Mean().Seconds(), run.RT.Median().Seconds(),
+			run.RT.Quantile(0.9).Seconds(), run.RT.Quantile(0.99).Seconds(),
+			run.RT.Max().Seconds())
+	}
+	if tb != nil {
+		fmt.Println("\nper-server:")
+		for i, s := range tb.Servers {
+			st := s.Stats()
+			fmt.Printf("  %-10s admitted=%-6d completed=%-6d rejected=%-5d util=%.2f\n",
+				s.Name(), st.Admitted, st.Completed, st.Rejected, s.Utilization(0))
+			_ = i
+		}
+		fmt.Println("\nload balancer counters:")
+		for _, k := range tb.LB.Counts.Keys() {
+			fmt.Printf("  %-20s %d\n", k, tb.LB.Counts.Get(k))
+		}
+		fmt.Printf("  flow table: %d live entries, stats %+v\n", tb.LB.FlowCount(), tb.LB.FlowStats())
+	}
+}

@@ -1,0 +1,39 @@
+// Package srlb is a from-scratch Go implementation of SRLB — the load
+// balancer of Desmouceaux et al., "SRLB: The Power of Choices in Load
+// Balancing with Segment Routing" (IEEE ICDCS 2017) — together with every
+// substrate needed to reproduce the paper's evaluation: a wire-accurate
+// IPv6 Segment Routing data plane, a discrete-event datacenter testbed
+// with processor-sharing application servers, the paper's connection
+// acceptance policies, Poisson and synthetic-Wikipedia workloads, and a
+// harness that regenerates every figure of the paper.
+//
+// # Service Hunting in one paragraph
+//
+// A client SYN for a virtual IP reaches the load balancer, which inserts
+// an IPv6 Segment Routing Header listing two randomly chosen candidate
+// servers followed by the VIP, and forwards to the first. Each candidate's
+// virtual router consults a purely local policy ("fewer than c busy Apache
+// workers?") and either delivers the connection to the application or
+// forwards it along the segment list; the penultimate candidate must
+// accept. The accepting server's SYN-ACK carries a segment list
+// [server, LB, client], letting the LB learn — in the forwarding plane,
+// with no out-of-band signaling — which server owns the flow; all later
+// packets of the flow are steered with a one-segment SRH.
+//
+// # Package map
+//
+// The public API in this root package fronts the implementation packages:
+//
+//   - internal/core — the load balancer (the paper's contribution)
+//   - internal/vrouter, internal/agent — per-server router + policies
+//   - internal/srv6, internal/ipv6, internal/tcpseg, internal/packet — codecs
+//   - internal/appserver — processor-sharing Apache model
+//   - internal/des, internal/netsim — simulation kernel and LAN
+//   - internal/livenet — real-time goroutine runtime, same wire format
+//   - internal/workload: internal/wiki, internal/trace, internal/rng
+//   - internal/experiments — figures 2–8, λ0 calibration, ablations
+//
+// Use Quickstart for a two-line comparison run, or the Fig*/Wiki/Calibrate
+// wrappers to regenerate the paper's artifacts; cmd/srlb-bench does both
+// from the command line.
+package srlb

@@ -1,0 +1,52 @@
+// Poisson-sweep: a miniature of the paper's figure 2.
+//
+// Sweeps the normalized load ρ over a handful of points and prints the
+// mean response time of every policy at each point — showing where the
+// power of two choices pays (high load) and where it is neutral (light
+// load), and that SRdyn tracks the best static policy without tuning.
+//
+//	go run ./examples/poisson-sweep
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"srlb"
+)
+
+func main() {
+	cluster := srlb.Cluster{Seed: 11, Servers: 12}
+
+	res := srlb.RunFig2(srlb.Fig2Config{
+		Cluster: cluster,
+		// A coarse grid keeps the example fast; cmd/srlb-bench sweeps the
+		// paper's full 24 points.
+		Rhos:    []float64{0.2, 0.4, 0.6, 0.75, 0.88, 0.95},
+		Queries: 8000,
+		Progress: func(s string) {
+			fmt.Fprintln(os.Stderr, "  "+s)
+		},
+	})
+
+	fmt.Printf("\nmean response time (s) by normalized load — lambda0 = %.1f q/s\n\n", res.Lambda0)
+	fmt.Print("rho    ")
+	for _, p := range res.Policies {
+		fmt.Printf("%8s", p.Name)
+	}
+	fmt.Println()
+	for ri, rho := range res.Rhos {
+		fmt.Printf("%.2f   ", rho)
+		for pi := range res.Policies {
+			fmt.Printf("%8.3f", res.Points[pi][ri].Mean.Seconds())
+		}
+		fmt.Println()
+	}
+
+	if imp, err := res.Improvement("SR 4", 0.88); err == nil {
+		fmt.Printf("\nSR4 vs RR at rho=0.88: %.2fx better (paper: up to 2.3x)\n", imp)
+	}
+	if imp, err := res.Improvement("SR dyn", 0.88); err == nil {
+		fmt.Printf("SRdyn vs RR at rho=0.88: %.2fx — no manual tuning needed\n", imp)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: the two-minute tour of SRLB.
+//
+// Builds the paper's 12-server testbed twice — once with the random
+// baseline (RR) and once with Service Hunting under the SR4 policy — and
+// replays the same high-load Poisson workload (§V) against both, printing
+// the response-time comparison that is the paper's headline result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"srlb"
+)
+
+func main() {
+	const (
+		seed    = 7
+		servers = 12
+		queries = 20000
+		rho     = 0.88 // the paper's high-load operating point
+	)
+
+	fmt.Printf("SRLB quickstart: %d servers, %d queries, rho=%.2f\n\n", servers, queries, rho)
+
+	cluster := srlb.Cluster{Seed: seed, Servers: servers}
+
+	// §V-A bootstrap: find the max sustainable rate.
+	cal := srlb.Calibrate(srlb.Calibration{Cluster: cluster})
+	fmt.Printf("calibrated lambda0 = %.1f queries/s (theoretical %.1f)\n\n",
+		cal.Lambda0, cal.Theoretical)
+
+	rate := rho * cal.Lambda0
+	for _, policy := range []srlb.Policy{srlb.RR(), srlb.SRStatic(4), srlb.SRDynamic()} {
+		run := srlb.RunPoisson(cluster, policy, rate, queries)
+		fmt.Printf("%-7s mean=%.3fs median=%.3fs p90=%.3fs refused=%d\n",
+			policy.Name,
+			run.RT.Mean().Seconds(),
+			run.RT.Median().Seconds(),
+			run.RT.Quantile(0.9).Seconds(),
+			run.Refused)
+	}
+
+	rrMean, srMean := srlb.QuickComparison(seed, servers, rho, queries)
+	fmt.Printf("\nthe power of choices: SR4 is %.1fx faster than RR at rho=%.2f\n",
+		float64(rrMean)/float64(srMean), rho)
+	fmt.Println("(the paper reports up to 2.3x at this load — figure 2)")
+}

@@ -1,0 +1,178 @@
+package agent
+
+import (
+	"testing"
+
+	"srlb/internal/appserver"
+)
+
+// fakeBoard is a settable scoreboard.
+type fakeBoard struct {
+	busy, total int
+}
+
+func (f *fakeBoard) BusyWorkers() int  { return f.busy }
+func (f *fakeBoard) TotalWorkers() int { return f.total }
+
+var _ appserver.Scoreboard = (*fakeBoard)(nil)
+
+func TestStaticThreshold(t *testing.T) {
+	p := NewStatic(4)
+	sb := &fakeBoard{total: 32}
+	for busy := 0; busy < 10; busy++ {
+		sb.busy = busy
+		got := p.Accept(sb)
+		want := busy < 4
+		if got != want {
+			t.Fatalf("busy=%d: accept=%v, want %v", busy, got, want)
+		}
+	}
+}
+
+func TestStaticExtremes(t *testing.T) {
+	sb := &fakeBoard{total: 32}
+	zero := NewStatic(0)
+	full := NewStatic(33) // n+1
+	for busy := 0; busy <= 32; busy++ {
+		sb.busy = busy
+		if zero.Accept(sb) {
+			t.Fatal("SR0 must refuse everything")
+		}
+		if !full.Accept(sb) {
+			t.Fatal("SR(n+1) must accept everything")
+		}
+	}
+}
+
+func TestStaticName(t *testing.T) {
+	if NewStatic(4).Name() != "SR4" || NewStatic(16).Name() != "SR16" {
+		t.Fatal("static names wrong")
+	}
+}
+
+func TestDynamicDefaults(t *testing.T) {
+	p := NewDynamic(DynamicConfig{})
+	if p.C() != 1 {
+		t.Fatalf("initial c = %d, want 1", p.C())
+	}
+	if p.Name() != "SRdyn" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestDynamicRaisesCUnderRefusals(t *testing.T) {
+	// Busy always ≥ c → all offers refused → ratio 0 < 0.4 → c++ per window.
+	p := NewDynamic(DynamicConfig{InitialC: 1, WindowSize: 50})
+	sb := &fakeBoard{busy: 32, total: 32}
+	for i := 0; i < 50*5; i++ {
+		p.Accept(sb)
+	}
+	if p.C() < 5 {
+		t.Fatalf("c = %d after 5 windows of refusals, want ≥5", p.C())
+	}
+}
+
+func TestDynamicCapsAtTotalWorkers(t *testing.T) {
+	p := NewDynamic(DynamicConfig{InitialC: 1, WindowSize: 10})
+	sb := &fakeBoard{busy: 4, total: 4}
+	for i := 0; i < 10*100; i++ {
+		p.Accept(sb)
+	}
+	if p.C() > 4 {
+		t.Fatalf("c = %d, must not exceed n=4", p.C())
+	}
+}
+
+func TestDynamicLowersCUnderAcceptance(t *testing.T) {
+	// Busy always 0 → everything accepted → ratio 1 > 0.6 → c-- per
+	// window. At the floor the algorithm oscillates by design: with c=0
+	// nothing is accepted, the ratio drops below 0.4 and c comes back to
+	// 1 — so steady idle state is c ∈ {0, 1}.
+	p := NewDynamic(DynamicConfig{InitialC: 5, WindowSize: 50})
+	sb := &fakeBoard{busy: 0, total: 32}
+	for i := 0; i < 50*20; i++ {
+		p.Accept(sb)
+	}
+	if p.C() > 1 {
+		t.Fatalf("c = %d after steady acceptance, want ≤1", p.C())
+	}
+}
+
+func TestDynamicStableInBand(t *testing.T) {
+	// Exactly half the offers accepted → ratio 0.5 ∈ [0.4, 0.6] → c stays.
+	p := NewDynamic(DynamicConfig{InitialC: 3, WindowSize: 50})
+	sb := &fakeBoard{total: 32}
+	for i := 0; i < 50*10; i++ {
+		if i%2 == 0 {
+			sb.busy = 0 // below c → accept
+		} else {
+			sb.busy = 10 // above c → refuse
+		}
+		p.Accept(sb)
+	}
+	if p.C() != 3 {
+		t.Fatalf("c = %d, want stable 3", p.C())
+	}
+}
+
+func TestDynamicConvergesToHalfRatio(t *testing.T) {
+	// Simulated stationary busy distribution: busy uniform over [0, 8).
+	// The policy should settle near c=4 where P(busy<c)≈1/2.
+	p := NewDynamic(DynamicConfig{})
+	sb := &fakeBoard{total: 32}
+	seq := 0
+	for i := 0; i < 50*200; i++ {
+		sb.busy = seq % 8
+		seq++
+		p.Accept(sb)
+	}
+	if p.C() < 3 || p.C() > 5 {
+		t.Fatalf("c = %d, want ≈4", p.C())
+	}
+}
+
+func TestDynamicWindowExactness(t *testing.T) {
+	// Adaptation must occur exactly at window boundaries.
+	p := NewDynamic(DynamicConfig{InitialC: 1, WindowSize: 10})
+	sb := &fakeBoard{busy: 31, total: 32}
+	for i := 0; i < 9; i++ {
+		p.Accept(sb)
+		if p.C() != 1 {
+			t.Fatalf("c changed mid-window at attempt %d", i)
+		}
+	}
+	p.Accept(sb) // 10th decision crosses the boundary on the next call
+	p.Accept(sb)
+	if p.C() != 2 {
+		t.Fatalf("c = %d after window of refusals, want 2", p.C())
+	}
+}
+
+func TestAlwaysNever(t *testing.T) {
+	sb := &fakeBoard{busy: 16, total: 32}
+	if !(Always{}).Accept(sb) {
+		t.Fatal("Always refused")
+	}
+	if (Never{}).Accept(sb) {
+		t.Fatal("Never accepted")
+	}
+	if (Always{}).Name() != "Always" || (Never{}).Name() != "Never" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestDynamicCustomBand(t *testing.T) {
+	p := NewDynamic(DynamicConfig{InitialC: 2, WindowSize: 4, LowRatio: 0.25, HighRatio: 0.75})
+	sb := &fakeBoard{total: 8}
+	// 2 accepts of 4 → ratio 0.5, inside [0.25, 0.75] → stable.
+	pattern := []int{0, 0, 7, 7}
+	for round := 0; round < 10; round++ {
+		for _, b := range pattern {
+			sb.busy = b
+			p.Accept(sb)
+		}
+	}
+	if p.C() != 2 {
+		t.Fatalf("c = %d, want 2", p.C())
+	}
+}

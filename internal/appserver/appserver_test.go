@@ -1,0 +1,360 @@
+package appserver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"srlb/internal/des"
+	"srlb/internal/rng"
+)
+
+func TestSingleRequestFullSpeed(t *testing.T) {
+	sim := des.New()
+	s := New(sim, "s1", Config{Workers: 4, Cores: 2, Backlog: 8, AbortOnOverflow: true})
+	var doneAt time.Duration
+	v := s.Offer(100*time.Millisecond, func() { doneAt = sim.Now() })
+	if v != Admitted {
+		t.Fatalf("verdict = %v", v)
+	}
+	if s.BusyWorkers() != 1 {
+		t.Fatalf("busy = %d", s.BusyWorkers())
+	}
+	sim.Run()
+	if doneAt != 100*time.Millisecond {
+		t.Fatalf("done at %v, want 100ms (single request runs at full core speed)", doneAt)
+	}
+	if s.BusyWorkers() != 0 {
+		t.Fatal("worker not released")
+	}
+}
+
+func TestTwoRequestsTwoCoresNoSlowdown(t *testing.T) {
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	var d1, d2 time.Duration
+	s.Offer(100*time.Millisecond, func() { d1 = sim.Now() })
+	s.Offer(100*time.Millisecond, func() { d2 = sim.Now() })
+	sim.Run()
+	if d1 != 100*time.Millisecond || d2 != 100*time.Millisecond {
+		t.Fatalf("d1=%v d2=%v, want both 100ms (2 cores)", d1, d2)
+	}
+}
+
+func TestProcessorSharingSlowdown(t *testing.T) {
+	// 4 equal requests on 2 cores: each runs at rate 1/2 → takes 2× demand.
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		s.Offer(100*time.Millisecond, func() { done = append(done, sim.Now()) })
+	}
+	sim.Run()
+	if len(done) != 4 {
+		t.Fatalf("completed %d", len(done))
+	}
+	for _, d := range done {
+		if d != 200*time.Millisecond {
+			t.Fatalf("done at %v, want 200ms", d)
+		}
+	}
+}
+
+func TestStaggeredArrivalSettling(t *testing.T) {
+	// Request A (100ms demand) alone on 2 cores for 50ms (half done),
+	// then B and C arrive (3 jobs, rate 2/3 each).
+	// A needs 50ms more work at rate 2/3 → 75ms more → done at 125ms.
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	var aDone time.Duration
+	s.Offer(100*time.Millisecond, func() { aDone = sim.Now() })
+	sim.After(50*time.Millisecond, func() {
+		s.Offer(200*time.Millisecond, nil)
+		s.Offer(200*time.Millisecond, nil)
+	})
+	sim.Run()
+	want := 125 * time.Millisecond
+	if diff := aDone - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("A done at %v, want %v", aDone, want)
+	}
+}
+
+func TestBacklogAndPromotion(t *testing.T) {
+	sim := des.New()
+	cfg := Config{Workers: 1, Cores: 1, Backlog: 2, AbortOnOverflow: true}
+	s := New(sim, "s1", cfg)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		if v := s.Offer(10*time.Millisecond, func() { order = append(order, i) }); v != Admitted {
+			t.Fatalf("offer %d verdict = %v", i, v)
+		}
+	}
+	if s.BusyWorkers() != 1 || s.QueueLen() != 2 {
+		t.Fatalf("busy=%d queue=%d", s.BusyWorkers(), s.QueueLen())
+	}
+	// Fourth offer overflows.
+	if v := s.Offer(10*time.Millisecond, nil); v != Rejected {
+		t.Fatalf("overflow verdict = %v, want Rejected", v)
+	}
+	sim.Run()
+	if len(order) != 3 {
+		t.Fatalf("completed %d", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	st := s.Stats()
+	if st.Admitted != 3 || st.Rejected != 1 || st.Completed != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSilentDropWithoutAbort(t *testing.T) {
+	sim := des.New()
+	cfg := Config{Workers: 1, Cores: 1, Backlog: 0, AbortOnOverflow: false}
+	s := New(sim, "s1", cfg)
+	s.Offer(time.Millisecond, nil)
+	if v := s.Offer(time.Millisecond, nil); v != DroppedSilently {
+		t.Fatalf("verdict = %v, want DroppedSilently", v)
+	}
+	if s.Stats().Dropped != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestZeroDemandCompletesImmediately(t *testing.T) {
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	done := false
+	s.Offer(0, func() { done = true })
+	sim.Run()
+	if !done {
+		t.Fatal("zero-demand request never completed")
+	}
+	// The completion timer is clamped to the 1ns clock grid.
+	if sim.Now() > time.Nanosecond {
+		t.Fatalf("completed at %v, want ≤1ns", sim.Now())
+	}
+	// Negative demand is clamped.
+	done = false
+	s.Offer(-time.Second, func() { done = true })
+	sim.Run()
+	if !done {
+		t.Fatal("negative-demand request never completed")
+	}
+}
+
+func TestScoreboardInterfaceCompliance(t *testing.T) {
+	var _ Scoreboard = (*Server)(nil)
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	if s.TotalWorkers() != 32 {
+		t.Fatalf("total workers = %d", s.TotalWorkers())
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Admitted.String() != "admitted" || Rejected.String() != "rejected" ||
+		DroppedSilently.String() != "dropped" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Verdict(42).String() == "" {
+		t.Fatal("unknown verdict should still render")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cases := []Config{
+		{Workers: 0, Cores: 1, Backlog: 1},
+		{Workers: 1, Cores: 0, Backlog: 1},
+		{Workers: 1, Cores: 1, Backlog: -1},
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v should panic", cfg)
+				}
+			}()
+			New(des.New(), "bad", cfg)
+		}()
+	}
+}
+
+// TestWorkConservation: total CPU granted can never exceed cores × elapsed
+// time, and equals total demand when everything completes.
+func TestWorkConservation(t *testing.T) {
+	f := func(demands []uint16, seed uint64) bool {
+		if len(demands) == 0 {
+			return true
+		}
+		if len(demands) > 200 {
+			demands = demands[:200]
+		}
+		sim := des.New()
+		s := New(sim, "s1", Default())
+		r := rng.New(seed)
+		var totalDemand time.Duration
+		completed := 0
+		for _, d := range demands {
+			demand := time.Duration(d) * 10 * time.Microsecond
+			at := rng.Uniform(r, 0, 50*time.Millisecond)
+			sim.At(at, func() {
+				if s.Offer(demand, func() { completed++ }) == Admitted {
+					totalDemand += demand
+				}
+			})
+		}
+		sim.Run()
+		st := s.Stats()
+		elapsed := sim.Now()
+		if float64(st.CPUTime) > float64(elapsed)*s.Config().Cores*1.0001+1000 {
+			return false // more CPU granted than exists
+		}
+		// All admitted must complete, and CPU granted == total demand.
+		if st.Completed != st.Admitted {
+			return false
+		}
+		diff := math.Abs(float64(st.CPUTime - totalDemand))
+		return diff < float64(time.Millisecond) // FP slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusyCountMatchesInService tracks the scoreboard against a reference
+// count through a random schedule.
+func TestBusyCountMatchesInService(t *testing.T) {
+	sim := des.New()
+	s := New(sim, "s1", Config{Workers: 4, Cores: 2, Backlog: 100, AbortOnOverflow: true})
+	r := rng.New(42)
+	inFlight := 0
+	maxBusy := 0
+	for i := 0; i < 500; i++ {
+		at := rng.Uniform(r, 0, time.Second)
+		demand := rng.Exp(r, 5*time.Millisecond)
+		sim.At(at, func() {
+			if s.Offer(demand, func() { inFlight-- }) == Admitted {
+				inFlight++
+			}
+			if b := s.BusyWorkers(); b > maxBusy {
+				maxBusy = b
+			}
+			if s.BusyWorkers() > s.TotalWorkers() {
+				t.Fatal("busy exceeds worker pool")
+			}
+			if s.BusyWorkers()+s.QueueLen() != inFlight {
+				t.Fatalf("busy+queue=%d, in-flight=%d", s.BusyWorkers()+s.QueueLen(), inFlight)
+			}
+		})
+	}
+	sim.Run()
+	if inFlight != 0 {
+		t.Fatalf("in-flight = %d at end", inFlight)
+	}
+	if maxBusy != 4 {
+		t.Logf("note: maxBusy=%d (load may not have saturated)", maxBusy)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	sim := des.New()
+	s := New(sim, "s1", Config{Workers: 8, Cores: 2, Backlog: 8, AbortOnOverflow: true})
+	// Keep both cores busy for exactly 1s: 4 requests of 500ms CPU each.
+	for i := 0; i < 4; i++ {
+		s.Offer(500*time.Millisecond, nil)
+	}
+	sim.Run()
+	if sim.Now() != time.Second {
+		t.Fatalf("finished at %v, want 1s", sim.Now())
+	}
+	u := s.Utilization(0)
+	if math.Abs(u-1.0) > 0.001 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+// TestThroughputCeiling: a server cannot complete more CPU-work per second
+// than it has cores — the foundation of the λ0 calibration.
+func TestThroughputCeiling(t *testing.T) {
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	r := rng.New(7)
+	completed := 0
+	// Offered load: 40 req/s × 100ms = 4 CPU-seconds/sec on 2 cores (2× overload).
+	p := rng.NewPoisson(r, 40, 0)
+	for {
+		at := p.Next()
+		if at > 30*time.Second {
+			break
+		}
+		sim.At(at, func() {
+			s.Offer(rng.Exp(r, 100*time.Millisecond), func() { completed++ })
+		})
+	}
+	sim.RunUntil(30 * time.Second)
+	// Max completions ≈ cores/meanDemand × 30s = 2/0.1×30 = 600.
+	if completed > 660 {
+		t.Fatalf("completed %d requests in 30s, exceeds 2-core ceiling ≈600", completed)
+	}
+	if completed < 400 {
+		t.Fatalf("completed only %d, server is underperforming", completed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		sim := des.New()
+		s := New(sim, "s1", Default())
+		r := rng.New(123)
+		var done []time.Duration
+		for i := 0; i < 200; i++ {
+			at := rng.Uniform(r, 0, time.Second)
+			demand := rng.Exp(r, 20*time.Millisecond)
+			sim.At(at, func() {
+				s.Offer(demand, func() { done = append(done, sim.Now()) })
+			})
+		}
+		sim.Run()
+		return done
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkOfferComplete(b *testing.B) {
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Offer(time.Microsecond, nil)
+		sim.Run()
+	}
+}
+
+func BenchmarkSaturatedServer(b *testing.B) {
+	sim := des.New()
+	s := New(sim, "s1", Default())
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(rng.Exp(r, time.Millisecond), nil)
+		if i%16 == 15 {
+			sim.RunFor(8 * time.Millisecond)
+		}
+	}
+	sim.Run()
+}

@@ -1,0 +1,212 @@
+// Package chash provides consistent hashing: a Maglev-style lookup table
+// (Eisenbud et al., NSDI'16 — reference [3] of the paper) and a classic
+// ring hash.
+//
+// SRLB §II-B lists consistent hashing as one of the candidate-selection
+// schemes for the SR segment list, and the related-work discussion notes
+// Maglev/Ananta use it for flow affinity across load-balancer instances.
+// This package backs the selection.ConsistentHash scheme and the flow-miss
+// fallback in the load balancer.
+package chash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Hash64 hashes a string key with FNV-1a (stdlib, stable across runs).
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// hashWithSalt mixes an integer salt into a key hash.
+func hashWithSalt(key string, salt uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(salt >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Maglev is the Maglev consistent-hashing lookup table: every backend
+// fills table slots following its own permutation, giving near-perfect
+// balance and minimal disruption on membership change.
+type Maglev struct {
+	table    []int // slot -> backend index
+	backends []string
+	m        uint64
+}
+
+// DefaultTableSize is a prime ≫ max backends, per the Maglev paper's
+// guidance (table size ≥ 100× backends for <1% imbalance).
+const DefaultTableSize = 65537
+
+// NewMaglev builds a lookup table of the given size (must be > 0; a prime
+// is strongly recommended and enforced for sizes > 3 by rounding up to the
+// next odd non-trivially-composite value is NOT done — callers pass a
+// prime, e.g. DefaultTableSize). backends must be non-empty and unique.
+func NewMaglev(backends []string, tableSize int) (*Maglev, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("chash: no backends")
+	}
+	if tableSize <= 0 {
+		tableSize = DefaultTableSize
+	}
+	if tableSize < len(backends) {
+		return nil, fmt.Errorf("chash: table size %d smaller than backend count %d", tableSize, len(backends))
+	}
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if seen[b] {
+			return nil, fmt.Errorf("chash: duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	m := &Maglev{
+		backends: append([]string(nil), backends...),
+		m:        uint64(tableSize),
+	}
+	m.populate()
+	return m, nil
+}
+
+// populate implements the Maglev population algorithm (NSDI'16 §3.4).
+func (m *Maglev) populate() {
+	n := len(m.backends)
+	M := m.m
+	offsets := make([]uint64, n)
+	skips := make([]uint64, n)
+	for i, b := range m.backends {
+		offsets[i] = hashWithSalt(b, 0xdead) % M
+		skips[i] = hashWithSalt(b, 0xbeef)%(M-1) + 1
+	}
+	table := make([]int, M)
+	for i := range table {
+		table[i] = -1
+	}
+	next := make([]uint64, n)
+	var filled uint64
+	for filled < M {
+		for i := 0; i < n && filled < M; i++ {
+			c := (offsets[i] + next[i]*skips[i]) % M
+			for table[c] >= 0 {
+				next[i]++
+				c = (offsets[i] + next[i]*skips[i]) % M
+			}
+			table[c] = i
+			next[i]++
+			filled++
+		}
+	}
+	m.table = table
+}
+
+// Lookup returns the backend for a flow key.
+func (m *Maglev) Lookup(key string) string {
+	return m.backends[m.table[Hash64(key)%m.m]]
+}
+
+// LookupHash returns the backend for a precomputed hash.
+func (m *Maglev) LookupHash(h uint64) string {
+	return m.backends[m.table[h%m.m]]
+}
+
+// Lookup2 returns two distinct backends for a key — the primary and the
+// next distinct entry in the table — supporting two-candidate Service
+// Hunting with consistent (rather than random) selection. With one
+// backend, both returns are that backend.
+func (m *Maglev) Lookup2(key string) (string, string) {
+	h := Hash64(key)
+	slot := h % m.m
+	first := m.table[slot]
+	if len(m.backends) == 1 {
+		return m.backends[first], m.backends[first]
+	}
+	for i := uint64(1); i < m.m; i++ {
+		cand := m.table[(slot+i)%m.m]
+		if cand != first {
+			return m.backends[first], m.backends[cand]
+		}
+	}
+	return m.backends[first], m.backends[first]
+}
+
+// Backends returns the member list (copy).
+func (m *Maglev) Backends() []string {
+	return append([]string(nil), m.backends...)
+}
+
+// TableSize returns the lookup table size.
+func (m *Maglev) TableSize() int { return int(m.m) }
+
+// Distribution returns how many slots each backend owns, keyed by name.
+func (m *Maglev) Distribution() map[string]int {
+	out := make(map[string]int, len(m.backends))
+	for _, idx := range m.table {
+		out[m.backends[idx]]++
+	}
+	return out
+}
+
+// Ring is a classic consistent-hash ring with virtual nodes, provided as a
+// second scheme (and as the comparison baseline for the Maglev balance
+// property tests).
+type Ring struct {
+	points   []ringPoint
+	backends []string
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// NewRing builds a ring with the given number of virtual nodes per
+// backend (vnodes ≤ 0 defaults to 256). Vnode positions are derived by
+// re-hashing the previous position, which spreads markedly better than
+// hashing "name#i" with FNV on short similar names.
+func NewRing(backends []string, vnodes int) (*Ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("chash: no backends")
+	}
+	if vnodes <= 0 {
+		vnodes = 256
+	}
+	r := &Ring{backends: append([]string(nil), backends...)}
+	for i, b := range r.backends {
+		h := Hash64(b)
+		for v := 0; v < vnodes; v++ {
+			h = mix64(h)
+			r.points = append(r.points, ringPoint{hash: h, backend: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// mix64 is the splitmix64 finalizer — a strong 64-bit bijective mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Lookup returns the backend owning the key.
+func (r *Ring) Lookup(key string) string {
+	h := Hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.backends[r.points[i].backend]
+}

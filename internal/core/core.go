@@ -1,0 +1,268 @@
+// Package core implements SRLB's primary contribution: the load balancer
+// that performs Service Hunting within the IP forwarding plane (paper
+// §II).
+//
+// The load balancer sits at the edge of the data center and advertises
+// routes for the virtual IPs (VIPs). Its entire job is forwarding-plane
+// state manipulation — it never terminates connections and knows nothing
+// about application protocols:
+//
+//   - On a new flow's SYN, it selects candidate servers (two at random in
+//     the paper's evaluation) and inserts an SRH listing them, with the
+//     VIP as the final segment. The candidates then "hunt": each may
+//     accept or pass the connection along, based on purely local state.
+//   - The accepting server's SYN-ACK travels back through the LB carrying
+//     an SRH [server, LB, client]; the LB reads the accepting server from
+//     the segment list, installs flow state, strips the SRH, and forwards
+//     to the (SR-oblivious) client.
+//   - Every subsequent client packet of the flow is steered straight to
+//     the accepting server through a one-segment SRH.
+//   - FIN/RST mark the flow closing; entries then expire after a short
+//     linger (and idle flows after a TTL), bounding LB state.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"srlb/internal/des"
+	"srlb/internal/flowtable"
+	"srlb/internal/ipv6"
+	"srlb/internal/metrics"
+	"srlb/internal/netsim"
+	"srlb/internal/packet"
+	"srlb/internal/selection"
+	"srlb/internal/srv6"
+	"srlb/internal/tcpseg"
+)
+
+// Config assembles a load balancer.
+type Config struct {
+	// Addr is the LB's own address (the segment servers route SYN-ACKs
+	// through).
+	Addr netip.Addr
+	// VIPs maps each advertised virtual IP to its selection scheme.
+	VIPs map[netip.Addr]selection.Scheme
+	// Flows tunes the flow table (zero value = defaults).
+	Flows flowtable.Config
+	// SweepInterval bounds how often expired flow entries are collected.
+	// Sweeps run opportunistically on the datapath (at most one per
+	// interval), never from a free-running timer — so an idle simulation
+	// terminates. Default 1s of virtual time; negative disables.
+	SweepInterval time.Duration
+	// MissFallback, when non-nil, selects a server for non-SYN packets
+	// that miss the flow table (e.g. after LB state loss) instead of
+	// dropping them. A consistent-hash scheme makes this deterministic.
+	MissFallback selection.Scheme
+}
+
+// LoadBalancer is the SRLB forwarding-plane element.
+type LoadBalancer struct {
+	cfg       Config
+	sim       *des.Simulator
+	net       *netsim.Network
+	flows     *flowtable.Table
+	lastSweep time.Duration
+	Counts    *metrics.Counter
+}
+
+// New builds the LB and attaches it to the network under its own address
+// and every VIP it advertises.
+func New(sim *des.Simulator, net *netsim.Network, cfg Config) *LoadBalancer {
+	lb := NewDetached(sim, net, cfg)
+	addrs := []netip.Addr{cfg.Addr}
+	for vip := range cfg.VIPs {
+		addrs = append(addrs, vip)
+	}
+	net.Attach(lb, addrs...)
+	return lb
+}
+
+// NewDetached builds the LB without attaching it to the LAN — for
+// multi-replica deployments the caller places each replica into the
+// anycast/ECMP groups of the shared VIP and LB return address itself
+// (netsim.AttachAnycast).
+func NewDetached(sim *des.Simulator, net *netsim.Network, cfg Config) *LoadBalancer {
+	if err := ipv6.CheckAddr(cfg.Addr); err != nil {
+		panic(fmt.Sprintf("core: bad LB addr: %v", err))
+	}
+	if len(cfg.VIPs) == 0 {
+		panic("core: at least one VIP is required")
+	}
+	for vip := range cfg.VIPs {
+		if err := ipv6.CheckAddr(vip); err != nil {
+			panic(fmt.Sprintf("core: bad VIP: %v", err))
+		}
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = time.Second
+	}
+	return &LoadBalancer{
+		cfg:    cfg,
+		sim:    sim,
+		net:    net,
+		flows:  flowtable.New(cfg.Flows),
+		Counts: metrics.NewCounter(),
+	}
+}
+
+// Addr returns the LB's address.
+func (lb *LoadBalancer) Addr() netip.Addr { return lb.cfg.Addr }
+
+// FlowCount returns the number of tracked flows.
+func (lb *LoadBalancer) FlowCount() int { return lb.flows.Len() }
+
+// FlowStats returns flow-table counters.
+func (lb *LoadBalancer) FlowStats() flowtable.Stats { return lb.flows.Stats() }
+
+// SweepNow immediately collects expired flow entries and returns how many
+// were removed.
+func (lb *LoadBalancer) SweepNow() int {
+	lb.lastSweep = lb.sim.Now()
+	return lb.flows.Sweep(lb.sim.Now())
+}
+
+// maybeSweep runs an opportunistic sweep at most once per SweepInterval.
+func (lb *LoadBalancer) maybeSweep() {
+	if lb.cfg.SweepInterval < 0 {
+		return
+	}
+	if now := lb.sim.Now(); now-lb.lastSweep >= lb.cfg.SweepInterval {
+		lb.lastSweep = now
+		lb.flows.Sweep(now)
+	}
+}
+
+// Handle implements netsim.Node.
+func (lb *LoadBalancer) Handle(pkt *packet.Packet) {
+	lb.maybeSweep()
+	// SYN-ACK (or any packet) SR-routed through the LB itself: the
+	// flow-learning path.
+	if pkt.IP.Dst == lb.cfg.Addr {
+		if pkt.SRH != nil {
+			lb.handleReturn(pkt)
+			return
+		}
+		lb.Counts.Inc("to_lb_no_srh")
+		return
+	}
+	// Client-side traffic addressed to a VIP.
+	scheme, ok := lb.cfg.VIPs[pkt.IP.Dst]
+	if !ok {
+		lb.Counts.Inc("unknown_vip")
+		return
+	}
+	if pkt.IsSYN() {
+		lb.handleSYN(pkt, scheme)
+		return
+	}
+	lb.handleSteered(pkt)
+}
+
+// handleSYN starts Service Hunting: insert the candidate SRH and forward
+// to the first candidate. A SYN whose flow is already bound (a client
+// retransmission after a lost SYN-ACK) is steered to the bound server
+// instead of starting a new hunt — "data packets belonging to the same
+// flow are delivered to the same application instance" (§I) includes the
+// SYN itself.
+func (lb *LoadBalancer) handleSYN(pkt *packet.Packet, scheme selection.Scheme) {
+	lb.Counts.Inc("syn_rx")
+	flow := pkt.Flow()
+	if _, bound := lb.flows.Lookup(lb.sim.Now(), flow); bound {
+		lb.Counts.Inc("syn_rebound")
+		lb.handleSteered(pkt)
+		return
+	}
+	candidates := scheme.Pick(flow)
+	if len(candidates) == 0 {
+		lb.Counts.Inc("no_candidates")
+		return
+	}
+	vip := pkt.IP.Dst
+	out := pkt.Clone()
+	pathSegs := append(append(make([]netip.Addr, 0, len(candidates)+1), candidates...), vip)
+	srh, err := srv6.New(ipv6.ProtoTCP, pathSegs...)
+	if err != nil {
+		panic(fmt.Sprintf("core: hunt SRH: %v", err))
+	}
+	out.SRH = srh
+	active, err := srh.Active()
+	if err != nil {
+		panic(err)
+	}
+	out.IP.Dst = active
+	lb.Counts.Inc("hunts_started")
+	lb.net.Send(out)
+}
+
+// handleReturn processes a server→client packet SR-routed through the LB:
+// learn the accepting server, strip the SRH, forward to the client.
+func (lb *LoadBalancer) handleReturn(pkt *packet.Packet) {
+	srh := pkt.SRH
+	active, err := srh.Active()
+	if err != nil || active != lb.cfg.Addr {
+		lb.Counts.Inc("return_bad_segment")
+		return
+	}
+	// The accepting server wrote itself one slot behind the LB in the
+	// list (figure 1: SYN-ACK {a, S2, LB, c} — S2 at SL+1).
+	server, err := srh.SegmentAtSL(srh.SegmentsLeft + 1)
+	if err != nil {
+		lb.Counts.Inc("return_no_server")
+		return
+	}
+	client, err := srh.Advance()
+	if err != nil {
+		lb.Counts.Inc("return_exhausted")
+		return
+	}
+	if pkt.IsSYNACK() {
+		// Key the mapping by the CLIENT's view of the flow: the SYN-ACK
+		// flow is (VIP→client); the client flow is its reverse.
+		clientFlow := pkt.Flow().Reverse()
+		lb.flows.Insert(lb.sim.Now(), clientFlow, server)
+		lb.Counts.Inc("flows_learned")
+	}
+	// Strip the SRH: the client is SR-oblivious.
+	out := pkt.Clone()
+	out.SRH = nil
+	out.IP.Dst = client
+	lb.Counts.Inc("returns_relayed")
+	lb.net.Send(out)
+}
+
+// handleSteered forwards mid-flow client packets to the accepting server.
+func (lb *LoadBalancer) handleSteered(pkt *packet.Packet) {
+	flow := pkt.Flow()
+	server, ok := lb.flows.Lookup(lb.sim.Now(), flow)
+	if !ok {
+		if lb.cfg.MissFallback != nil {
+			if cands := lb.cfg.MissFallback.Pick(flow); len(cands) > 0 {
+				server = cands[0]
+				ok = true
+				lb.Counts.Inc("miss_fallback")
+			}
+		}
+		if !ok {
+			lb.Counts.Inc("miss_dropped")
+			return
+		}
+	}
+	if pkt.TCP.Flags.Has(tcpseg.FlagFIN) || pkt.TCP.Flags.Has(tcpseg.FlagRST) {
+		lb.flows.MarkClosing(lb.sim.Now(), flow)
+		lb.Counts.Inc("closing_observed")
+	}
+	vip := pkt.IP.Dst
+	out := pkt.Clone()
+	srh, err := srv6.New(ipv6.ProtoTCP, server, vip)
+	if err != nil {
+		panic(fmt.Sprintf("core: steer SRH: %v", err))
+	}
+	out.SRH = srh
+	out.IP.Dst = server
+	lb.Counts.Inc("steered")
+	lb.net.Send(out)
+}
+
+var _ netsim.Node = (*LoadBalancer)(nil)

@@ -1,0 +1,247 @@
+package des
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Simulator
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", s.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 5 {
+			s.After(time.Millisecond, recur)
+		}
+	}
+	s.After(0, recur)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 4*time.Millisecond {
+		t.Fatalf("Now() = %v, want 4ms", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !s.Cancel(tm) {
+		t.Fatal("Cancel reported false on pending timer")
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after cancel")
+	}
+	if s.Cancel(tm) {
+		t.Fatal("second Cancel should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	s := New()
+	if s.Cancel(nil) {
+		t.Fatal("Cancel(nil) should report false")
+	}
+	var tm *Timer
+	if tm.Pending() {
+		t.Fatal("nil timer should not be pending")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	s := New()
+	var at time.Duration
+	tm := s.After(time.Second, func() { at = s.Now() })
+	if !s.Reschedule(tm, 5*time.Second) {
+		t.Fatal("Reschedule failed")
+	}
+	s.Run()
+	if at != 5*time.Second {
+		t.Fatalf("fired at %v, want 5s", at)
+	}
+	if s.Reschedule(tm, 6*time.Second) {
+		t.Fatal("Reschedule of fired timer should report false")
+	}
+}
+
+func TestRescheduleOrdering(t *testing.T) {
+	s := New()
+	var order []string
+	a := s.At(1*time.Second, func() { order = append(order, "a") })
+	s.At(2*time.Second, func() { order = append(order, "b") })
+	s.Reschedule(a, 3*time.Second)
+	s.Run()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1*time.Second, func() { fired++ })
+	s.At(2*time.Second, func() { fired++ })
+	s.At(3*time.Second, func() { fired++ })
+	s.RunUntil(2 * time.Second)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunFor(time.Second)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := New()
+	s.RunUntil(10 * time.Second)
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", s.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil fn")
+		}
+	}()
+	s.At(time.Second, nil)
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Step()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("fired=%v now=%v, want true/0", fired, s.Now())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", s.Processed())
+	}
+}
+
+// TestDeterministicUnderRandomLoad schedules a large randomized workload
+// twice with the same seed and verifies identical execution traces.
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		s := New()
+		var trace []time.Duration
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, s.Now())
+			if depth < 3 {
+				n := rng.IntN(3)
+				for i := 0; i < n; i++ {
+					s.After(time.Duration(rng.IntN(1000))*time.Microsecond, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 100; i++ {
+			s.After(time.Duration(rng.IntN(100_000))*time.Microsecond, func() { spawn(0) })
+		}
+		s.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/agent"
+	"srlb/internal/metrics"
+)
+
+// AblationConfig drives the design-choice studies DESIGN.md lists beyond
+// the paper's own figures: the number of SR candidates, the SRdyn window,
+// the static threshold sweep, and the selection scheme.
+type AblationConfig struct {
+	Cluster ClusterConfig
+	// Rho is the load at which ablations run (default 0.88 — where the
+	// policy differences are sharpest in figure 2).
+	Rho     float64
+	Lambda0 float64
+	Queries int
+	// Progress receives one line per finished run, if non-nil.
+	Progress func(string)
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Label   string
+	Mean    time.Duration
+	Median  time.Duration
+	P95     time.Duration
+	Refused int
+}
+
+// AblationResult groups rows under a study name.
+type AblationResult struct {
+	Study string
+	Rho   float64
+	Rows  []AblationRow
+}
+
+// WriteTSV renders the study.
+func (r AblationResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Ablation: %s (rho=%.2f)\n", r.Study, r.Rho); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "config\tmean_s\tmedian_s\tp95_s\trefused")
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\n",
+			row.Label,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.Median),
+			metrics.FormatDuration(row.P95),
+			row.Refused); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cfg *AblationConfig) defaults() {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.Rho == 0 {
+		cfg.Rho = 0.88
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.Lambda0 == 0 {
+		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+}
+
+func (cfg *AblationConfig) runOne(study string, label string, spec PolicySpec, cluster ClusterConfig) AblationRow {
+	run := RunPoisson(cluster, spec, cfg.Rho*cfg.Lambda0, cfg.Queries, PoissonHooks{})
+	row := AblationRow{
+		Label:   label,
+		Mean:    run.RT.Mean(),
+		Median:  run.RT.Median(),
+		P95:     run.RT.Quantile(0.95),
+		Refused: run.Refused,
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(fmt.Sprintf("[%s] %s: mean=%s refused=%d",
+			study, label, metrics.FormatDuration(row.Mean), row.Refused))
+	}
+	return row
+}
+
+// RunCandidateAblation sweeps the SR list length k ∈ {1, 2, 3, 4} at the
+// SR4 threshold — quantifying Mitzenmacher's "decreased marginal benefit
+// from more than two servers" cited in §II-B.
+func RunCandidateAblation(cfg AblationConfig) AblationResult {
+	cfg.defaults()
+	res := AblationResult{Study: "SR candidates (power of k choices)", Rho: cfg.Rho}
+	for _, k := range []int{1, 2, 3, 4} {
+		spec := SRcK(4, k)
+		label := fmt.Sprintf("k=%d", k)
+		if k == 1 {
+			spec = RR()
+			label = "k=1 (RR)"
+		}
+		res.Rows = append(res.Rows, cfg.runOne(res.Study, label, spec, cfg.Cluster))
+	}
+	return res
+}
+
+// RunThresholdAblation sweeps the static threshold c at fixed load,
+// locating the SRc optimum (§III-A: "the choice of the parameter c has a
+// direct influence on the behavior of the global system").
+func RunThresholdAblation(cfg AblationConfig) AblationResult {
+	cfg.defaults()
+	res := AblationResult{Study: "static threshold c sweep", Rho: cfg.Rho}
+	for _, c := range []int{1, 2, 4, 6, 8, 12, 16, 24, 32} {
+		res.Rows = append(res.Rows, cfg.runOne(res.Study, fmt.Sprintf("c=%d", c), SRc(c), cfg.Cluster))
+	}
+	return res
+}
+
+// RunWindowAblation sweeps SRdyn's adaptation window (Algorithm 2 uses
+// 50).
+func RunWindowAblation(cfg AblationConfig) AblationResult {
+	cfg.defaults()
+	res := AblationResult{Study: "SRdyn window size", Rho: cfg.Rho}
+	for _, win := range []int{10, 25, 50, 100, 200} {
+		win := win
+		spec := PolicySpec{
+			Name:       fmt.Sprintf("SRdyn(w=%d)", win),
+			Candidates: 2,
+			NewAgent: func() agent.Policy {
+				return agent.NewDynamic(agent.DynamicConfig{WindowSize: win})
+			},
+		}
+		res.Rows = append(res.Rows, cfg.runOne(res.Study, spec.Name, spec, cfg.Cluster))
+	}
+	return res
+}
+
+// RunSchemeAblation compares uniform-random candidate selection against
+// the Maglev consistent-hash pairs (§II-B's two schemes).
+func RunSchemeAblation(cfg AblationConfig) AblationResult {
+	cfg.defaults()
+	res := AblationResult{Study: "selection scheme (random vs consistent hash)", Rho: cfg.Rho}
+	res.Rows = append(res.Rows, cfg.runOne(res.Study, "random2", SRc(4), cfg.Cluster))
+	ch := cfg.Cluster
+	ch.ConsistentHash = true
+	res.Rows = append(res.Rows, cfg.runOne(res.Study, "chash2", SRc(4), ch))
+	return res
+}
+
+// RunBacklogAblation varies the accept-queue depth and the
+// abort-on-overflow switch (§IV-C pins them to 128/on).
+func RunBacklogAblation(cfg AblationConfig) AblationResult {
+	cfg.defaults()
+	res := AblationResult{Study: "backlog depth and abort-on-overflow", Rho: cfg.Rho}
+	for _, backlog := range []int{16, 64, 128, 512} {
+		cl := cfg.Cluster
+		cl.Server.Backlog = backlog
+		res.Rows = append(res.Rows, cfg.runOne(res.Study, fmt.Sprintf("backlog=%d", backlog), SRc(4), cl))
+	}
+	cl := cfg.Cluster
+	cl.Server.AbortOnOverflow = false
+	res.Rows = append(res.Rows, cfg.runOne(res.Study, "backlog=128,silent-drop", SRc(4), cl))
+	return res
+}
+
+// RunAllAblations executes every study.
+func RunAllAblations(cfg AblationConfig) []AblationResult {
+	cfg.defaults() // calibrate once; the copy passes Lambda0 on
+	return []AblationResult{
+		RunCandidateAblation(cfg),
+		RunThresholdAblation(cfg),
+		RunWindowAblation(cfg),
+		RunSchemeAblation(cfg),
+		RunBacklogAblation(cfg),
+	}
+}

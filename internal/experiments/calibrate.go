@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// CalibrationConfig drives the §V-A bootstrap: "identifying λ0, the max
+// rate sustainable by the 12-servers swarm, i.e. the smallest value of λ
+// for which some TCP connections were dropped".
+type CalibrationConfig struct {
+	Cluster ClusterConfig
+	// Spec is the policy used while probing (the paper uses the plain
+	// random balancer; default RR).
+	Spec PolicySpec
+	// Queries per probe run (default 20000, the paper's batch size).
+	Queries int
+	// Lo, Hi bracket the search in queries/sec. Defaults: 0.5× and 1.5×
+	// the theoretical capacity.
+	Lo, Hi float64
+	// RelTol is the bisection's relative stopping width (default 1%).
+	RelTol float64
+}
+
+// CalibrationResult reports the measured λ0.
+type CalibrationResult struct {
+	// Lambda0 is the measured drop-onset rate (queries/sec).
+	Lambda0 float64
+	// Theoretical is the fluid-limit capacity for reference.
+	Theoretical float64
+	// Probes lists every (rate, refused) probe run, in search order.
+	Probes []CalibrationProbe
+}
+
+// CalibrationProbe is one bisection step.
+type CalibrationProbe struct {
+	RatePerSec float64
+	Refused    int
+	Unfinished int
+}
+
+// Calibrate measures λ0 by bisection on the drop indicator.
+func Calibrate(cfg CalibrationConfig) CalibrationResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.Spec.NewAgent == nil {
+		cfg.Spec = RR()
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	theo := cfg.Cluster.TheoreticalCapacity()
+	if cfg.Lo == 0 {
+		cfg.Lo = 0.5 * theo
+	}
+	if cfg.Hi == 0 {
+		cfg.Hi = 1.5 * theo
+	}
+	if cfg.RelTol == 0 {
+		cfg.RelTol = 0.01
+	}
+
+	res := CalibrationResult{Theoretical: theo}
+	drops := func(rate float64) bool {
+		run := RunPoisson(cfg.Cluster, cfg.Spec, rate, cfg.Queries, PoissonHooks{})
+		res.Probes = append(res.Probes, CalibrationProbe{
+			RatePerSec: rate, Refused: run.Refused, Unfinished: run.Unfinished,
+		})
+		return run.Refused > 0
+	}
+
+	lo, hi := cfg.Lo, cfg.Hi
+	// Widen the bracket if mis-specified.
+	for drops(lo) && lo > 1 {
+		hi = lo
+		lo /= 2
+	}
+	for !drops(hi) {
+		lo = hi
+		hi *= 2
+	}
+	for (hi-lo)/hi > cfg.RelTol {
+		mid := (lo + hi) / 2
+		if drops(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.Lambda0 = hi
+	return res
+}
+
+// WriteTSV renders the calibration as rows of (rate, refused).
+func (r CalibrationResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# lambda0 bootstrap (SS V-A): measured %.1f q/s, theoretical %.1f q/s\n", r.Lambda0, r.Theoretical); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "rate_qps\trefused\tunfinished"); err != nil {
+		return err
+	}
+	for _, p := range r.Probes {
+		if _, err := fmt.Fprintf(w, "%.1f\t%d\t%d\n", p.RatePerSec, p.Refused, p.Unfinished); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package experiments reproduces the paper's complete evaluation: the λ0
+// bootstrap of §V-A, the Poisson-workload figures 2–5, the Wikipedia
+// replay figures 6–8, and the ablation studies DESIGN.md calls out.
+//
+// Every figure has a Run function that returns structured series and a
+// Fprint function that renders the same rows the paper plots, so
+// cmd/srlb-bench can regenerate each artifact as TSV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"srlb/internal/agent"
+	"srlb/internal/appserver"
+	"srlb/internal/metrics"
+	"srlb/internal/rng"
+	"srlb/internal/selection"
+	"srlb/internal/testbed"
+)
+
+// PolicySpec names a complete load-balancing configuration: the number of
+// SR candidates and the per-server acceptance policy.
+type PolicySpec struct {
+	// Name is the label used in figures ("RR", "SR 4", …).
+	Name string
+	// Candidates is the SR list length (1 = no hunting).
+	Candidates int
+	// NewAgent builds a fresh acceptance policy per server (SRdyn keeps
+	// per-server adaptive state, so one instance per server).
+	NewAgent func() agent.Policy
+}
+
+// RR is the paper's baseline: one random server, no Service Hunting.
+func RR() PolicySpec {
+	return PolicySpec{
+		Name:       "RR",
+		Candidates: 1,
+		NewAgent:   func() agent.Policy { return agent.Always{} },
+	}
+}
+
+// SRc is the static policy with threshold c over two random candidates.
+func SRc(c int) PolicySpec {
+	return PolicySpec{
+		Name:       fmt.Sprintf("SR %d", c),
+		Candidates: 2,
+		NewAgent:   func() agent.Policy { return agent.NewStatic(c) },
+	}
+}
+
+// SRdyn is the adaptive policy (Algorithm 2) over two random candidates.
+func SRdyn() PolicySpec {
+	return PolicySpec{
+		Name:       "SR dyn",
+		Candidates: 2,
+		NewAgent:   func() agent.Policy { return agent.NewDynamic(agent.DynamicConfig{}) },
+	}
+}
+
+// SRcK is SRc generalized to k candidates (ablation: the power of k
+// choices).
+func SRcK(c, k int) PolicySpec {
+	return PolicySpec{
+		Name:       fmt.Sprintf("SR %d (k=%d)", c, k),
+		Candidates: k,
+		NewAgent:   func() agent.Policy { return agent.NewStatic(c) },
+	}
+}
+
+// PaperPolicies returns the five configurations of figures 2, 3 and 5:
+// RR, SR4, SR8, SR16, SRdyn.
+func PaperPolicies() []PolicySpec {
+	return []PolicySpec{RR(), SRc(4), SRc(8), SRc(16), SRdyn()}
+}
+
+// ClusterConfig fixes the testbed parameters shared by all experiments.
+// The zero value is the paper's platform: 12 servers × (32 workers,
+// 2 cores, backlog 128, abort-on-overflow).
+type ClusterConfig struct {
+	Seed    uint64
+	Servers int
+	Server  appserver.Config
+	Clients int
+	// ConsistentHash switches candidate selection from uniform random to
+	// the Maglev table (ablation).
+	ConsistentHash bool
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Servers == 0 {
+		c.Servers = 12
+	}
+	if c.Server.Workers == 0 {
+		c.Server = appserver.Default()
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	return c
+}
+
+// MeanDemand is the paper's CPU cost distribution mean for the Poisson
+// workload: an exponential of mean 100 ms (§V-A).
+const MeanDemand = 100 * time.Millisecond
+
+// TheoreticalCapacity returns servers × cores / E[S] — the fluid-limit
+// service capacity in queries/sec, a sanity reference for Calibrate.
+func (c ClusterConfig) TheoreticalCapacity() float64 {
+	c = c.withDefaults()
+	return float64(c.Servers) * c.Server.Cores / MeanDemand.Seconds()
+}
+
+func (c ClusterConfig) testbedConfig(spec PolicySpec) testbed.Config {
+	c = c.withDefaults()
+	cfg := testbed.Config{
+		Seed:    c.Seed,
+		Servers: c.Servers,
+		Server:  c.Server,
+		Clients: c.Clients,
+		Policy:  func(int) agent.Policy { return spec.NewAgent() },
+	}
+	k := spec.Candidates
+	if k <= 0 {
+		k = 2
+	}
+	if c.ConsistentHash && k == 2 {
+		cfg.Scheme = func(servers []netip.Addr, _ *rand.Rand) selection.Scheme {
+			s, err := selection.NewConsistentHash(servers, 0)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}
+	} else {
+		cfg.Scheme = func(servers []netip.Addr, r *rand.Rand) selection.Scheme {
+			return selection.NewRandom(servers, k, r)
+		}
+	}
+	return cfg
+}
+
+// PoissonRun is the outcome of one (policy, rate) Poisson experiment.
+type PoissonRun struct {
+	Spec       PolicySpec
+	RatePerSec float64
+	Queries    int
+	// RT holds the response times of successful queries.
+	RT *metrics.Recorder
+	// Refused counts RST-refused connections (TCP backlog overflow).
+	Refused int
+	// Unfinished counts queries still pending at horizon end.
+	Unfinished int
+}
+
+// OKFraction returns the fraction of queries that completed.
+func (r PoissonRun) OKFraction() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.RT.Count()) / float64(r.Queries)
+}
+
+// RunPoisson replays the §V workload: `queries` arrivals at ratePerSec
+// with Exp(MeanDemand) CPU demands, under the given policy. The returned
+// testbed allows callers to inspect server-side state; hooks (may be nil)
+// observe the run.
+type PoissonHooks struct {
+	// OnResult observes every query completion.
+	OnResult func(testbed.Result)
+	// Testbed observes the cluster right after construction (before any
+	// arrival), e.g. to install load sampling.
+	Testbed func(tb *testbed.Testbed, horizon time.Duration)
+}
+
+// RunPoisson executes the experiment and returns its outcome.
+func RunPoisson(cluster ClusterConfig, spec PolicySpec, ratePerSec float64, queries int, hooks PoissonHooks) PoissonRun {
+	cluster = cluster.withDefaults()
+	tb := testbed.New(cluster.testbedConfig(spec))
+
+	out := PoissonRun{Spec: spec, RatePerSec: ratePerSec, Queries: queries,
+		RT: metrics.NewRecorder(queries)}
+	tb.Gen.DiscardResults = true
+	tb.Gen.OnResult = func(res testbed.Result) {
+		switch {
+		case res.OK:
+			out.RT.Add(res.RT)
+		case res.Refused:
+			out.Refused++
+		default:
+			out.Unfinished++
+		}
+		if hooks.OnResult != nil {
+			hooks.OnResult(res)
+		}
+	}
+
+	arrivals := rng.Split(cluster.Seed, 0xa221)
+	demands := rng.Split(cluster.Seed, 0xde3a)
+	p := rng.NewPoisson(arrivals, ratePerSec, 0)
+	horizon := time.Duration(float64(queries)/ratePerSec*float64(time.Second)) + 2*time.Minute
+	if hooks.Testbed != nil {
+		hooks.Testbed(tb, horizon)
+	}
+	// Stream arrivals one ahead instead of pre-scheduling all of them.
+	remaining := queries
+	var id uint64
+	var launchNext func()
+	launchNext = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		q := testbed.Query{ID: id, Demand: rng.Exp(demands, MeanDemand)}
+		id++
+		tb.Gen.Launch(q)
+		if remaining > 0 {
+			next := p.Next()
+			tb.Sim.At(next, launchNext)
+		}
+	}
+	tb.Sim.At(p.Next(), launchNext)
+	tb.Sim.RunUntil(horizon)
+	out.Unfinished += tb.Gen.DrainPending()
+	return out
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/metrics"
+)
+
+// Fig2Config reproduces figure 2: mean page-load time as a function of the
+// normalized request rate ρ, for RR and the SRc/SRdyn policies.
+type Fig2Config struct {
+	Cluster ClusterConfig
+	// Lambda0 normalizes ρ (0 ⇒ measured first via Calibrate).
+	Lambda0 float64
+	// Rhos are the normalized rates to sweep (default: the paper's
+	// "24 values of ρ in the range (0, 1)").
+	Rhos []float64
+	// Policies defaults to PaperPolicies().
+	Policies []PolicySpec
+	// Queries per (policy, ρ) point (default 20000, as in §V-B).
+	Queries int
+	// Progress, if non-nil, receives one line per finished point.
+	Progress func(string)
+}
+
+// DefaultRhos returns 24 evenly spaced loads in (0, 1): 0.04 … 0.96.
+func DefaultRhos() []float64 {
+	out := make([]float64, 24)
+	for i := range out {
+		out[i] = 0.04 * float64(i+1)
+	}
+	return out
+}
+
+// Fig2Point is one (policy, ρ) outcome.
+type Fig2Point struct {
+	Rho     float64
+	Mean    time.Duration
+	Median  time.Duration
+	P95     time.Duration
+	OKFrac  float64
+	Refused int
+}
+
+// Fig2Result holds the full sweep, indexed [policy][rhoIdx].
+type Fig2Result struct {
+	Lambda0  float64
+	Policies []PolicySpec
+	Rhos     []float64
+	Points   [][]Fig2Point
+}
+
+// RunFig2 executes the sweep.
+func RunFig2(cfg Fig2Config) Fig2Result {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.Lambda0 == 0 {
+		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("calibrated lambda0 = %.1f q/s (theoretical %.1f)", cal.Lambda0, cal.Theoretical))
+		}
+	}
+	if len(cfg.Rhos) == 0 {
+		cfg.Rhos = DefaultRhos()
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = PaperPolicies()
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	res := Fig2Result{Lambda0: cfg.Lambda0, Policies: cfg.Policies, Rhos: cfg.Rhos}
+	res.Points = make([][]Fig2Point, len(cfg.Policies))
+	for pi, spec := range cfg.Policies {
+		res.Points[pi] = make([]Fig2Point, len(cfg.Rhos))
+		for ri, rho := range cfg.Rhos {
+			run := RunPoisson(cfg.Cluster, spec, rho*cfg.Lambda0, cfg.Queries, PoissonHooks{})
+			res.Points[pi][ri] = Fig2Point{
+				Rho:     rho,
+				Mean:    run.RT.Mean(),
+				Median:  run.RT.Median(),
+				P95:     run.RT.Quantile(0.95),
+				OKFrac:  run.OKFraction(),
+				Refused: run.Refused,
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("%s rho=%.2f mean=%s ok=%.3f",
+					spec.Name, rho, metrics.FormatDuration(run.RT.Mean()), run.OKFraction()))
+			}
+		}
+	}
+	return res
+}
+
+// WriteTSV renders the figure's series: one row per ρ, one mean-response
+// column per policy (matching the paper's axes: load factor vs mean
+// response time in seconds).
+func (r Fig2Result) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Figure 2: mean response time (s) vs normalized load; lambda0=%.1f q/s\n", r.Lambda0); err != nil {
+		return err
+	}
+	fmt.Fprint(w, "rho")
+	for _, p := range r.Policies {
+		fmt.Fprintf(w, "\t%s", p.Name)
+	}
+	fmt.Fprintln(w)
+	for ri, rho := range r.Rhos {
+		fmt.Fprintf(w, "%.2f", rho)
+		for pi := range r.Policies {
+			fmt.Fprintf(w, "\t%s", metrics.FormatDuration(r.Points[pi][ri].Mean))
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Improvement returns the RR/policy mean-RT ratio at the ρ closest to the
+// requested load — e.g. the paper's "up to 2.3× better than RR for
+// ρ = 0.88" headline for SR4.
+func (r Fig2Result) Improvement(policyName string, rho float64) (float64, error) {
+	rrIdx, polIdx := -1, -1
+	for i, p := range r.Policies {
+		switch p.Name {
+		case "RR":
+			rrIdx = i
+		case policyName:
+			polIdx = i
+		}
+	}
+	if rrIdx < 0 || polIdx < 0 {
+		return 0, fmt.Errorf("fig2: policies %q/RR not in result", policyName)
+	}
+	best, bestDiff := -1, 2.0
+	for i, v := range r.Rhos {
+		if d := abs(v - rho); d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	rr := r.Points[rrIdx][best].Mean
+	pol := r.Points[polIdx][best].Mean
+	if pol == 0 {
+		return 0, fmt.Errorf("fig2: zero mean for %s", policyName)
+	}
+	return float64(rr) / float64(pol), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

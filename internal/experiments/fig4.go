@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/metrics"
+	"srlb/internal/testbed"
+)
+
+// Fig4Config reproduces figure 4: the instantaneous server load (mean busy
+// workers over the 12 servers) and the corresponding Jain fairness index,
+// over the course of a 20000-query run at ρ = 0.88, for RR vs SR4.
+// Both series are smoothed with the paper's time-aware EWMA
+// (α = 1 − e^(−δt), footnote 2).
+type Fig4Config struct {
+	Cluster ClusterConfig
+	// Rho is the normalized load (default 0.88, the paper's).
+	Rho     float64
+	Lambda0 float64
+	Queries int
+	// Policies defaults to {RR, SR4}, the two lines of the figure.
+	Policies []PolicySpec
+	// SampleEvery sets the load-sampling period (default 100ms).
+	SampleEvery time.Duration
+	// EWMATau is the smoothing constant (default 1s = the paper's α).
+	EWMATau  time.Duration
+	Progress func(string)
+}
+
+// Fig4Sample is one point of the smoothed series.
+type Fig4Sample struct {
+	At       time.Duration
+	MeanBusy float64
+	Fairness float64
+}
+
+// Fig4Series is the timeline for one policy.
+type Fig4Series struct {
+	Spec    PolicySpec
+	Samples []Fig4Sample
+}
+
+// Fig4Result holds one series per policy.
+type Fig4Result struct {
+	Rho     float64
+	Lambda0 float64
+	Series  []Fig4Series
+}
+
+// RunFig4 executes the experiment.
+func RunFig4(cfg Fig4Config) Fig4Result {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.Rho == 0 {
+		cfg.Rho = 0.88
+	}
+	if cfg.Lambda0 == 0 {
+		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{RR(), SRc(4)}
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 100 * time.Millisecond
+	}
+	if cfg.EWMATau == 0 {
+		cfg.EWMATau = time.Second
+	}
+	res := Fig4Result{Rho: cfg.Rho, Lambda0: cfg.Lambda0}
+	for _, spec := range cfg.Policies {
+		series := Fig4Series{Spec: spec}
+		meanE := metrics.NewEWMA(cfg.EWMATau)
+		fairE := metrics.NewEWMA(cfg.EWMATau)
+		hooks := PoissonHooks{
+			Testbed: func(tb *testbed.Testbed, horizon time.Duration) {
+				tb.SampleLoads(cfg.SampleEvery, horizon, func(now time.Duration, busy []int) {
+					xs := make([]float64, len(busy))
+					var sum float64
+					for i, b := range busy {
+						xs[i] = float64(b)
+						sum += xs[i]
+					}
+					series.Samples = append(series.Samples, Fig4Sample{
+						At:       now,
+						MeanBusy: meanE.Update(now, sum/float64(len(busy))),
+						Fairness: fairE.Update(now, metrics.Fairness(xs)),
+					})
+				})
+			},
+		}
+		run := RunPoisson(cfg.Cluster, spec, cfg.Rho*cfg.Lambda0, cfg.Queries, hooks)
+		// Trim trailing idle samples (after the last query completed the
+		// cluster sits empty until the horizon guard).
+		last := len(series.Samples)
+		for last > 0 && series.Samples[last-1].MeanBusy < 1e-9 {
+			last--
+		}
+		series.Samples = series.Samples[:last]
+		res.Series = append(res.Series, series)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s: %d samples, mean RT %s",
+				spec.Name, len(series.Samples), metrics.FormatDuration(run.RT.Mean())))
+		}
+	}
+	return res
+}
+
+// WriteTSV emits two blocks per policy — the figure's two stacked plots:
+// (time, smoothed mean busy workers) and (time, smoothed fairness).
+func (r Fig4Result) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Figure 4: instantaneous server load (mean, fairness), rho=%.2f\n", r.Rho); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "# policy: %s\n", s.Spec.Name)
+		fmt.Fprintf(w, "t_s\tmean_busy_%s\tfairness_%s\n", s.Spec.Name, s.Spec.Name)
+		for _, p := range s.Samples {
+			fmt.Fprintf(w, "%.1f\t%.3f\t%.4f\n", p.At.Seconds(), p.MeanBusy, p.Fairness)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanFairness averages the smoothed fairness over the middle 80% of a
+// series (ignoring warm-up and drain), the figure's qualitative takeaway.
+func (r Fig4Result) MeanFairness(policyName string) (float64, error) {
+	for _, s := range r.Series {
+		if s.Spec.Name != policyName {
+			continue
+		}
+		n := len(s.Samples)
+		if n == 0 {
+			return 0, fmt.Errorf("fig4: empty series for %s", policyName)
+		}
+		lo, hi := n/10, n*9/10
+		if hi <= lo {
+			lo, hi = 0, n
+		}
+		var sum float64
+		for _, p := range s.Samples[lo:hi] {
+			sum += p.Fairness
+		}
+		return sum / float64(hi-lo), nil
+	}
+	return 0, fmt.Errorf("fig4: no series for %s", policyName)
+}

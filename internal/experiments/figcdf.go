@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"srlb/internal/metrics"
+)
+
+// CDFConfig reproduces figures 3 and 5: the CDF of page load time over a
+// 20000-query Poisson batch at a fixed normalized load, for every policy.
+type CDFConfig struct {
+	Cluster ClusterConfig
+	// Rho is the normalized request rate (figure 3: 0.88; figure 5: 0.61).
+	Rho float64
+	// Lambda0 normalizes ρ (0 ⇒ measured first).
+	Lambda0  float64
+	Policies []PolicySpec
+	Queries  int
+	// Points bounds the emitted CDF resolution (default 200).
+	Points   int
+	Progress func(string)
+}
+
+// CDFResult holds one response-time distribution per policy.
+type CDFResult struct {
+	Rho      float64
+	Lambda0  float64
+	Policies []PolicySpec
+	// RT[i] is the recorder for Policies[i].
+	RT []*metrics.Recorder
+	// Points is the CDF resolution for WriteTSV.
+	Points int
+}
+
+// RunCDF executes the experiment at cfg.Rho.
+func RunCDF(cfg CDFConfig) CDFResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.Lambda0 == 0 {
+		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = PaperPolicies()
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.Points == 0 {
+		cfg.Points = 200
+	}
+	res := CDFResult{Rho: cfg.Rho, Lambda0: cfg.Lambda0, Policies: cfg.Policies, Points: cfg.Points}
+	for _, spec := range cfg.Policies {
+		run := RunPoisson(cfg.Cluster, spec, cfg.Rho*cfg.Lambda0, cfg.Queries, PoissonHooks{})
+		res.RT = append(res.RT, run.RT)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s rho=%.2f median=%s q3=%s",
+				spec.Name, cfg.Rho,
+				metrics.FormatDuration(run.RT.Median()),
+				metrics.FormatDuration(run.RT.Quantile(0.75))))
+		}
+	}
+	return res
+}
+
+// RunFig3 runs the high-load CDF (ρ = 0.88, §V-C figure 3).
+func RunFig3(cfg CDFConfig) CDFResult {
+	cfg.Rho = 0.88
+	return RunCDF(cfg)
+}
+
+// RunFig5 runs the light-load CDF (ρ = 0.61, §V-C figure 5).
+func RunFig5(cfg CDFConfig) CDFResult {
+	cfg.Rho = 0.61
+	return RunCDF(cfg)
+}
+
+// WriteTSV emits per-policy CDF blocks: rows of (response time in seconds,
+// cumulative fraction) — the axes of figures 3 and 5.
+func (r CDFResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# CDF of response time at rho=%.2f (lambda0=%.1f q/s)\n", r.Rho, r.Lambda0); err != nil {
+		return err
+	}
+	for i, spec := range r.Policies {
+		fmt.Fprintf(w, "# policy: %s (n=%d, median=%s)\n",
+			spec.Name, r.RT[i].Count(), metrics.FormatDuration(r.RT[i].Median()))
+		fmt.Fprintf(w, "rt_s\tcdf_%s\n", spec.Name)
+		for _, pt := range r.RT[i].CDF(r.Points) {
+			fmt.Fprintf(w, "%s\t%.4f\n", metrics.FormatDuration(pt.Value), pt.Fraction)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"srlb/internal/metrics"
+	"srlb/internal/testbed"
+	"srlb/internal/trace"
+	"srlb/internal/vrouter"
+	"srlb/internal/wiki"
+)
+
+// WikiConfig drives the §VI replay behind figures 6, 7 and 8: a (synthetic)
+// 24-hour Wikipedia day replayed against the 12-replica testbed under RR
+// and SR4, recording client-side wiki-page load times.
+type WikiConfig struct {
+	Cluster ClusterConfig
+	// Day parameterizes the synthetic trace (wiki.Config zero value =
+	// calibrated defaults). Set Day.Compression to trade replay fidelity
+	// for speed (e.g. 24 ⇒ one simulated hour).
+	Day wiki.Config
+	// Cost is the per-replica service-cost model.
+	Cost wiki.CostModel
+	// Policies defaults to {RR, SR4} (§VI-B replays the trace against
+	// both).
+	Policies []PolicySpec
+	// BinWidth is the report bin in *trace* time (default 10min, the
+	// paper's).
+	BinWidth time.Duration
+	// Entries optionally replays a recorded trace instead of the
+	// synthetic stream (e.g. loaded via the trace package). When set,
+	// Day is only used for compression/labeling.
+	Entries  []trace.Entry
+	Progress func(string)
+}
+
+// WikiRun is the outcome of replaying the day under one policy.
+type WikiRun struct {
+	Spec PolicySpec
+	// Wiki are the wiki-page load times, binned by trace time and overall.
+	WikiBins *metrics.TimeBins
+	WikiAll  *metrics.Recorder
+	// StaticAll are static-object load times (equivalent under both
+	// policies, §VI-C).
+	StaticAll *metrics.Recorder
+	// RateBins counts wiki-page queries per bin (figure 6 top plot).
+	RateBins *metrics.TimeBins
+	Refused  int
+	// HitRates are the per-replica memcached hit fractions at the end.
+	HitRates []float64
+}
+
+// WikiResult holds one run per policy.
+type WikiResult struct {
+	Day      wiki.Config
+	BinWidth time.Duration
+	Runs     []WikiRun
+}
+
+const classWiki = 1
+
+// RunWiki replays the day under every policy.
+func RunWiki(cfg WikiConfig) WikiResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{RR(), SRc(4)}
+	}
+	if cfg.BinWidth == 0 {
+		cfg.BinWidth = 10 * time.Minute
+	}
+	res := WikiResult{Day: cfg.Day, BinWidth: cfg.BinWidth}
+	for _, spec := range cfg.Policies {
+		res.Runs = append(res.Runs, runWikiOne(cfg, spec))
+		if cfg.Progress != nil {
+			run := res.Runs[len(res.Runs)-1]
+			cfg.Progress(fmt.Sprintf("%s: %d wiki pages, median=%s q3=%s refused=%d",
+				spec.Name, run.WikiAll.Count(),
+				metrics.FormatDuration(run.WikiAll.Median()),
+				metrics.FormatDuration(run.WikiAll.Quantile(0.75)),
+				run.Refused))
+		}
+	}
+	return res
+}
+
+func runWikiOne(cfg WikiConfig, spec PolicySpec) WikiRun {
+	tbCfg := cfg.Cluster.testbedConfig(spec)
+	// The replicas compute demand from the URL and their cache state.
+	// Caches start prewarmed with the popular head (the paper's replicas
+	// are long-running MediaWiki installations, not cold starts) and are
+	// scaled to the day's page catalog so hit rates survive compression.
+	replicas := make([]*wiki.Replica, cfg.Cluster.withDefaults().Servers)
+	day := cfg.Day
+	model := cfg.Cost.ScaledTo(day.CatalogPages())
+	model.Prewarm = true
+	tbCfg.Demand = func(i int) vrouter.DemandFn {
+		rep := wiki.NewReplica(cfg.Cluster.Seed+uint64(i)*7919, model)
+		replicas[i] = rep
+		return rep.Demand
+	}
+	tb := testbed.New(tbCfg)
+
+	virtualHorizon := day.VirtualHorizon()
+	// Bin width in virtual time (compression shrinks the clock).
+	comp := day.RealTime(time.Second).Seconds() // = Compression factor
+	virtualBin := time.Duration(float64(cfg.BinWidth) / comp)
+
+	run := WikiRun{
+		Spec:      spec,
+		WikiBins:  metrics.NewTimeBins(virtualBin, virtualHorizon),
+		WikiAll:   metrics.NewRecorder(1 << 16),
+		StaticAll: metrics.NewRecorder(1 << 16),
+		RateBins:  metrics.NewTimeBins(virtualBin, virtualHorizon),
+	}
+	tb.Gen.DiscardResults = true
+	tb.Gen.OnResult = func(res testbed.Result) {
+		if res.Refused || !res.OK {
+			run.Refused++
+			return
+		}
+		if res.Class == classWiki {
+			run.WikiAll.Add(res.RT)
+			run.WikiBins.Add(res.IssuedAt, res.RT)
+		} else {
+			run.StaticAll.Add(res.RT)
+		}
+	}
+
+	// Launch queries from the stream (or a recorded trace), one ahead.
+	var id uint64
+	launch := func(e trace.Entry, isWiki bool) {
+		class := uint8(0)
+		if isWiki {
+			class = classWiki
+			run.RateBins.Add(e.At, 0)
+		}
+		tb.Gen.Launch(testbed.Query{ID: id, URL: e.URL, Class: class})
+		id++
+	}
+	if len(cfg.Entries) > 0 {
+		var step func(i int)
+		step = func(i int) {
+			e := cfg.Entries[i]
+			launch(e, e.IsWikiPage())
+			if i+1 < len(cfg.Entries) {
+				tb.Sim.At(cfg.Entries[i+1].At, func() { step(i + 1) })
+			}
+		}
+		tb.Sim.At(cfg.Entries[0].At, func() { step(0) })
+	} else {
+		stream := wiki.NewStream(day)
+		var step func(e trace.Entry, isWiki bool)
+		schedule := func() {
+			if e, isWiki, done := stream.Next(); !done {
+				tb.Sim.At(e.At, func() { step(e, isWiki) })
+			}
+		}
+		step = func(e trace.Entry, isWiki bool) {
+			launch(e, isWiki)
+			schedule()
+		}
+		schedule()
+	}
+	tb.Sim.RunUntil(virtualHorizon + 2*time.Minute)
+	run.Refused += tb.Gen.DrainPending()
+	for _, rep := range replicas {
+		if rep != nil {
+			run.HitRates = append(run.HitRates, rep.HitRate())
+		}
+	}
+	return run
+}

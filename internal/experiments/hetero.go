@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/appserver"
+	"srlb/internal/metrics"
+	"srlb/internal/rng"
+	"srlb/internal/testbed"
+)
+
+// HeteroConfig studies a heterogeneous cluster — a natural extension the
+// paper's design accommodates for free: the acceptance decision is a
+// *local* busy-thread threshold, so a slow box (fewer cores) simply
+// crosses its threshold earlier and refuses more offers, shedding load to
+// faster boxes. A random balancer, blind to capacity, keeps feeding the
+// slow boxes.
+type HeteroConfig struct {
+	Cluster ClusterConfig
+	// SlowFraction of the servers get SlowCores instead of the default
+	// (defaults: 1/3 of the cluster at 1 core vs the usual 2).
+	SlowFraction float64
+	SlowCores    float64
+	// Rho is computed against the HETEROGENEOUS capacity (default 0.85).
+	Rho      float64
+	Queries  int
+	Progress func(string)
+}
+
+// HeteroRow is one policy's outcome on the mixed cluster.
+type HeteroRow struct {
+	Policy       string
+	Mean, Median time.Duration
+	P95          time.Duration
+	Refused      int
+	// SlowShare is the fraction of total completions served by slow boxes
+	// (capacity-proportional would equal slow capacity share).
+	SlowShare float64
+}
+
+// HeteroResult compares policies on the mixed cluster.
+type HeteroResult struct {
+	Rho           float64
+	SlowServers   int
+	TotalServers  int
+	CapacityShare float64 // slow boxes' share of total capacity
+	Rows          []HeteroRow
+}
+
+// RunHetero executes RR, SR4 and SRdyn on the mixed cluster.
+func RunHetero(cfg HeteroConfig) HeteroResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.SlowFraction == 0 {
+		cfg.SlowFraction = 1.0 / 3
+	}
+	if cfg.SlowCores == 0 {
+		cfg.SlowCores = 1
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = 0.85
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	servers := cfg.Cluster.Servers
+	slow := int(float64(servers) * cfg.SlowFraction)
+	fastCores := cfg.Cluster.Server.Cores
+	totalCores := float64(servers-slow)*fastCores + float64(slow)*cfg.SlowCores
+	capacity := totalCores / MeanDemand.Seconds()
+	rate := cfg.Rho * capacity
+
+	slowCfg := cfg.Cluster.Server
+	slowCfg.Cores = cfg.SlowCores
+
+	res := HeteroResult{
+		Rho:           cfg.Rho,
+		SlowServers:   slow,
+		TotalServers:  servers,
+		CapacityShare: float64(slow) * cfg.SlowCores / totalCores,
+	}
+	for _, spec := range []PolicySpec{RR(), SRc(4), SRdyn()} {
+		tbCfg := cfg.Cluster.testbedConfig(spec)
+		tbCfg.ServerOverride = func(i int) appserver.Config {
+			if i < slow {
+				return slowCfg
+			}
+			return appserver.Config{}
+		}
+		tb := testbed.New(tbCfg)
+		rt := metrics.NewRecorder(cfg.Queries)
+		row := HeteroRow{Policy: spec.Name}
+		tb.Gen.DiscardResults = true
+		tb.Gen.OnResult = func(r testbed.Result) {
+			if r.OK {
+				rt.Add(r.RT)
+			} else if r.Refused {
+				row.Refused++
+			}
+		}
+		arrivals := rng.Split(cfg.Cluster.Seed, 0xa221)
+		demands := rng.Split(cfg.Cluster.Seed, 0xde3a)
+		p := rng.NewPoisson(arrivals, rate, 0)
+		for i := 0; i < cfg.Queries; i++ {
+			at := p.Next()
+			q := testbed.Query{ID: uint64(i), Demand: rng.Exp(demands, MeanDemand)}
+			tb.Sim.At(at, func() { tb.Gen.Launch(q) })
+		}
+		horizon := time.Duration(float64(cfg.Queries)/rate*float64(time.Second)) + 2*time.Minute
+		tb.Sim.RunUntil(horizon)
+		tb.Gen.DrainPending()
+
+		var slowDone, allDone uint64
+		for i, s := range tb.Servers {
+			done := s.Stats().Completed
+			allDone += done
+			if i < slow {
+				slowDone += done
+			}
+		}
+		if allDone > 0 {
+			row.SlowShare = float64(slowDone) / float64(allDone)
+		}
+		row.Mean = rt.Mean()
+		row.Median = rt.Median()
+		row.P95 = rt.Quantile(0.95)
+		res.Rows = append(res.Rows, row)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s: mean=%s slow-share=%.3f (capacity share %.3f)",
+				spec.Name, metrics.FormatDuration(row.Mean), row.SlowShare, res.CapacityShare))
+		}
+	}
+	return res
+}
+
+// WriteTSV renders the study.
+func (r HeteroResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"# Extension: heterogeneous cluster (%d/%d slow servers, capacity share %.3f), rho=%.2f\n",
+		r.SlowServers, r.TotalServers, r.CapacityShare, r.Rho); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "policy\tmean_s\tmedian_s\tp95_s\tslow_share\trefused")
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%d\n",
+			row.Policy,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.Median),
+			metrics.FormatDuration(row.P95),
+			row.SlowShare, row.Refused); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/metrics"
+	"srlb/internal/rng"
+	"srlb/internal/testbed"
+)
+
+// RetransmitConfig studies the paper's §IV-C design decision: with
+// tcp_abort_on_overflow enabled, a connection hitting a full backlog is
+// refused instantly with a RST; without it, the SYN is silently dropped
+// and the client retries after a (doubling) retransmission timeout —
+// polluting response-time measurements with multi-second TCP artifacts.
+// The paper enables the flag so that "the application response delays are
+// measured, and not possible TCP SYN retransmit delays"; this experiment
+// shows what they kept out.
+type RetransmitConfig struct {
+	Cluster ClusterConfig
+	// Rho is the (over)load to run at (default 1.05 — just past
+	// saturation, where backlogs actually fill).
+	Rho     float64
+	Lambda0 float64
+	Queries int
+	// RTO is the client's initial retransmission timeout (default 1s,
+	// Linux's floor).
+	RTO      time.Duration
+	Progress func(string)
+}
+
+// RetransmitRow is one mode's outcome.
+type RetransmitRow struct {
+	Mode string
+	// Completed response-time stats.
+	Median, P95, P99, Max time.Duration
+	Completed             int
+	// Refused counts instant RSTs; TimedOut counts clients that gave up.
+	Refused  int
+	TimedOut int
+	// Retransmits counts extra SYNs sent.
+	Retransmits uint64
+}
+
+// RetransmitResult compares abort-on-overflow against silent drop.
+type RetransmitResult struct {
+	Rho  float64
+	Rows []RetransmitRow
+}
+
+// RunRetransmitAblation executes both modes under identical arrivals.
+func RunRetransmitAblation(cfg RetransmitConfig) RetransmitResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.Rho == 0 {
+		cfg.Rho = 1.05
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = time.Second
+	}
+	if cfg.Lambda0 == 0 {
+		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+	res := RetransmitResult{Rho: cfg.Rho}
+	for _, silent := range []bool{false, true} {
+		mode := "abort-on-overflow (RST)"
+		cluster := cfg.Cluster
+		if silent {
+			mode = "silent-drop + SYN retransmit"
+			cluster.Server.AbortOnOverflow = false
+		}
+		row := runRetransmitOne(cfg, cluster, silent)
+		row.Mode = mode
+		res.Rows = append(res.Rows, row)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s: p99=%s refused=%d timeouts=%d retx=%d",
+				mode, metrics.FormatDuration(row.P99), row.Refused, row.TimedOut, row.Retransmits))
+		}
+	}
+	return res
+}
+
+func runRetransmitOne(cfg RetransmitConfig, cluster ClusterConfig, silent bool) RetransmitRow {
+	tb := testbed.New(cluster.testbedConfig(SRc(4)))
+	if silent {
+		tb.Gen.RetransmitRTO = cfg.RTO
+	}
+	rt := metrics.NewRecorder(cfg.Queries)
+	var row RetransmitRow
+	tb.Gen.DiscardResults = true
+	tb.Gen.OnResult = func(res testbed.Result) {
+		switch {
+		case res.OK:
+			rt.Add(res.RT)
+		case res.Refused:
+			row.Refused++
+		default:
+			row.TimedOut++
+		}
+	}
+	arrivals := rng.Split(cluster.Seed, 0xa221)
+	demands := rng.Split(cluster.Seed, 0xde3a)
+	rate := cfg.Rho * cfg.Lambda0
+	p := rng.NewPoisson(arrivals, rate, 0)
+	for i := 0; i < cfg.Queries; i++ {
+		at := p.Next()
+		q := testbed.Query{ID: uint64(i), Demand: rng.Exp(demands, MeanDemand)}
+		tb.Sim.At(at, func() { tb.Gen.Launch(q) })
+	}
+	horizon := time.Duration(float64(cfg.Queries)/rate*float64(time.Second)) + 5*time.Minute
+	tb.Sim.RunUntil(horizon)
+	row.TimedOut += tb.Gen.DrainPending()
+	row.Completed = rt.Count()
+	row.Median = rt.Median()
+	row.P95 = rt.Quantile(0.95)
+	row.P99 = rt.Quantile(0.99)
+	row.Max = rt.Max()
+	row.Retransmits = tb.Gen.Counts.Get("syn_retransmits")
+	return row
+}
+
+// WriteTSV renders the comparison.
+func (r RetransmitResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Ablation: tcp_abort_on_overflow (SS IV-C), rho=%.2f\n", r.Rho); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "mode\tmedian_s\tp95_s\tp99_s\tmax_s\tcompleted\trefused\ttimed_out\tretransmits")
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+			row.Mode,
+			metrics.FormatDuration(row.Median),
+			metrics.FormatDuration(row.P95),
+			metrics.FormatDuration(row.P99),
+			metrics.FormatDuration(row.Max),
+			row.Completed, row.Refused, row.TimedOut, row.Retransmits); err != nil {
+			return err
+		}
+	}
+	return nil
+}

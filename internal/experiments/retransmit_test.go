@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"srlb/internal/appserver"
+)
+
+// TestRetransmitAblation reproduces the rationale of §IV-C: silent drops
+// push SYN-retransmit delays into the measured tail, RSTs keep the
+// measurements clean.
+func TestRetransmitAblation(t *testing.T) {
+	// Deep overload (ρ=2) with a tiny backlog: the backlog CAPS queueing
+	// delay, so the completed-query tail is dominated by either nothing
+	// (RST mode — rejected queries simply don't complete) or the
+	// retransmission timeouts (silent mode) — the §IV-C contrast.
+	res := RunRetransmitAblation(RetransmitConfig{
+		Cluster: ClusterConfig{Seed: 21, Servers: 4,
+			Server: serverWithBacklog(8)},
+		Rho:     2.0,
+		Queries: 6000,
+		RTO:     time.Second,
+	})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	abort, silent := res.Rows[0], res.Rows[1]
+
+	// Overload must actually bite in both modes.
+	if abort.Refused == 0 {
+		t.Fatal("no RSTs under overload — test vacuous")
+	}
+	if silent.Retransmits == 0 {
+		t.Fatal("no retransmissions under silent drop — test vacuous")
+	}
+	// The paper's point: the silent-drop tail carries RTO-scale delays.
+	if silent.P99 < abort.P99+500*time.Millisecond {
+		t.Fatalf("silent-drop p99 (%v) does not show retransmit delays over abort p99 (%v)",
+			silent.P99, abort.P99)
+	}
+	// And the RST path never injects RTO-scale artifacts into completions:
+	// every completed request was admitted on first contact.
+	if abort.Retransmits != 0 {
+		t.Fatal("abort mode should never retransmit")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "abort-on-overflow") {
+		t.Fatal("TSV missing modes")
+	}
+}
+
+func serverWithBacklog(backlog int) appserver.Config {
+	cfg := appserver.Default()
+	cfg.Backlog = backlog
+	return cfg
+}

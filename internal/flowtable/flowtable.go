@@ -1,0 +1,176 @@
+// Package flowtable implements the load balancer's per-flow state: the
+// mapping from a TCP 4-tuple to the application server that accepted the
+// connection during Service Hunting.
+//
+// The table is bounded (LRU eviction) and entries expire after an idle
+// TTL, with a shorter linger after FIN/RST — mirroring how a production
+// LB protects itself against state exhaustion. Expiry is driven by the
+// caller-provided clock (virtual time in simulations), not wall time.
+package flowtable
+
+import (
+	"container/list"
+	"net/netip"
+	"time"
+
+	"srlb/internal/packet"
+)
+
+// Config tunes the table. Zero fields take defaults.
+type Config struct {
+	// MaxEntries bounds the table; inserting beyond it evicts the least
+	// recently used entry (default 1 << 20).
+	MaxEntries int
+	// IdleTTL expires entries untouched for this long (default 60s).
+	IdleTTL time.Duration
+	// FinLinger holds an entry after the flow is marked closing, so
+	// retransmitted FIN/ACKs still steer correctly (default 2s).
+	FinLinger time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 1 << 20
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = 60 * time.Second
+	}
+	if c.FinLinger <= 0 {
+		c.FinLinger = 2 * time.Second
+	}
+	return c
+}
+
+type entry struct {
+	key      packet.FlowKey
+	backend  netip.Addr
+	deadline time.Duration // absolute expiry
+	closing  bool
+	elem     *list.Element
+}
+
+// Stats counts table events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+	Expiries  uint64
+}
+
+// Table maps flows to backends with TTL + LRU eviction. Not safe for
+// concurrent use: the simulator is single-threaded, and the live runtime
+// wraps it with its own lock.
+type Table struct {
+	cfg     Config
+	entries map[packet.FlowKey]*entry
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+// New creates a table.
+func New(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	return &Table{
+		cfg:     cfg,
+		entries: make(map[packet.FlowKey]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of live entries (including not-yet-expired ones).
+func (t *Table) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the table counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Insert binds key to backend at time now, refreshing the TTL if the key
+// exists. Inserting may evict the LRU entry when the table is full.
+func (t *Table) Insert(now time.Duration, key packet.FlowKey, backend netip.Addr) {
+	if e, ok := t.entries[key]; ok {
+		e.backend = backend
+		e.deadline = now + t.cfg.IdleTTL
+		e.closing = false
+		t.lru.MoveToFront(e.elem)
+		return
+	}
+	if len(t.entries) >= t.cfg.MaxEntries {
+		t.evictLRU()
+	}
+	e := &entry{key: key, backend: backend, deadline: now + t.cfg.IdleTTL}
+	e.elem = t.lru.PushFront(e)
+	t.entries[key] = e
+	t.stats.Inserts++
+}
+
+// Lookup returns the backend bound to key, refreshing its TTL. Expired
+// entries are removed and reported as misses.
+func (t *Table) Lookup(now time.Duration, key packet.FlowKey) (netip.Addr, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		t.stats.Misses++
+		return netip.Addr{}, false
+	}
+	if now > e.deadline {
+		t.removeEntry(e)
+		t.stats.Expiries++
+		t.stats.Misses++
+		return netip.Addr{}, false
+	}
+	if !e.closing {
+		e.deadline = now + t.cfg.IdleTTL
+	}
+	t.lru.MoveToFront(e.elem)
+	t.stats.Hits++
+	return e.backend, true
+}
+
+// MarkClosing shortens the entry's remaining lifetime to FinLinger —
+// called when the LB observes FIN or RST on the flow.
+func (t *Table) MarkClosing(now time.Duration, key packet.FlowKey) {
+	if e, ok := t.entries[key]; ok {
+		e.closing = true
+		if d := now + t.cfg.FinLinger; d < e.deadline {
+			e.deadline = d
+		}
+	}
+}
+
+// Delete removes the entry immediately.
+func (t *Table) Delete(key packet.FlowKey) {
+	if e, ok := t.entries[key]; ok {
+		t.removeEntry(e)
+	}
+}
+
+// Sweep removes all entries expired at time now and returns how many were
+// collected. Call periodically (the LB does) to bound memory between
+// lookups.
+func (t *Table) Sweep(now time.Duration) int {
+	removed := 0
+	for el := t.lru.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if now > e.deadline {
+			t.removeEntry(e)
+			t.stats.Expiries++
+			removed++
+		}
+		el = prev
+	}
+	return removed
+}
+
+func (t *Table) evictLRU() {
+	el := t.lru.Back()
+	if el == nil {
+		return
+	}
+	t.removeEntry(el.Value.(*entry))
+	t.stats.Evictions++
+}
+
+func (t *Table) removeEntry(e *entry) {
+	t.lru.Remove(e.elem)
+	delete(t.entries, e.key)
+}

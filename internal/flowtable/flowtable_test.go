@@ -1,0 +1,203 @@
+package flowtable
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"srlb/internal/ipv6"
+	"srlb/internal/packet"
+)
+
+var (
+	backend1 = ipv6.MustAddr("2001:db8:5::1")
+	backend2 = ipv6.MustAddr("2001:db8:5::2")
+)
+
+func key(i int) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     ipv6.MustAddr(fmt.Sprintf("2001:db8:c::%x", i+1)),
+		Dst:     ipv6.MustAddr("2001:db8:f00d::1"),
+		SrcPort: uint16(40000 + i),
+		DstPort: 80,
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tb := New(Config{})
+	tb.Insert(0, key(1), backend1)
+	got, ok := tb.Lookup(time.Second, key(1))
+	if !ok || got != backend1 {
+		t.Fatalf("lookup = %v, %v", got, ok)
+	}
+	if _, ok := tb.Lookup(time.Second, key(2)); ok {
+		t.Fatal("missing key found")
+	}
+	st := tb.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIdleTTLExpiry(t *testing.T) {
+	tb := New(Config{IdleTTL: 10 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	if _, ok := tb.Lookup(9*time.Second, key(1)); !ok {
+		t.Fatal("entry expired too early")
+	}
+	// The lookup above refreshed the TTL: deadline is now 19s.
+	if _, ok := tb.Lookup(18*time.Second, key(1)); !ok {
+		t.Fatal("TTL not refreshed by lookup")
+	}
+	if _, ok := tb.Lookup(40*time.Second, key(1)); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("expired entry not removed")
+	}
+	if tb.Stats().Expiries != 1 {
+		t.Fatal("expiry not counted")
+	}
+}
+
+func TestReinsertRefreshes(t *testing.T) {
+	tb := New(Config{IdleTTL: 10 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	tb.Insert(8*time.Second, key(1), backend2) // rebind + refresh
+	got, ok := tb.Lookup(17*time.Second, key(1))
+	if !ok || got != backend2 {
+		t.Fatalf("lookup = %v %v, want backend2", got, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if tb.Stats().Inserts != 1 {
+		t.Fatal("re-insert should not count as a new insert")
+	}
+}
+
+func TestMarkClosingLinger(t *testing.T) {
+	tb := New(Config{IdleTTL: 60 * time.Second, FinLinger: 2 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	tb.MarkClosing(time.Second, key(1))
+	// Within linger: still steerable.
+	if _, ok := tb.Lookup(2*time.Second, key(1)); !ok {
+		t.Fatal("entry gone during linger")
+	}
+	// Lookup during closing must NOT refresh the deadline.
+	if _, ok := tb.Lookup(10*time.Second, key(1)); ok {
+		t.Fatal("closing entry survived past linger")
+	}
+}
+
+func TestMarkClosingMissingKeyIsNoop(t *testing.T) {
+	tb := New(Config{})
+	tb.MarkClosing(0, key(9)) // must not panic
+}
+
+func TestMarkClosingNeverExtends(t *testing.T) {
+	tb := New(Config{IdleTTL: time.Second, FinLinger: 10 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	tb.MarkClosing(0, key(1))
+	if _, ok := tb.Lookup(5*time.Second, key(1)); ok {
+		t.Fatal("MarkClosing extended the entry lifetime")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := New(Config{})
+	tb.Insert(0, key(1), backend1)
+	tb.Delete(key(1))
+	if tb.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tb.Lookup(0, key(1)); ok {
+		t.Fatal("deleted entry resurrected")
+	}
+	tb.Delete(key(1)) // double delete is a no-op
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := New(Config{MaxEntries: 3})
+	tb.Insert(0, key(1), backend1)
+	tb.Insert(0, key(2), backend1)
+	tb.Insert(0, key(3), backend1)
+	// Touch key(1) so key(2) is the LRU.
+	tb.Lookup(time.Second, key(1))
+	tb.Insert(2*time.Second, key(4), backend2)
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if _, ok := tb.Lookup(2*time.Second, key(2)); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := tb.Lookup(2*time.Second, key(k)); !ok {
+			t.Fatalf("key %d wrongly evicted", k)
+		}
+	}
+	if tb.Stats().Evictions != 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	tb := New(Config{IdleTTL: 10 * time.Second})
+	for i := 0; i < 10; i++ {
+		tb.Insert(0, key(i), backend1)
+	}
+	for i := 10; i < 15; i++ {
+		tb.Insert(20*time.Second, key(i), backend1)
+	}
+	removed := tb.Sweep(15 * time.Second)
+	if removed != 10 {
+		t.Fatalf("swept %d, want 10", removed)
+	}
+	if tb.Len() != 5 {
+		t.Fatalf("len = %d, want 5", tb.Len())
+	}
+	if tb.Sweep(15*time.Second) != 0 {
+		t.Fatal("second sweep should remove nothing")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tb := New(Config{})
+	if tb.cfg.MaxEntries != 1<<20 || tb.cfg.IdleTTL != 60*time.Second || tb.cfg.FinLinger != 2*time.Second {
+		t.Fatalf("defaults = %+v", tb.cfg)
+	}
+}
+
+func TestManyFlowsChurn(t *testing.T) {
+	tb := New(Config{MaxEntries: 100, IdleTTL: 5 * time.Second})
+	now := time.Duration(0)
+	for i := 0; i < 10000; i++ {
+		now += time.Millisecond
+		tb.Insert(now, key(i%500), backend1)
+		if i%3 == 0 {
+			tb.Lookup(now, key((i-50+500)%500))
+		}
+		if tb.Len() > 100 {
+			t.Fatalf("table exceeded MaxEntries: %d", tb.Len())
+		}
+	}
+	st := tb.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under churn")
+	}
+}
+
+func BenchmarkInsertLookup(b *testing.B) {
+	tb := New(Config{MaxEntries: 1 << 16})
+	keys := make([]packet.FlowKey, 1024)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&1023]
+		tb.Insert(time.Duration(i), k, backend1)
+		tb.Lookup(time.Duration(i), k)
+	}
+}

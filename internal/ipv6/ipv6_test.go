@@ -1,0 +1,229 @@
+package ipv6
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	h := Header{
+		TrafficClass: 0xb8,
+		FlowLabel:    0xabcde,
+		PayloadLen:   1280,
+		NextHeader:   ProtoTCP,
+		HopLimit:     64,
+		Src:          MustAddr("2001:db8::1"),
+		Dst:          MustAddr("2001:db8::2"),
+	}
+	b, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderLen {
+		t.Fatalf("len = %d, want %d", len(b), HeaderLen)
+	}
+	got, n, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderLen {
+		t.Fatalf("consumed %d, want %d", n, HeaderLen)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestMarshalAppends(t *testing.T) {
+	h := Header{Src: MustAddr("::1"), Dst: MustAddr("::2"), HopLimit: 1}
+	prefix := []byte{0xde, 0xad}
+	b, err := h.Marshal(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b[:2], prefix) {
+		t.Fatal("Marshal must append, not overwrite")
+	}
+	if len(b) != 2+HeaderLen {
+		t.Fatalf("len = %d", len(b))
+	}
+}
+
+func TestWireFormatKnownAnswer(t *testing.T) {
+	h := Header{
+		TrafficClass: 0x12,
+		FlowLabel:    0x34567,
+		PayloadLen:   0x0102,
+		NextHeader:   ProtoRouting,
+		HopLimit:     0xff,
+		Src:          MustAddr("fe80::1"),
+		Dst:          MustAddr("ff02::fb"),
+	}
+	b, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version 6 | TC 0x12 | FlowLabel 0x34567.
+	if b[0] != 0x61 {
+		t.Fatalf("byte0 = %#x, want 0x61", b[0])
+	}
+	if b[1] != 0x23 { // low nibble of TC (2)<<4 | high nibble of flow label (3)
+		t.Fatalf("byte1 = %#x, want 0x23", b[1])
+	}
+	if b[2] != 0x45 || b[3] != 0x67 {
+		t.Fatalf("flow label bytes = %#x %#x", b[2], b[3])
+	}
+	if b[4] != 0x01 || b[5] != 0x02 {
+		t.Fatalf("payload len bytes = %#x %#x", b[4], b[5])
+	}
+	if b[6] != ProtoRouting || b[7] != 0xff {
+		t.Fatalf("next/hop = %#x %#x", b[6], b[7])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse(make([]byte, 39)); err != ErrTooShort {
+		t.Fatalf("short parse err = %v, want ErrTooShort", err)
+	}
+	b := make([]byte, 40)
+	b[0] = 4 << 4
+	if _, _, err := Parse(b); err != ErrBadVersion {
+		t.Fatalf("bad version err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestMarshalRejectsBadAddrs(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Header
+	}{
+		{"zero src", Header{Dst: MustAddr("::1")}},
+		{"zero dst", Header{Src: MustAddr("::1")}},
+		{"v4 src", Header{Src: netip.MustParseAddr("10.0.0.1"), Dst: MustAddr("::1")}},
+		{"v4-in-6", Header{Src: netip.MustParseAddr("::ffff:10.0.0.1"), Dst: MustAddr("::1")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.h.Marshal(nil); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestCheckAddrZone(t *testing.T) {
+	a := netip.MustParseAddr("fe80::1%eth0")
+	if CheckAddr(a) == nil {
+		t.Fatal("zoned address must be rejected")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(tc uint8, fl uint32, plen uint16, nh, hl uint8, src, dst [16]byte) bool {
+		h := Header{
+			TrafficClass: tc,
+			FlowLabel:    fl & 0xfffff,
+			PayloadLen:   plen,
+			NextHeader:   nh,
+			HopLimit:     hl,
+			Src:          netip.AddrFrom16(src),
+			Dst:          netip.AddrFrom16(dst),
+		}
+		b, err := h.Marshal(nil)
+		if err != nil {
+			// Only mapped/invalid addrs fail; treat as vacuous success.
+			return CheckAddr(h.Src) != nil || CheckAddr(h.Dst) != nil
+		}
+		got, _, err := Parse(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumFold(t *testing.T) {
+	if FoldChecksum(0) != 0xffff {
+		t.Fatalf("fold(0) = %#x", FoldChecksum(0))
+	}
+	// 0x1_fffe folds to 0xffff -> complement 0x0000.
+	if got := FoldChecksum(0x1fffe); got != 0 {
+		t.Fatalf("fold(0x1fffe) = %#x, want 0", got)
+	}
+}
+
+func TestSumBytesOddEven(t *testing.T) {
+	even := SumBytes(0, []byte{0x01, 0x02, 0x03, 0x04})
+	if even != 0x0102+0x0304 {
+		t.Fatalf("even sum = %#x", even)
+	}
+	odd := SumBytes(0, []byte{0x01, 0x02, 0x03})
+	if odd != 0x0102+0x0300 {
+		t.Fatalf("odd sum = %#x", odd)
+	}
+}
+
+func TestPseudoHeaderChecksumSymmetry(t *testing.T) {
+	a, b := MustAddr("2001:db8::a"), MustAddr("2001:db8::b")
+	s1 := PseudoHeaderChecksum(a, b, 100, ProtoTCP)
+	s2 := PseudoHeaderChecksum(b, a, 100, ProtoTCP)
+	if s1 != s2 {
+		t.Fatal("pseudo-header sum must be symmetric in src/dst")
+	}
+	if PseudoHeaderChecksum(a, b, 101, ProtoTCP) == s1 {
+		t.Fatal("length must affect the sum")
+	}
+}
+
+func TestMustAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on IPv4 literal")
+		}
+	}()
+	MustAddr("10.1.2.3")
+}
+
+func randAddr(r *rand.Rand) netip.Addr {
+	var b [16]byte
+	for i := range b {
+		b[i] = byte(r.UintN(256))
+	}
+	b[0] = 0x20 // keep it a plain global unicast, never v4-mapped
+	return netip.AddrFrom16(b)
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	h := Header{Src: MustAddr("2001:db8::1"), Dst: MustAddr("2001:db8::2"), HopLimit: 64, NextHeader: ProtoTCP}
+	buf := make([]byte, 0, HeaderLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if _, err := h.Marshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	h := Header{Src: MustAddr("2001:db8::1"), Dst: MustAddr("2001:db8::2"), HopLimit: 64, NextHeader: ProtoTCP}
+	buf, _ := h.Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Parse(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRandAddrHelperStaysV6(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100; i++ {
+		if err := CheckAddr(randAddr(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

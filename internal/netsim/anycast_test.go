@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"testing"
+
+	"srlb/internal/des"
+	"srlb/internal/ipv6"
+	"srlb/internal/packet"
+	"srlb/internal/tcpseg"
+)
+
+func anycastPkt(srcPort uint16) *packet.Packet {
+	return &packet.Packet{
+		IP:  ipv6.Header{Src: addrA, Dst: addrC},
+		TCP: tcpseg.Segment{SrcPort: srcPort, DstPort: 80, Flags: tcpseg.FlagSYN},
+	}
+}
+
+func TestAnycastSpreadsFlows(t *testing.T) {
+	sim := des.New()
+	net := New(sim, Config{})
+	var got [2]int
+	for i := range got {
+		i := i
+		net.AttachAnycast(NodeFunc(func(*packet.Packet) { got[i]++ }), addrC)
+	}
+	const n = 2000
+	for port := 0; port < n; port++ {
+		net.Send(anycastPkt(uint16(1024 + port)))
+	}
+	sim.Run()
+	if got[0]+got[1] != n {
+		t.Fatalf("delivered %d+%d, want %d", got[0], got[1], n)
+	}
+	// ECMP should spread roughly evenly across members.
+	if got[0] < n/3 || got[1] < n/3 {
+		t.Fatalf("ECMP unbalanced: %d/%d", got[0], got[1])
+	}
+}
+
+func TestAnycastPerFlowStability(t *testing.T) {
+	sim := des.New()
+	net := New(sim, Config{})
+	var got [2][]uint16
+	for i := range got {
+		i := i
+		net.AttachAnycast(NodeFunc(func(p *packet.Packet) {
+			got[i] = append(got[i], p.TCP.SrcPort)
+		}), addrC)
+	}
+	// Send each flow's packet three times: all copies must land on the
+	// same member (hash is per 5-tuple, not per packet).
+	for port := uint16(2000); port < 2100; port++ {
+		for rep := 0; rep < 3; rep++ {
+			net.Send(anycastPkt(port))
+		}
+	}
+	sim.Run()
+	seen := map[uint16]int{}
+	for member, ports := range got {
+		for _, p := range ports {
+			if owner, ok := seen[p]; ok && owner != member {
+				t.Fatalf("flow %d delivered to both members", p)
+			}
+			seen[p] = member
+		}
+	}
+}
+
+// countingNode is a comparable Node (pointer), as DetachAnycast requires.
+type countingNode struct{ n int }
+
+func (c *countingNode) Handle(*packet.Packet) { c.n++ }
+
+func TestAnycastDetachRehashes(t *testing.T) {
+	sim := des.New()
+	net := New(sim, Config{})
+	nodeA := &countingNode{}
+	nodeB := &countingNode{}
+	net.AttachAnycast(nodeA, addrC)
+	net.AttachAnycast(nodeB, addrC)
+	for port := 0; port < 500; port++ {
+		net.Send(anycastPkt(uint16(3000 + port)))
+	}
+	sim.Run()
+	if nodeA.n == 0 || nodeB.n == 0 {
+		t.Fatal("both members should receive traffic")
+	}
+	if !net.DetachAnycast(nodeA, addrC) {
+		t.Fatal("detach failed")
+	}
+	if net.DetachAnycast(nodeA, addrC) {
+		t.Fatal("double detach should report false")
+	}
+	aBefore := nodeA.n
+	bBefore := nodeB.n
+	for port := 0; port < 500; port++ {
+		net.Send(anycastPkt(uint16(3000 + port)))
+	}
+	sim.Run()
+	if nodeA.n != aBefore {
+		t.Fatal("detached member still receiving")
+	}
+	if nodeB.n != bBefore+500 {
+		t.Fatalf("survivor got %d of 500 after detach", nodeB.n-bBefore)
+	}
+}
+
+func TestAnycastEmptyGroupUnroutable(t *testing.T) {
+	sim := des.New()
+	net := New(sim, Config{})
+	node := &countingNode{}
+	net.AttachAnycast(node, addrC)
+	net.DetachAnycast(node, addrC)
+	net.Send(anycastPkt(1))
+	sim.Run()
+	if net.Counts.Get("unroutable") != 1 {
+		t.Fatal("empty anycast group should be unroutable")
+	}
+}
+
+func TestUnicastAnycastConflictPanics(t *testing.T) {
+	sim := des.New()
+	net := New(sim, Config{})
+	net.Attach(NodeFunc(func(*packet.Packet) {}), addrA)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("anycast over unicast should panic")
+			}
+		}()
+		net.AttachAnycast(NodeFunc(func(*packet.Packet) {}), addrA)
+	}()
+	net.AttachAnycast(NodeFunc(func(*packet.Packet) {}), addrC)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unicast over anycast should panic")
+		}
+	}()
+	net.Attach(NodeFunc(func(*packet.Packet) {}), addrC)
+}

@@ -1,0 +1,195 @@
+// Package netsim simulates the paper's experimental network (§IV-C): all
+// VPP instances — the load balancer and the twelve application servers —
+// "bridged on the same link, with routing tables statically configured".
+//
+// The network is a flat L2 segment addressed by IPv6 address. Every
+// transmission serializes the packet to bytes, applies link latency
+// (optionally jitter and loss), and re-parses the bytes at the receiver —
+// so the full wire-codec path runs on every hop, like a real software
+// data plane.
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"srlb/internal/des"
+	"srlb/internal/metrics"
+	"srlb/internal/packet"
+)
+
+// Node is anything attached to the LAN. Handle is invoked once per
+// delivered packet; the node may synchronously send more packets.
+type Node interface {
+	// Handle processes one delivered packet.
+	Handle(pkt *packet.Packet)
+}
+
+// Tap observes every delivered packet (after parse, before Handle).
+// Used by tests and the pcap-style logger.
+type Tap func(at time.Duration, dst netip.Addr, pkt *packet.Packet)
+
+// Config tunes link behavior. The zero value gives an ideal lossless LAN
+// with the default latency.
+type Config struct {
+	// Latency is the one-way delivery delay (default 50µs — same-rack).
+	Latency time.Duration
+	// JitterFrac adds uniform ±fraction jitter to Latency (0 disables).
+	JitterFrac float64
+	// LossProb drops packets with this probability (0 disables).
+	LossProb float64
+	// VerifyChecksums re-validates TCP checksums at every delivery.
+	// Slightly slower; on by default in tests.
+	VerifyChecksums bool
+	// Seed drives jitter/loss randomness.
+	Seed uint64
+}
+
+// DefaultLatency is the one-way LAN latency when Config.Latency is zero.
+const DefaultLatency = 50 * time.Microsecond
+
+// Network is a simulated bridged LAN.
+type Network struct {
+	sim    *des.Simulator
+	cfg    Config
+	rng    *rand.Rand
+	nodes  map[netip.Addr]Node
+	anycst map[netip.Addr][]Node
+	taps   []Tap
+	Counts *metrics.Counter
+}
+
+// New creates a network on the given simulator.
+func New(sim *des.Simulator, cfg Config) *Network {
+	if cfg.Latency <= 0 {
+		cfg.Latency = DefaultLatency
+	}
+	return &Network{
+		sim:    sim,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0xbeef)),
+		nodes:  make(map[netip.Addr]Node),
+		anycst: make(map[netip.Addr][]Node),
+		Counts: metrics.NewCounter(),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *des.Simulator { return n.sim }
+
+// Attach binds addrs to node on the LAN. Attaching an address twice
+// panics: unicast address assignment is static in the testbed (use
+// AttachAnycast for ECMP groups).
+func (n *Network) Attach(node Node, addrs ...netip.Addr) {
+	for _, a := range addrs {
+		if _, dup := n.nodes[a]; dup {
+			panic(fmt.Sprintf("netsim: address %v attached twice", a))
+		}
+		if _, dup := n.anycst[a]; dup {
+			panic(fmt.Sprintf("netsim: address %v already an anycast group", a))
+		}
+		n.nodes[a] = node
+	}
+}
+
+// AttachAnycast adds node to the ECMP group of addr: packets to addr are
+// spread across the group by a stable hash of the TCP 5-tuple, the way
+// routers ECMP flows across equal-cost next hops (RFC 2992 hash-threshold
+// — the mechanism the paper's related work relies on for scaling LB
+// instances).
+func (n *Network) AttachAnycast(node Node, addr netip.Addr) {
+	if _, dup := n.nodes[addr]; dup {
+		panic(fmt.Sprintf("netsim: address %v already unicast", addr))
+	}
+	n.anycst[addr] = append(n.anycst[addr], node)
+}
+
+// DetachAnycast removes one member from addr's ECMP group (a replica
+// failing or being drained); remaining flows rehash across survivors.
+// It reports whether the member was present. Members are matched by
+// interface equality, so anycast nodes must have comparable dynamic types
+// (pointers — as every real node is; NodeFunc closures are not).
+func (n *Network) DetachAnycast(node Node, addr netip.Addr) bool {
+	group := n.anycst[addr]
+	for i, member := range group {
+		if member == node {
+			n.anycst[addr] = append(group[:i:i], group[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AddTap registers a delivery observer.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// Send serializes pkt and schedules its delivery to the node owning the
+// packet's IPv6 destination address. Unroutable destinations and lossy
+// drops are counted, not errors: that is how a real LAN behaves.
+func (n *Network) Send(pkt *packet.Packet) {
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		// A malformed locally-originated packet is a programming error in
+		// the sending node; surface it loudly.
+		panic(fmt.Sprintf("netsim: marshal failed: %v", err))
+	}
+	n.Counts.Inc("tx")
+	n.Counts.Addn("tx_bytes", uint64(len(wire)))
+	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+		n.Counts.Inc("lost")
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.JitterFrac > 0 {
+		delay = time.Duration(float64(delay) * (1 + n.cfg.JitterFrac*(2*n.rng.Float64()-1)))
+	}
+	n.sim.After(delay, func() { n.deliver(wire) })
+}
+
+func (n *Network) deliver(wire []byte) {
+	pkt, err := packet.Parse(wire, n.cfg.VerifyChecksums)
+	if err != nil {
+		n.Counts.Inc("rx_parse_error")
+		return
+	}
+	node, ok := n.nodes[pkt.IP.Dst]
+	if !ok {
+		if group := n.anycst[pkt.IP.Dst]; len(group) > 0 {
+			node = group[ecmpHash(pkt)%uint64(len(group))]
+			ok = true
+		}
+	}
+	if !ok {
+		n.Counts.Inc("unroutable")
+		return
+	}
+	n.Counts.Inc("rx")
+	for _, tap := range n.taps {
+		tap(n.sim.Now(), pkt.IP.Dst, pkt)
+	}
+	node.Handle(pkt)
+}
+
+// ecmpHash hashes the transport 5-tuple (stable per flow direction).
+func ecmpHash(pkt *packet.Packet) uint64 {
+	h := fnv.New64a()
+	src := pkt.IP.Src.As16()
+	dst := pkt.IP.Dst.As16()
+	h.Write(src[:])
+	h.Write(dst[:])
+	var ports [4]byte
+	binary.BigEndian.PutUint16(ports[0:2], pkt.TCP.SrcPort)
+	binary.BigEndian.PutUint16(ports[2:4], pkt.TCP.DstPort)
+	h.Write(ports[:])
+	return h.Sum64()
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(pkt *packet.Packet)
+
+// Handle implements Node.
+func (f NodeFunc) Handle(pkt *packet.Packet) { f(pkt) }

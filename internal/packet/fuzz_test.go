@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"srlb/internal/ipv6"
+	"srlb/internal/srv6"
+	"srlb/internal/tcpseg"
+)
+
+// TestParseNeverPanicsOnRandomBytes: the full packet parser must reject —
+// never crash on — arbitrary input. A data-plane element parses whatever
+// the wire hands it.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %d bytes: %v", len(b), r)
+			}
+		}()
+		p, err := Parse(b, true)
+		// Either a parse error or a structurally valid packet.
+		return err != nil || p != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnCorruptedValidPackets flips random bits in
+// well-formed packets — closer to real wire corruption than pure noise.
+func TestParseNeverPanicsOnCorruptedValidPackets(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	base := &Packet{
+		IP: ipv6.Header{Src: client, Dst: s1},
+		SRH: srv6.MustNew(ipv6.ProtoTCP,
+			s1, s2, vip),
+		TCP: tcpseg.Segment{
+			SrcPort: 40000, DstPort: 80, Flags: tcpseg.FlagSYN,
+			Payload: []byte("GET /wiki/index.php?title=Main HTTP/1.1"),
+		},
+	}
+	wire, err := base.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		c := append([]byte(nil), wire...)
+		flips := 1 + r.IntN(8)
+		for j := 0; j < flips; j++ {
+			pos := r.IntN(len(c))
+			c[pos] ^= byte(1 << r.IntN(8))
+		}
+		if r.IntN(4) == 0 {
+			c = c[:r.IntN(len(c)+1)] // also truncate sometimes
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Parse panicked on corrupted packet (iter %d): %v", i, rec)
+				}
+			}()
+			Parse(c, true) //nolint:errcheck // any outcome but a panic is fine
+		}()
+	}
+}
+
+// TestParseExtensionChainBounds: a routing header claiming more segments
+// than the buffer holds must error cleanly.
+func TestParseExtensionChainBounds(t *testing.T) {
+	p := &Packet{
+		IP:  ipv6.Header{Src: client, Dst: s1},
+		SRH: srv6.MustNew(ipv6.ProtoTCP, s1, vip),
+		TCP: tcpseg.Segment{SrcPort: 1, DstPort: 2, Flags: tcpseg.FlagSYN},
+	}
+	wire, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the SRH's Hdr Ext Len beyond the actual payload.
+	c := append([]byte(nil), wire...)
+	c[ipv6.HeaderLen+1] = 0xff
+	if _, err := Parse(c, false); err == nil {
+		t.Fatal("oversized ext len accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package packet composes full SRLB data-plane packets:
+// IPv6 fixed header, optional Segment Routing Header, and a TCP segment.
+// Packets travel the simulated network as real bytes and are re-parsed at
+// every hop, so the encode/decode path here is exactly what a software
+// router (the paper uses VPP) would execute.
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"srlb/internal/ipv6"
+	"srlb/internal/srv6"
+	"srlb/internal/tcpseg"
+)
+
+// DefaultHopLimit is used for locally originated packets.
+const DefaultHopLimit = 64
+
+// ErrNotTCP is returned when the chain does not terminate in TCP.
+var ErrNotTCP = errors.New("packet: upper layer is not TCP")
+
+// Packet is a parsed (or to-be-marshaled) IPv6[+SRH]+TCP packet.
+type Packet struct {
+	IP  ipv6.Header
+	SRH *srv6.SRH // nil when no routing header present
+	TCP tcpseg.Segment
+}
+
+// FlowKey identifies a TCP connection by its 4-tuple as seen by the load
+// balancer (client address/port, VIP address/port).
+type FlowKey struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+}
+
+// String renders the key as "src.port->dst.port".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("[%v]:%d->[%v]:%d", k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// Flow returns the packet's flow key using the *logical* endpoints: when
+// an SRH is present, the logical destination is the final segment (the
+// VIP), not the in-flight IPv6 destination (which points at the active
+// segment). This is how the LB and servers key their flow state.
+func (p *Packet) Flow() FlowKey {
+	dst := p.IP.Dst
+	if p.SRH != nil {
+		if final, err := p.SRH.Final(); err == nil {
+			dst = final
+		}
+	}
+	return FlowKey{Src: p.IP.Src, Dst: dst, SrcPort: p.TCP.SrcPort, DstPort: p.TCP.DstPort}
+}
+
+// IsSYN reports whether this is an initial SYN (SYN set, ACK clear) — the
+// packet that triggers Service Hunting at the load balancer.
+func (p *Packet) IsSYN() bool {
+	return p.TCP.Flags.Has(tcpseg.FlagSYN) && !p.TCP.Flags.Has(tcpseg.FlagACK)
+}
+
+// IsSYNACK reports whether this is a connection-acceptance packet.
+func (p *Packet) IsSYNACK() bool {
+	return p.TCP.Flags.Has(tcpseg.FlagSYN | tcpseg.FlagACK)
+}
+
+// Marshal encodes the full packet to bytes, fixing up PayloadLen and the
+// TCP checksum. The checksum is computed over the logical endpoints
+// (IPv6 source and final-segment destination), mirroring how SR-aware
+// stacks compute upper-layer checksums against the final destination
+// (RFC 8200 §8.1).
+func (p *Packet) Marshal(dst []byte) ([]byte, error) {
+	ulDst := p.IP.Dst
+	tcpLen := p.TCP.WireLen()
+	if p.SRH != nil {
+		p.IP.NextHeader = ipv6.ProtoRouting
+		p.SRH.NextHeader = ipv6.ProtoTCP
+		p.IP.PayloadLen = uint16(p.SRH.WireLen() + tcpLen)
+		if final, err := p.SRH.Final(); err == nil {
+			ulDst = final
+		}
+	} else {
+		p.IP.NextHeader = ipv6.ProtoTCP
+		p.IP.PayloadLen = uint16(tcpLen)
+	}
+	if p.IP.HopLimit == 0 {
+		p.IP.HopLimit = DefaultHopLimit
+	}
+	out, err := p.IP.Marshal(dst)
+	if err != nil {
+		return nil, err
+	}
+	if p.SRH != nil {
+		out, err = p.SRH.Marshal(out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.TCP.Marshal(out, p.IP.Src, ulDst)
+}
+
+// Parse decodes a full packet. When verifyChecksum is true, the TCP
+// checksum is validated against the logical endpoints.
+func Parse(b []byte, verifyChecksum bool) (*Packet, error) {
+	var p Packet
+	h, n, err := ipv6.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	p.IP = h
+	rest := b[n:]
+	if int(h.PayloadLen) > len(rest) {
+		return nil, fmt.Errorf("packet: payload length %d exceeds buffer %d", h.PayloadLen, len(rest))
+	}
+	rest = rest[:h.PayloadLen]
+	next := h.NextHeader
+	if next == ipv6.ProtoRouting {
+		srh, consumed, err := srv6.Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.SRH = srh
+		rest = rest[consumed:]
+		next = srh.NextHeader
+	}
+	if next != ipv6.ProtoTCP {
+		return nil, fmt.Errorf("%w: next header %d", ErrNotTCP, next)
+	}
+	ulDst := p.IP.Dst
+	if p.SRH != nil {
+		if final, err := p.SRH.Final(); err == nil {
+			ulDst = final
+		}
+	}
+	seg, err := tcpseg.Parse(rest, p.IP.Src, ulDst, verifyChecksum)
+	if err != nil {
+		return nil, err
+	}
+	p.TCP = seg
+	return &p, nil
+}
+
+// Clone deep-copies the packet (segment list and payload included) so a
+// hop can mutate its copy without aliasing.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.SRH != nil {
+		srh := *p.SRH
+		srh.Segments = append([]netip.Addr(nil), p.SRH.Segments...)
+		q.SRH = &srh
+	}
+	q.TCP.Payload = append([]byte(nil), p.TCP.Payload...)
+	return &q
+}
+
+// String gives a compact one-line rendering for traces and debugging.
+func (p *Packet) String() string {
+	srh := ""
+	if p.SRH != nil {
+		srh = " " + p.SRH.String()
+	}
+	return fmt.Sprintf("[%v]->[%v] %s%s len=%d",
+		p.IP.Src, p.IP.Dst, p.TCP.Flags, srh, len(p.TCP.Payload))
+}

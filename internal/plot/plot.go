@@ -1,0 +1,175 @@
+// Package plot renders small ASCII line charts and CDFs of experiment
+// series, so the regenerated figures can be inspected straight in a
+// terminal — no gnuplot required. cmd/srlb-bench uses it behind -plot.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X, Y []float64
+}
+
+// markers label the lines in drawing order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Config sizes the canvas. Zero values take defaults (72×20).
+type Config struct {
+	Width  int
+	Height int
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Width < 16 {
+		c.Width = 16
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	if c.Height < 6 {
+		c.Height = 6
+	}
+	return c
+}
+
+// Render draws the series onto one shared canvas.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	cfg = cfg.withDefaults()
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Errorf("plot: all points NaN")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(cfg.Width-1))
+			row := cfg.Height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(cfg.Height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	if cfg.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", cfg.Title); err != nil {
+			return err
+		}
+	}
+	yLo, yHi := formatTick(minY), formatTick(maxY)
+	for r, line := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8s ", yHi)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%8s ", yLo)
+		case cfg.Height / 2:
+			if cfg.YLabel != "" {
+				label = fmt.Sprintf("%8s ", trunc(cfg.YLabel, 8))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", cfg.Width)); err != nil {
+		return err
+	}
+	xAxis := fmt.Sprintf("%s%s", strings.Repeat(" ", 10), formatTick(minX))
+	right := formatTick(maxX)
+	if cfg.XLabel != "" {
+		mid := cfg.XLabel
+		pad := cfg.Width - len(formatTick(minX)) - len(right) - len(mid)
+		if pad < 2 {
+			pad = 2
+		}
+		left := pad / 2
+		xAxis += strings.Repeat(" ", left) + mid + strings.Repeat(" ", pad-left) + right
+	} else {
+		xAxis += strings.Repeat(" ", maxInt(2, cfg.Width-len(formatTick(minX))-len(right))) + right
+	}
+	if _, err := fmt.Fprintln(w, xAxis); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
+	return err
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Title: "fig", Width: 40, Height: 10, XLabel: "rho", YLabel: "rt"},
+		Series{Name: "RR", X: []float64{0, 0.5, 1}, Y: []float64{0.1, 0.3, 1.2}},
+		Series{Name: "SR4", X: []float64{0, 0.5, 1}, Y: []float64{0.1, 0.15, 0.5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig", "* RR", "o SR4", "rho", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x-labels + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// The max point of RR (y=1.2) must be at the top row; min at bottom.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("top row has no RR marker:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Config{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := Render(&buf, Config{}, Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	nan := math.NaN()
+	if err := Render(&buf, Config{}, Series{Name: "nan", X: []float64{nan}, Y: []float64{nan}}); err == nil {
+		t.Fatal("all-NaN accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// Constant series: ranges are artificially widened, no division by 0.
+	err := Render(&buf, Config{Width: 20, Height: 6},
+		Series{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flat") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderClampsTinyCanvas(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 1, Height: 1},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to minimum canvas: must not panic and must contain an axis.
+	if !strings.Contains(buf.String(), "+") {
+		t.Fatal("axis missing")
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var buf bytes.Buffer
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{
+			Name: strings.Repeat("s", i+1),
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i + 1)},
+		})
+	}
+	if err := Render(&buf, Config{}, series...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(1234.5) != "1235" && formatTick(1234.5) != "1234" {
+		t.Fatalf("big tick = %q", formatTick(1234.5))
+	}
+	if formatTick(12.34) != "12.3" {
+		t.Fatalf("mid tick = %q", formatTick(12.34))
+	}
+	if formatTick(0.1234) != "0.123" {
+		t.Fatalf("small tick = %q", formatTick(0.1234))
+	}
+}

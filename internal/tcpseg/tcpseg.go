@@ -1,0 +1,147 @@
+// Package tcpseg implements a wire-accurate TCP segment codec (RFC 9293
+// header layout, no options) with the IPv6 pseudo-header checksum.
+//
+// SRLB load-balances TCP connections: the load balancer keys its behavior
+// on the SYN/ACK/FIN/RST flags and the 4-tuple, so the codec keeps those
+// first-class. One HTTP query is one TCP connection, as in the paper's
+// testbed.
+package tcpseg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"srlb/internal/ipv6"
+)
+
+// HeaderLen is the length of the fixed TCP header (no options).
+const HeaderLen = 20
+
+// Flags is the TCP flag byte.
+type Flags uint8
+
+// TCP control flags.
+const (
+	FlagFIN Flags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Has reports whether all flags in f2 are set in f.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// String renders flags in tcpdump-like notation.
+func (f Flags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, fl := range []struct {
+		f Flags
+		s string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
+		{FlagRST, "RST"}, {FlagPSH, "PSH"}, {FlagURG, "URG"},
+	} {
+		if f.Has(fl.f) {
+			parts = append(parts, fl.s)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Errors returned by Parse.
+var (
+	ErrTooShort    = errors.New("tcpseg: buffer too short")
+	ErrBadDataOff  = errors.New("tcpseg: bad data offset")
+	ErrBadChecksum = errors.New("tcpseg: checksum mismatch")
+)
+
+// Segment is a parsed TCP segment. Payload aliases the parse buffer.
+type Segment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Window           uint16
+	Urgent           uint16
+	Payload          []byte
+}
+
+// WireLen returns the marshaled length of s in bytes.
+func (s *Segment) WireLen() int { return HeaderLen + len(s.Payload) }
+
+// Marshal appends the wire encoding of s to dst, computing the checksum
+// over the IPv6 pseudo-header for src/dst.
+func (s *Segment) Marshal(dst []byte, src, dstAddr netip.Addr) ([]byte, error) {
+	if err := ipv6.CheckAddr(src); err != nil {
+		return nil, fmt.Errorf("tcpseg: src: %w", err)
+	}
+	if err := ipv6.CheckAddr(dstAddr); err != nil {
+		return nil, fmt.Errorf("tcpseg: dst: %w", err)
+	}
+	off := len(dst)
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], s.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], s.Ack)
+	hdr[12] = (HeaderLen / 4) << 4 // data offset in 32-bit words
+	hdr[13] = uint8(s.Flags)
+	binary.BigEndian.PutUint16(hdr[14:16], s.Window)
+	// checksum zero for now
+	binary.BigEndian.PutUint16(hdr[18:20], s.Urgent)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, s.Payload...)
+	ck := Checksum(dst[off:], src, dstAddr)
+	binary.BigEndian.PutUint16(dst[off+16:off+18], ck)
+	return dst, nil
+}
+
+// Checksum computes the TCP checksum of the given segment bytes (with the
+// checksum field treated as zero if already set) under the IPv6
+// pseudo-header.
+func Checksum(seg []byte, src, dst netip.Addr) uint16 {
+	sum := ipv6.PseudoHeaderChecksum(src, dst, uint32(len(seg)), ipv6.ProtoTCP)
+	if len(seg) >= 18 {
+		sum = ipv6.SumBytes(sum, seg[:16])
+		// Skip the checksum field itself (bytes 16-17).
+		sum = ipv6.SumBytes(sum, seg[18:])
+	} else {
+		sum = ipv6.SumBytes(sum, seg)
+	}
+	return ipv6.FoldChecksum(sum)
+}
+
+// Parse decodes a segment from b. When verify is true the checksum is
+// validated against the pseudo-header of src/dst.
+func Parse(b []byte, src, dst netip.Addr, verify bool) (Segment, error) {
+	if len(b) < HeaderLen {
+		return Segment{}, ErrTooShort
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < HeaderLen || dataOff > len(b) {
+		return Segment{}, ErrBadDataOff
+	}
+	var s Segment
+	s.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	s.DstPort = binary.BigEndian.Uint16(b[2:4])
+	s.Seq = binary.BigEndian.Uint32(b[4:8])
+	s.Ack = binary.BigEndian.Uint32(b[8:12])
+	s.Flags = Flags(b[13])
+	s.Window = binary.BigEndian.Uint16(b[14:16])
+	s.Urgent = binary.BigEndian.Uint16(b[18:20])
+	s.Payload = b[dataOff:]
+	if verify {
+		want := binary.BigEndian.Uint16(b[16:18])
+		if got := Checksum(b, src, dst); got != want {
+			return Segment{}, fmt.Errorf("%w: got %#04x want %#04x", ErrBadChecksum, got, want)
+		}
+	}
+	return s, nil
+}

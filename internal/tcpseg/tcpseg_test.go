@@ -1,0 +1,219 @@
+package tcpseg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"srlb/internal/ipv6"
+)
+
+var (
+	srcAddr = ipv6.MustAddr("2001:db8::a")
+	dstAddr = ipv6.MustAddr("2001:db8::b")
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := Segment{
+		SrcPort: 49152,
+		DstPort: 80,
+		Seq:     0xdeadbeef,
+		Ack:     0x01020304,
+		Flags:   FlagSYN | FlagACK,
+		Window:  65535,
+		Urgent:  7,
+		Payload: []byte("GET /wiki/index.php?title=Main_Page HTTP/1.1\r\n"),
+	}
+	b, err := s.Marshal(nil, srcAddr, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != s.WireLen() {
+		t.Fatalf("wire len %d, want %d", len(b), s.WireLen())
+	}
+	got, err := Parse(b, srcAddr, dstAddr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != s.SrcPort || got.DstPort != s.DstPort || got.Seq != s.Seq ||
+		got.Ack != s.Ack || got.Flags != s.Flags || got.Window != s.Window || got.Urgent != s.Urgent {
+		t.Fatalf("header mismatch: %+v vs %+v", got, s)
+	}
+	if !bytes.Equal(got.Payload, s.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestEmptyPayloadRoundTrip(t *testing.T) {
+	s := Segment{SrcPort: 1, DstPort: 2, Flags: FlagACK}
+	b, err := s.Marshal(nil, srcAddr, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderLen {
+		t.Fatalf("len = %d, want %d", len(b), HeaderLen)
+	}
+	got, err := Parse(b, srcAddr, dstAddr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatal("payload should be empty")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	s := Segment{SrcPort: 1, DstPort: 2, Flags: FlagSYN, Payload: []byte("hello")}
+	b, err := s.Marshal(nil, srcAddr, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flip := range []int{0, 5, 13, 20, len(b) - 1} {
+		c := bytes.Clone(b)
+		c[flip] ^= 0x40
+		if _, err := Parse(c, srcAddr, dstAddr, true); err == nil {
+			t.Fatalf("corruption at byte %d not detected", flip)
+		}
+	}
+}
+
+func TestChecksumDependsOnAddrs(t *testing.T) {
+	s := Segment{SrcPort: 1, DstPort: 2, Flags: FlagSYN}
+	b, err := s.Marshal(nil, srcAddr, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := ipv6.MustAddr("2001:db8::c")
+	if _, err := Parse(b, srcAddr, other, true); err == nil {
+		t.Fatal("checksum must bind to the pseudo-header addresses")
+	}
+	// But parsing without verification should succeed.
+	if _, err := Parse(b, srcAddr, other, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(make([]byte, 19), srcAddr, dstAddr, false); err != ErrTooShort {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+	b := make([]byte, 20)
+	b[12] = 3 << 4 // data offset 12 < 20
+	if _, err := Parse(b, srcAddr, dstAddr, false); err != ErrBadDataOff {
+		t.Fatalf("err = %v, want ErrBadDataOff", err)
+	}
+	b[12] = 15 << 4 // data offset 60 > len
+	if _, err := Parse(b, srcAddr, dstAddr, false); err != ErrBadDataOff {
+		t.Fatalf("err = %v, want ErrBadDataOff", err)
+	}
+}
+
+func TestMarshalRejectsBadAddr(t *testing.T) {
+	s := Segment{}
+	var zero netip.Addr
+	if _, err := s.Marshal(nil, srcAddr, zero); err == nil {
+		t.Fatal("expected error for invalid dst")
+	}
+	if _, err := s.Marshal(nil, zero, dstAddr); err == nil {
+		t.Fatal("expected error for invalid src")
+	}
+}
+
+func TestChecksumZeroFieldInvariance(t *testing.T) {
+	// Checksum() must give the same answer whether or not the checksum
+	// field is already populated.
+	s := Segment{SrcPort: 5, DstPort: 6, Payload: []byte("abc")}
+	b, err := s.Marshal(nil, srcAddr, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withField := Checksum(b, srcAddr, dstAddr)
+	c := bytes.Clone(b)
+	binary.BigEndian.PutUint16(c[16:18], 0)
+	zeroed := Checksum(c, srcAddr, dstAddr)
+	if withField != zeroed {
+		t.Fatalf("checksum differs with field set: %#x vs %#x", withField, zeroed)
+	}
+	// And the stored field must equal the computed value.
+	if stored := binary.BigEndian.Uint16(b[16:18]); stored != withField {
+		t.Fatalf("stored %#x, computed %#x", stored, withField)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	f := FlagSYN | FlagACK
+	s := f.String()
+	if !strings.Contains(s, "SYN") || !strings.Contains(s, "ACK") {
+		t.Fatalf("String() = %q", s)
+	}
+	if Flags(0).String() != "none" {
+		t.Fatalf("zero flags String() = %q", Flags(0).String())
+	}
+	all := FlagFIN | FlagSYN | FlagRST | FlagPSH | FlagACK | FlagURG
+	for _, want := range []string{"FIN", "SYN", "RST", "PSH", "ACK", "URG"} {
+		if !strings.Contains(all.String(), want) {
+			t.Fatalf("missing %s in %q", want, all.String())
+		}
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.Has(FlagSYN) || !f.Has(FlagACK) || !f.Has(FlagSYN|FlagACK) {
+		t.Fatal("Has failed on set flags")
+	}
+	if f.Has(FlagFIN) || f.Has(FlagSYN|FlagFIN) {
+		t.Fatal("Has claimed unset flag")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16, payload []byte) bool {
+		s := Segment{
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			Flags: Flags(flags), Window: win, Payload: payload,
+		}
+		b, err := s.Marshal(nil, srcAddr, dstAddr)
+		if err != nil {
+			return false
+		}
+		got, err := Parse(b, srcAddr, dstAddr, true)
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sp && got.DstPort == dp && got.Seq == seq &&
+			got.Ack == ack && got.Flags == Flags(flags) && got.Window == win &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	s := Segment{SrcPort: 49152, DstPort: 80, Flags: FlagSYN, Payload: make([]byte, 512)}
+	buf := make([]byte, 0, s.WireLen())
+	b.ReportAllocs()
+	b.SetBytes(int64(s.WireLen()))
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if _, err := s.Marshal(buf, srcAddr, dstAddr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseVerify(b *testing.B) {
+	s := Segment{SrcPort: 49152, DstPort: 80, Flags: FlagSYN, Payload: make([]byte, 512)}
+	buf, _ := s.Marshal(nil, srcAddr, dstAddr)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(buf, srcAddr, dstAddr, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

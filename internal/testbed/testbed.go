@@ -1,0 +1,429 @@
+// Package testbed composes the paper's experimental platform (§IV): a
+// traffic generator and load balancer on one side, and N application
+// servers (12 in the paper) on the other, all bridged on one simulated
+// link. It is the harness every experiment and example builds on.
+//
+// The traffic generator measures client-side response times exactly as
+// the paper does: from first SYN transmission to receipt of the response
+// payload. Connections refused via RST (backlog overflow with
+// tcp_abort_on_overflow) are recorded as failures, not response times.
+package testbed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"srlb/internal/agent"
+	"srlb/internal/appserver"
+	"srlb/internal/core"
+	"srlb/internal/des"
+	"srlb/internal/flowtable"
+	"srlb/internal/ipv6"
+	"srlb/internal/metrics"
+	"srlb/internal/netsim"
+	"srlb/internal/packet"
+	"srlb/internal/rng"
+	"srlb/internal/selection"
+	"srlb/internal/tcpseg"
+	"srlb/internal/vrouter"
+)
+
+// Well-known testbed addresses.
+var (
+	// VIP is the virtual service address the LB advertises.
+	VIP = ipv6.MustAddr("2001:db8:f00d::1")
+	// LBAddr is the load balancer's own address.
+	LBAddr = ipv6.MustAddr("2001:db8:1b::1")
+)
+
+// ServerAddr returns the physical address of server i (0-based).
+func ServerAddr(i int) netip.Addr {
+	return ipv6.MustAddr(fmt.Sprintf("2001:db8:5::%x", i+1))
+}
+
+// ClientAddr returns the address of client source j (0-based).
+func ClientAddr(j int) netip.Addr {
+	return ipv6.MustAddr(fmt.Sprintf("2001:db8:c::%x", j+1))
+}
+
+// Query is one HTTP request to be issued by the traffic generator.
+type Query struct {
+	// ID is a caller-chosen identifier, echoed in the Result.
+	ID uint64
+	// Demand is the request's CPU cost. When the per-server DemandFn is
+	// the default, this value is carried in the request bytes and used
+	// verbatim — so a query costs the same no matter which server wins
+	// the hunt, enabling paired comparisons across policies.
+	Demand time.Duration
+	// URL travels in the request payload; workload-specific DemandFns
+	// (the Wikipedia model) derive per-server cost from it.
+	URL string
+	// Class is an opaque workload tag (e.g. static vs wiki page).
+	Class uint8
+}
+
+// Result reports the fate of a query.
+type Result struct {
+	ID       uint64
+	Class    uint8
+	IssuedAt time.Duration
+	// RT is the client-observed response time (SYN → response payload).
+	RT time.Duration
+	// OK is true when the response arrived; false when the connection
+	// was refused (RST) or still pending at simulation end.
+	OK bool
+	// Refused is true when the failure was an explicit RST.
+	Refused bool
+}
+
+// EncodePayload packs a query descriptor into request bytes:
+// 8-byte big-endian demand (ns) followed by the URL.
+func EncodePayload(q Query) []byte {
+	buf := make([]byte, 8+len(q.URL))
+	binary.BigEndian.PutUint64(buf, uint64(q.Demand))
+	copy(buf[8:], q.URL)
+	return buf
+}
+
+// DecodePayload recovers (demand, url) from request bytes.
+func DecodePayload(b []byte) (time.Duration, string) {
+	if len(b) < 8 {
+		return 0, ""
+	}
+	return time.Duration(binary.BigEndian.Uint64(b)), string(b[8:])
+}
+
+// DefaultDemand is the vrouter DemandFn that trusts the encoded demand —
+// the Poisson/PHP workload of §V, where cost is intrinsic to the query.
+func DefaultDemand(_ packet.FlowKey, payload []byte) time.Duration {
+	d, _ := DecodePayload(payload)
+	return d
+}
+
+// Config assembles a full testbed. Zero fields take the paper's values.
+type Config struct {
+	Seed    uint64
+	Servers int              // default 12
+	Server  appserver.Config // default appserver.Default()
+	Net     netsim.Config    // default ideal LAN
+	Flows   flowtable.Config // default flowtable defaults
+	Clients int              // distinct client source addresses (default 8)
+
+	// ServerOverride, when non-nil, returns the configuration of server i
+	// — heterogeneous clusters (mixed core counts / worker pools). Falls
+	// back to Server when it returns the zero Config.
+	ServerOverride func(i int) appserver.Config
+
+	// Policy builds the acceptance policy for server i. Default: Always
+	// (every first candidate accepts — with Scheme=random1 this is the
+	// paper's RR baseline).
+	Policy func(i int) agent.Policy
+	// Scheme builds the LB's candidate-selection scheme over the server
+	// addresses. Default: 2 uniform-random candidates (the paper's).
+	Scheme func(servers []netip.Addr, r *rand.Rand) selection.Scheme
+	// Demand builds the per-server demand function. Default: DefaultDemand
+	// on every server.
+	Demand func(i int) vrouter.DemandFn
+}
+
+// Testbed is a fully wired cluster.
+type Testbed struct {
+	Sim     *des.Simulator
+	Net     *netsim.Network
+	LB      *core.LoadBalancer
+	Routers []*vrouter.Router
+	Servers []*appserver.Server
+	Gen     *Generator
+}
+
+// New builds the cluster.
+func New(cfg Config) *Testbed {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 12
+	}
+	if cfg.Server.Workers == 0 {
+		cfg.Server = appserver.Default()
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = func(int) agent.Policy { return agent.Always{} }
+	}
+	if cfg.Demand == nil {
+		cfg.Demand = func(int) vrouter.DemandFn { return DefaultDemand }
+	}
+	cfg.Net.Seed = cfg.Seed ^ 0x6e65740a // independent net stream
+
+	sim := des.New()
+	net := netsim.New(sim, cfg.Net)
+
+	serverAddrs := make([]netip.Addr, cfg.Servers)
+	for i := range serverAddrs {
+		serverAddrs[i] = ServerAddr(i)
+	}
+	selRng := rng.Split(cfg.Seed, 1)
+	var scheme selection.Scheme
+	if cfg.Scheme != nil {
+		scheme = cfg.Scheme(serverAddrs, selRng)
+	} else {
+		scheme = selection.NewRandom(serverAddrs, 2, selRng)
+	}
+
+	lb := core.New(sim, net, core.Config{
+		Addr:  LBAddr,
+		VIPs:  map[netip.Addr]selection.Scheme{VIP: scheme},
+		Flows: cfg.Flows,
+	})
+
+	tb := &Testbed{Sim: sim, Net: net, LB: lb}
+	for i := 0; i < cfg.Servers; i++ {
+		serverCfg := cfg.Server
+		if cfg.ServerOverride != nil {
+			if over := cfg.ServerOverride(i); over.Workers != 0 {
+				serverCfg = over
+			}
+		}
+		srv := appserver.New(sim, fmt.Sprintf("server-%d", i), serverCfg)
+		rt := vrouter.New(sim, net, vrouter.Config{
+			Addr:   serverAddrs[i],
+			VIPs:   []netip.Addr{VIP},
+			LB:     LBAddr,
+			Policy: cfg.Policy(i),
+			Server: srv,
+			Demand: cfg.Demand(i),
+		})
+		tb.Servers = append(tb.Servers, srv)
+		tb.Routers = append(tb.Routers, rt)
+	}
+	tb.Gen = newGenerator(sim, net, cfg.Clients)
+	return tb
+}
+
+// BusyCounts returns the current busy-worker count of every server — the
+// instantaneous load vector of figure 4.
+func (tb *Testbed) BusyCounts() []int {
+	out := make([]int, len(tb.Servers))
+	for i, s := range tb.Servers {
+		out[i] = s.BusyWorkers()
+	}
+	return out
+}
+
+// SampleLoads invokes fn(now, busy) every interval until the given end.
+func (tb *Testbed) SampleLoads(interval, until time.Duration, fn func(now time.Duration, busy []int)) {
+	var tick func()
+	tick = func() {
+		fn(tb.Sim.Now(), tb.BusyCounts())
+		if tb.Sim.Now()+interval <= until {
+			tb.Sim.After(interval, tick)
+		}
+	}
+	tb.Sim.After(interval, tick)
+}
+
+// Generator is the traffic source: it opens one TCP connection per query
+// through the LB and measures client-side response times.
+type Generator struct {
+	sim      *des.Simulator
+	net      *netsim.Network
+	addrs    []netip.Addr
+	nextPort []uint32
+	pending  map[packet.FlowKey]*pendingQuery
+	results  []Result
+	// DiscardResults stops the Generator from accumulating the Results
+	// slice — long replays consume them via OnResult instead.
+	DiscardResults bool
+	// RetransmitRTO enables client SYN retransmission with exponential
+	// backoff (initial timeout RetransmitRTO, doubling, MaxTries
+	// attempts). Zero disables it — the paper's default, since
+	// tcp_abort_on_overflow is enabled precisely so that "application
+	// response delays are measured, and not possible TCP SYN retransmit
+	// delays" (§IV-C). Enable it together with AbortOnOverflow=false to
+	// reproduce the behavior the paper avoided.
+	RetransmitRTO time.Duration
+	// MaxTries bounds total SYN transmissions when RetransmitRTO > 0
+	// (default 4).
+	MaxTries int
+	OnResult func(Result)
+	Counts   *metrics.Counter
+	nextSrc  int
+}
+
+type pendingQuery struct {
+	q      Query
+	sentAt time.Duration
+	flow   packet.FlowKey
+	tries  int
+	rto    *des.Timer
+}
+
+func newGenerator(sim *des.Simulator, net *netsim.Network, clients int) *Generator {
+	g := &Generator{
+		sim:      sim,
+		net:      net,
+		addrs:    make([]netip.Addr, clients),
+		nextPort: make([]uint32, clients),
+		pending:  make(map[packet.FlowKey]*pendingQuery),
+		Counts:   metrics.NewCounter(),
+	}
+	for j := 0; j < clients; j++ {
+		g.addrs[j] = ClientAddr(j)
+		g.nextPort[j] = 1024
+		net.Attach(g, g.addrs[j])
+	}
+	return g
+}
+
+// Launch issues query q now: allocates a fresh flow and sends the SYN.
+// The query descriptor rides in the SYN payload (a stand-in for TCP Fast
+// Open / early data that keeps the simulated exchange single-round-trip;
+// the request is re-sent on the post-handshake ACK for protocol fidelity).
+func (g *Generator) Launch(q Query) {
+	src := g.nextSrc
+	g.nextSrc = (g.nextSrc + 1) % len(g.addrs)
+	port := uint16(g.nextPort[src]%64512 + 1024)
+	g.nextPort[src]++
+	flow := packet.FlowKey{Src: g.addrs[src], Dst: VIP, SrcPort: port, DstPort: 80}
+	if _, dup := g.pending[flow]; dup {
+		// Port-space wrap onto a still-pending flow: skip this port.
+		port = uint16(g.nextPort[src]%64512 + 1024)
+		g.nextPort[src]++
+		flow.SrcPort = port
+	}
+	pq := &pendingQuery{q: q, sentAt: g.sim.Now(), flow: flow, tries: 1}
+	g.pending[flow] = pq
+	g.Counts.Inc("queries_launched")
+	g.sendSYN(pq)
+	g.armRTO(pq, g.RetransmitRTO)
+}
+
+func (g *Generator) sendSYN(pq *pendingQuery) {
+	syn := &packet.Packet{
+		IP: ipv6.Header{Src: pq.flow.Src, Dst: pq.flow.Dst},
+		TCP: tcpseg.Segment{
+			SrcPort: pq.flow.SrcPort,
+			DstPort: pq.flow.DstPort,
+			Seq:     0,
+			Flags:   tcpseg.FlagSYN,
+			Payload: EncodePayload(pq.q),
+		},
+	}
+	g.net.Send(syn)
+}
+
+// armRTO schedules a SYN retransmission, doubling the timeout each try —
+// the behavior tcp_abort_on_overflow exists to keep out of the paper's
+// measurements.
+func (g *Generator) armRTO(pq *pendingQuery, rto time.Duration) {
+	if g.RetransmitRTO <= 0 {
+		return
+	}
+	maxTries := g.MaxTries
+	if maxTries <= 0 {
+		maxTries = 4
+	}
+	pq.rto = g.sim.After(rto, func() {
+		if g.pending[pq.flow] != pq {
+			return // already finished
+		}
+		if pq.tries >= maxTries {
+			g.Counts.Inc("syn_timeout")
+			g.finish(pq, Result{
+				ID: pq.q.ID, Class: pq.q.Class, IssuedAt: pq.sentAt,
+				RT: g.sim.Now() - pq.sentAt, OK: false,
+			})
+			return
+		}
+		pq.tries++
+		g.Counts.Inc("syn_retransmits")
+		g.sendSYN(pq)
+		g.armRTO(pq, 2*rto)
+	})
+}
+
+// Handle implements netsim.Node: the client side of every connection.
+func (g *Generator) Handle(pkt *packet.Packet) {
+	flow := packet.FlowKey{
+		Src: pkt.IP.Dst, Dst: pkt.IP.Src,
+		SrcPort: pkt.TCP.DstPort, DstPort: pkt.TCP.SrcPort,
+	}
+	pq, ok := g.pending[flow]
+	if !ok {
+		g.Counts.Inc("stray_rx")
+		return
+	}
+	switch {
+	case pkt.TCP.Flags.Has(tcpseg.FlagRST):
+		g.Counts.Inc("refused")
+		g.finish(pq, Result{
+			ID: pq.q.ID, Class: pq.q.Class, IssuedAt: pq.sentAt,
+			RT: g.sim.Now() - pq.sentAt, OK: false, Refused: true,
+		})
+	case pkt.IsSYNACK():
+		g.Counts.Inc("synack_rx")
+		// Complete the handshake and (re-)send the request bytes.
+		ack := &packet.Packet{
+			IP: ipv6.Header{Src: flow.Src, Dst: flow.Dst},
+			TCP: tcpseg.Segment{
+				SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+				Seq: 1, Ack: pkt.TCP.Seq + 1,
+				Flags:   tcpseg.FlagACK | tcpseg.FlagPSH,
+				Payload: EncodePayload(pq.q),
+			},
+		}
+		g.net.Send(ack)
+	case len(pkt.TCP.Payload) > 0 || pkt.TCP.Flags.Has(tcpseg.FlagFIN):
+		// The response.
+		g.Counts.Inc("responses_rx")
+		g.finish(pq, Result{
+			ID: pq.q.ID, Class: pq.q.Class, IssuedAt: pq.sentAt,
+			RT: g.sim.Now() - pq.sentAt, OK: true,
+		})
+	default:
+		g.Counts.Inc("other_rx")
+	}
+}
+
+func (g *Generator) finish(pq *pendingQuery, res Result) {
+	delete(g.pending, pq.flow)
+	if pq.rto != nil {
+		g.sim.Cancel(pq.rto)
+		pq.rto = nil
+	}
+	if !g.DiscardResults {
+		g.results = append(g.results, res)
+	}
+	if g.OnResult != nil {
+		g.OnResult(res)
+	}
+}
+
+// Pending returns the number of in-flight queries.
+func (g *Generator) Pending() int { return len(g.pending) }
+
+// Results returns all finished query results (shared slice; callers must
+// not mutate).
+func (g *Generator) Results() []Result { return g.results }
+
+// DrainPending marks all still-pending queries as failed (used at
+// simulation end so accounting always balances).
+func (g *Generator) DrainPending() int {
+	n := len(g.pending)
+	for _, pq := range g.pending {
+		res := Result{ID: pq.q.ID, Class: pq.q.Class, IssuedAt: pq.sentAt, OK: false}
+		if !g.DiscardResults {
+			g.results = append(g.results, res)
+		}
+		if g.OnResult != nil {
+			g.OnResult(res)
+		}
+	}
+	g.pending = make(map[packet.FlowKey]*pendingQuery)
+	return n
+}
+
+var _ netsim.Node = (*Generator)(nil)

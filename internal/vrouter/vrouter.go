@@ -1,0 +1,345 @@
+// Package vrouter implements the per-server virtual router of the paper
+// (§II-A): the component that, on each compute node, dispatches packets
+// between the (simulated) NIC and the application-bound virtual interface,
+// and executes the Service Hunting decision.
+//
+// In the paper this is a VPP plugin colocated with the Apache server
+// agent; here it is a packet-handler state machine attached to the
+// simulated LAN. Its behavior, per Algorithms 1–2:
+//
+//   - Packet with SegmentsLeft ≥ 2 addressed to this server: a *choice*
+//     offer. Consult the local agent policy; accept ⇒ deliver to the
+//     application (SL := 0, dst := VIP); refuse ⇒ advance the SR list and
+//     forward to the next candidate.
+//   - Packet with SegmentsLeft = 1: penultimate segment — the application
+//     "must not refuse" (satisfiability guarantee). Deliver.
+//   - Packet without SRH (or SL = 0) addressed to a local VIP: a steered
+//     packet of an established flow. Deliver.
+//
+// On acceptance of a connection (SYN), the server replies with a SYN-ACK
+// carrying an SRH [self, LB, client]: the LB, as penultimate segment,
+// learns which server accepted and installs flow state (paper figure 1).
+package vrouter
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"srlb/internal/agent"
+	"srlb/internal/appserver"
+	"srlb/internal/des"
+	"srlb/internal/ipv6"
+	"srlb/internal/metrics"
+	"srlb/internal/netsim"
+	"srlb/internal/packet"
+	"srlb/internal/srv6"
+	"srlb/internal/tcpseg"
+)
+
+// DemandFn computes the CPU demand of a request from its flow key and
+// request payload. The testbed encodes the demand in the request bytes
+// (the paper's PHP busy-loop duration); the Wikipedia workload instead
+// derives it from the URL and the server-local cache state.
+type DemandFn func(flow packet.FlowKey, payload []byte) time.Duration
+
+// Config assembles a server node.
+type Config struct {
+	// Addr is the server's physical address (the SR segment).
+	Addr netip.Addr
+	// VIPs are the virtual service addresses this server hosts.
+	VIPs []netip.Addr
+	// LB is the load balancer address, used to route SYN-ACKs through it.
+	LB netip.Addr
+	// Policy is the connection-acceptance policy (agent).
+	Policy agent.Policy
+	// Server is the application instance model.
+	Server *appserver.Server
+	// Demand computes CPU demand per request.
+	Demand DemandFn
+}
+
+// conn tracks one accepted connection through its request/response cycle.
+type conn struct {
+	flow      packet.FlowKey
+	demand    time.Duration
+	requested bool // request payload received
+	ready     bool // service complete, response awaiting the request
+	closed    bool // response sent; lingering to absorb late packets
+}
+
+// CloseLinger is how long connection state is retained after the response
+// is sent, absorbing in-flight client packets (TIME_WAIT in miniature —
+// without it, a request shorter than the handshake RTT would see its own
+// trailing ACK answered with an RST).
+const CloseLinger = time.Second
+
+// Router is the virtual router + application agent of one server.
+type Router struct {
+	cfg    Config
+	sim    *des.Simulator
+	net    *netsim.Network
+	vips   map[netip.Addr]bool
+	conns  map[packet.FlowKey]*conn
+	Counts *metrics.Counter
+}
+
+// New builds the router and attaches it to the network under its physical
+// address and its VIPs.
+func New(sim *des.Simulator, net *netsim.Network, cfg Config) *Router {
+	if cfg.Policy == nil || cfg.Server == nil || cfg.Demand == nil {
+		panic("vrouter: Policy, Server and Demand are required")
+	}
+	if err := ipv6.CheckAddr(cfg.Addr); err != nil {
+		panic(fmt.Sprintf("vrouter: bad addr: %v", err))
+	}
+	r := &Router{
+		cfg:    cfg,
+		sim:    sim,
+		net:    net,
+		vips:   make(map[netip.Addr]bool, len(cfg.VIPs)),
+		conns:  make(map[packet.FlowKey]*conn),
+		Counts: metrics.NewCounter(),
+	}
+	for _, v := range cfg.VIPs {
+		r.vips[v] = true
+	}
+	net.Attach(r, cfg.Addr)
+	return r
+}
+
+// Addr returns the server's physical address.
+func (r *Router) Addr() netip.Addr { return r.cfg.Addr }
+
+// Server returns the application instance model.
+func (r *Router) Server() *appserver.Server { return r.cfg.Server }
+
+// Policy returns the acceptance policy (for telemetry).
+func (r *Router) Policy() agent.Policy { return r.cfg.Policy }
+
+// OpenConns returns the number of tracked connections.
+func (r *Router) OpenConns() int { return len(r.conns) }
+
+// Handle implements netsim.Node.
+func (r *Router) Handle(pkt *packet.Packet) {
+	if pkt.SRH != nil && pkt.IP.Dst == r.cfg.Addr {
+		r.handleSegment(pkt)
+		return
+	}
+	// No SRH (or SRH already consumed): steered packet for a local flow.
+	r.deliverLocal(pkt)
+}
+
+// handleSegment executes SR endpoint processing for the active segment.
+func (r *Router) handleSegment(pkt *packet.Packet) {
+	switch {
+	case pkt.SRH.SegmentsLeft >= 2:
+		// A real choice: first (or middle) candidate in the hunt.
+		if pkt.IsSYN() {
+			r.Counts.Inc("hunt_offers")
+			if r.cfg.Policy.Accept(r.cfg.Server) {
+				r.Counts.Inc("hunt_accepts")
+				r.acceptSYN(pkt)
+				return
+			}
+			r.Counts.Inc("hunt_refusals")
+			r.forwardNext(pkt)
+			return
+		}
+		// Non-SYN with a choice segment: not part of the hunt protocol;
+		// behave as a plain SR transit node.
+		r.forwardNext(pkt)
+
+	case pkt.SRH.SegmentsLeft == 1:
+		// Penultimate segment: must not refuse (paper §II-A).
+		if pkt.IsSYN() {
+			r.Counts.Inc("forced_accepts")
+			r.acceptSYN(pkt)
+			return
+		}
+		r.deliverLocal(pkt)
+
+	default: // SegmentsLeft == 0
+		r.deliverLocal(pkt)
+	}
+}
+
+// acceptSYN admits the connection into the application (or RSTs on
+// overflow) and emits the SYN-ACK through the load balancer.
+func (r *Router) acceptSYN(pkt *packet.Packet) {
+	flow := pkt.Flow()
+	if c, dup := r.conns[flow]; dup {
+		if c.closed {
+			// Port reuse onto a lingering closed connection: the old
+			// incarnation is done, treat this as a fresh connection.
+			delete(r.conns, flow)
+		} else {
+			// Duplicate SYN (retransmit after accept): re-send SYN-ACK.
+			r.Counts.Inc("dup_syn")
+			r.sendSYNACK(pkt, flow)
+			return
+		}
+	}
+	demand := r.cfg.Demand(flow, pkt.TCP.Payload)
+	c := &conn{flow: flow, demand: demand}
+	verdict := r.cfg.Server.Offer(demand, func() { r.respond(c) })
+	switch verdict {
+	case appserver.Admitted:
+		r.conns[flow] = c
+		r.sendSYNACK(pkt, flow)
+	case appserver.Rejected:
+		// tcp_abort_on_overflow: RST straight back to the client.
+		r.Counts.Inc("rst_overflow")
+		r.sendRST(pkt)
+	case appserver.DroppedSilently:
+		r.Counts.Inc("syn_dropped")
+	}
+}
+
+// sendSYNACK replies to a SYN with an SRH [self, LB, client] so the LB
+// learns which server accepted (figure 1: SYN-ACK {a, S2, LB, c}).
+func (r *Router) sendSYNACK(pkt *packet.Packet, flow packet.FlowKey) {
+	srh, err := srv6.New(ipv6.ProtoTCP, r.cfg.Addr, r.cfg.LB, flow.Src)
+	if err != nil {
+		panic(fmt.Sprintf("vrouter: SYN-ACK SRH: %v", err))
+	}
+	// The server is the first segment and the packet originates here, so
+	// the active segment is already consumed: advance to the LB.
+	next, err := srh.Advance()
+	if err != nil {
+		panic(err)
+	}
+	reply := &packet.Packet{
+		IP: ipv6.Header{
+			Src: flow.Dst, // the VIP: the client must see the service address
+			Dst: next,     // through the LB
+		},
+		SRH: srh,
+		TCP: tcpseg.Segment{
+			SrcPort: flow.DstPort,
+			DstPort: flow.SrcPort,
+			Seq:     1,
+			Ack:     pkt.TCP.Seq + 1,
+			Flags:   tcpseg.FlagSYN | tcpseg.FlagACK,
+		},
+	}
+	r.Counts.Inc("synack_tx")
+	r.net.Send(reply)
+}
+
+// sendRST refuses the connection (backlog overflow) directly to the
+// client — the paper's tcp_abort_on_overflow behavior.
+func (r *Router) sendRST(pkt *packet.Packet) {
+	flow := pkt.Flow()
+	rst := &packet.Packet{
+		IP: ipv6.Header{Src: flow.Dst, Dst: flow.Src},
+		TCP: tcpseg.Segment{
+			SrcPort: flow.DstPort,
+			DstPort: flow.SrcPort,
+			Ack:     pkt.TCP.Seq + 1,
+			Flags:   tcpseg.FlagRST | tcpseg.FlagACK,
+		},
+	}
+	r.net.Send(rst)
+}
+
+// deliverLocal hands a steered packet to the local application instance.
+func (r *Router) deliverLocal(pkt *packet.Packet) {
+	flow := pkt.Flow()
+	if !r.vips[flow.Dst] {
+		r.Counts.Inc("not_local")
+		return
+	}
+	c, ok := r.conns[flow]
+	if !ok {
+		// Data for a flow we never accepted (e.g. stale steering after a
+		// table eviction). A real stack would RST; count it.
+		r.Counts.Inc("no_conn")
+		r.sendRST(pkt)
+		return
+	}
+	if c.closed {
+		// Late packet for an answered connection (the response overtook
+		// the client's ACK): absorb silently, like TIME_WAIT.
+		r.Counts.Inc("late_rx")
+		return
+	}
+	if len(pkt.TCP.Payload) > 0 && !c.requested {
+		// The request payload has arrived; service is already queued (the
+		// demand was committed at accept time — Apache's worker model
+		// reads the request once a worker picks the connection up).
+		c.requested = true
+		r.Counts.Inc("requests_rx")
+		if c.ready {
+			// Service finished before the request landed (sub-RTT demand):
+			// the response was held for causality; release it now.
+			r.emitResponse(c)
+		}
+	}
+	if pkt.TCP.Flags.Has(tcpseg.FlagFIN) {
+		// Client closed; server side will close after responding. Nothing
+		// to do in the model: conn state is removed on respond().
+		r.Counts.Inc("fin_rx")
+	}
+}
+
+// respond fires when the application finishes computing the response. A
+// server cannot answer a request it has not yet received, so if the
+// (simulated, accept-time-started) service finished before the request
+// payload landed, the response is held until deliverLocal releases it.
+func (r *Router) respond(c *conn) {
+	cur, live := r.conns[c.flow]
+	if !live || cur != c || c.closed {
+		return
+	}
+	if !c.requested {
+		c.ready = true
+		return
+	}
+	r.emitResponse(c)
+}
+
+// emitResponse sends the response data + FIN directly to the client
+// (direct server return — the LB is not on the return path, §II-A) and
+// schedules conn-state teardown after the linger.
+func (r *Router) emitResponse(c *conn) {
+	c.closed = true
+	r.sim.After(CloseLinger, func() {
+		if cur, ok := r.conns[c.flow]; ok && cur == c {
+			delete(r.conns, c.flow)
+		}
+	})
+	resp := &packet.Packet{
+		IP: ipv6.Header{Src: c.flow.Dst, Dst: c.flow.Src},
+		TCP: tcpseg.Segment{
+			SrcPort: c.flow.DstPort,
+			DstPort: c.flow.SrcPort,
+			Seq:     2,
+			Ack:     2,
+			Flags:   tcpseg.FlagPSH | tcpseg.FlagACK | tcpseg.FlagFIN,
+			Payload: []byte("HTTP/1.1 200 OK\r\n\r\n"),
+		},
+	}
+	r.Counts.Inc("responses_tx")
+	r.net.Send(resp)
+}
+
+// forwardNext advances the SR list and forwards to the next segment.
+func (r *Router) forwardNext(pkt *packet.Packet) {
+	out := pkt.Clone()
+	next, err := out.SRH.Advance()
+	if err != nil {
+		r.Counts.Inc("srh_exhausted")
+		return
+	}
+	out.IP.Dst = next
+	out.IP.HopLimit--
+	if out.IP.HopLimit == 0 {
+		r.Counts.Inc("hoplimit_exceeded")
+		return
+	}
+	r.Counts.Inc("forwarded")
+	r.net.Send(out)
+}
+
+var _ netsim.Node = (*Router)(nil)

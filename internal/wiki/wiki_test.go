@@ -1,0 +1,230 @@
+package wiki
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"srlb/internal/ipv6"
+	"srlb/internal/packet"
+	"srlb/internal/trace"
+)
+
+func dummyFlow() packet.FlowKey {
+	return packet.FlowKey{
+		Src:     ipv6.MustAddr("2001:db8:c::1"),
+		Dst:     ipv6.MustAddr("2001:db8:f00d::1"),
+		SrcPort: 40000,
+		DstPort: 80,
+	}
+}
+
+func TestRateEnvelope(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	peak := cfg.WikiRate(time.Duration(cfg.PeakHour * float64(time.Hour)))
+	trough := cfg.WikiRate(time.Duration((cfg.PeakHour - 12) * float64(time.Hour)))
+	wantPeak := cfg.ReplayScale * cfg.FullPeakRate
+	wantTrough := cfg.ReplayScale * cfg.FullTroughRate
+	if math.Abs(peak-wantPeak) > 0.5 {
+		t.Fatalf("peak rate = %v, want %v", peak, wantPeak)
+	}
+	if math.Abs(trough-wantTrough) > 0.5 {
+		t.Fatalf("trough rate = %v, want %v", trough, wantTrough)
+	}
+	// Max bound must dominate the whole day.
+	maxRate := cfg.MaxWikiRate()
+	for h := 0.0; h < 24; h += 0.25 {
+		if r := cfg.WikiRate(time.Duration(h * float64(time.Hour))); r > maxRate {
+			t.Fatalf("rate %v at hour %v exceeds MaxWikiRate %v", r, h, maxRate)
+		}
+	}
+}
+
+func TestStaticRateRatio(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	at := 5 * time.Hour
+	ratio := cfg.StaticRate(at) / cfg.WikiRate(at)
+	if math.Abs(ratio-cfg.StaticPerWiki) > 1e-9 {
+		t.Fatalf("static/wiki ratio = %v, want %v", ratio, cfg.StaticPerWiki)
+	}
+}
+
+func TestPageURLRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 42, 199_999} {
+		page, ok := ParsePageURL(PageURL(id))
+		if !ok || page != id {
+			t.Fatalf("round trip failed for %d: %d %v", id, page, ok)
+		}
+	}
+	if _, ok := ParsePageURL(StaticURL(3)); ok {
+		t.Fatal("static URL parsed as page")
+	}
+	if _, ok := ParsePageURL("/wiki/index.php?title=Article_xyz"); ok {
+		t.Fatal("garbage id parsed")
+	}
+	e := trace.Entry{URL: PageURL(1)}
+	if !e.IsWikiPage() {
+		t.Fatal("PageURL not classified as wiki page by trace")
+	}
+}
+
+func TestSynthesizeShortWindow(t *testing.T) {
+	cfg := Config{Seed: 1, Horizon: 10 * time.Minute}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	wikiN, statN, err := Synthesize(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected wiki ≈ rate(≈00:00-00:10) × 600s. Rate at midnight with
+	// defaults: 0.5*(167 + 53·cos(2π(0-20)/24)) ≈ 0.5*(167+53*0.5) = 96.8/s.
+	if wikiN < 40000 || wikiN > 75000 {
+		t.Fatalf("wiki count = %d, out of plausible range", wikiN)
+	}
+	ratio := float64(statN) / float64(wikiN)
+	if ratio < 3.6 || ratio > 4.4 {
+		t.Fatalf("static/wiki = %v, want ≈4", ratio)
+	}
+	// The stream must be parseable and time-ordered (Reader enforces).
+	entries, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != wikiN+statN {
+		t.Fatalf("entries = %d, want %d", len(entries), wikiN+statN)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	gen := func() string {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		if _, _, err := Synthesize(Config{Seed: 7, Horizon: time.Minute}, w); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if gen() != gen() {
+		t.Fatal("synthesis not deterministic for fixed seed")
+	}
+}
+
+func TestSizeFactorRangeAndDeterminism(t *testing.T) {
+	for id := 0; id < 10000; id++ {
+		f := SizeFactor(id)
+		if f < 0.5 || f > 3.0 {
+			t.Fatalf("SizeFactor(%d) = %v out of [0.5, 3]", id, f)
+		}
+		if f != SizeFactor(id) {
+			t.Fatal("SizeFactor not deterministic")
+		}
+	}
+}
+
+func TestReplicaStaticVsWikiCosts(t *testing.T) {
+	rep := NewReplica(1, CostModel{})
+	var staticSum, wikiSum time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		staticSum += rep.DemandURL(StaticURL(i % 100))
+	}
+	for i := 0; i < n; i++ {
+		wikiSum += rep.DemandURL(PageURL(i % 5000))
+	}
+	staticMean := staticSum / n
+	wikiMean := wikiSum / n
+	if staticMean > 2*time.Millisecond {
+		t.Fatalf("static mean %v too expensive", staticMean)
+	}
+	if wikiMean < 50*time.Millisecond {
+		t.Fatalf("wiki mean %v too cheap", wikiMean)
+	}
+	if wikiMean < 20*staticMean {
+		t.Fatalf("wiki/static cost ratio too small: %v vs %v", wikiMean, staticMean)
+	}
+}
+
+func TestReplicaCacheEffect(t *testing.T) {
+	rep := NewReplica(2, CostModel{CacheCapacity: 100})
+	// First touch of a page: miss. Subsequent touches: hits (page stays hot).
+	page := PageURL(7)
+	rep.DemandURL(page)
+	if rep.HitRate() != 0 {
+		t.Fatalf("first access hit rate = %v", rep.HitRate())
+	}
+	var hitSum time.Duration
+	const n = 500
+	for i := 0; i < n; i++ {
+		hitSum += rep.DemandURL(page)
+	}
+	if rep.HitRate() < 0.99 {
+		t.Fatalf("hit rate = %v after hammering one page", rep.HitRate())
+	}
+	// Hit cost must be well below a miss-heavy workload's cost.
+	missRep := NewReplica(3, CostModel{CacheCapacity: 10})
+	var missSum time.Duration
+	for i := 0; i < n; i++ {
+		missSum += missRep.DemandURL(PageURL(i + 1000)) // all distinct → all miss
+	}
+	if hitSum*2 >= missSum {
+		t.Fatalf("cache hits not cheaper: hits %v vs misses %v", hitSum/n, missSum/n)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRU(3)
+	c.insert(1)
+	c.insert(2)
+	c.insert(3)
+	c.touch(1) // 1 hot; 2 is LRU
+	c.insert(4)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.touch(2) {
+		t.Fatal("LRU page 2 survived eviction")
+	}
+	for _, p := range []int{1, 3, 4} {
+		if !c.touch(p) {
+			t.Fatalf("page %d wrongly evicted", p)
+		}
+	}
+	// Duplicate insert is a no-op.
+	c.insert(4)
+	if c.Len() != 3 {
+		t.Fatal("duplicate insert changed size")
+	}
+	// Degenerate capacity.
+	d := newLRU(0)
+	d.insert(1)
+	if d.Len() != 1 {
+		t.Fatal("capacity clamp failed")
+	}
+}
+
+func TestDemandFactoryIndependentReplicas(t *testing.T) {
+	factory := DemandFactory(Config{Seed: 9}, CostModel{CacheCapacity: 50})
+	d0 := factory(0)
+	d1 := factory(1)
+	// Same URL, different replicas: costs drawn from independent streams.
+	payload := append(make([]byte, 8), []byte(PageURL(1))...)
+	a := d0(dummyFlow(), payload)
+	b := d1(dummyFlow(), payload)
+	if a == b {
+		t.Fatal("replicas share an RNG stream (identical draws)")
+	}
+}
+
+func TestReplicaDemandFromPayload(t *testing.T) {
+	rep := NewReplica(4, CostModel{})
+	payload := append(make([]byte, 8), []byte(StaticURL(1))...)
+	d := rep.Demand(dummyFlow(), payload)
+	if d <= 0 || d > 20*time.Millisecond {
+		t.Fatalf("static demand via payload = %v", d)
+	}
+	// Short payload behaves as an unknown (static-class) request.
+	if d := rep.Demand(dummyFlow(), nil); d <= 0 {
+		t.Fatalf("empty payload demand = %v", d)
+	}
+}

@@ -1,0 +1,133 @@
+package srlb
+
+import (
+	"io"
+	"time"
+
+	"srlb/internal/experiments"
+	"srlb/internal/trace"
+	"srlb/internal/wiki"
+)
+
+// Re-exported configuration and result types. Aliases keep the public
+// surface thin while the implementation lives in internal packages.
+type (
+	// Policy names a complete load-balancing configuration: SR candidate
+	// count plus the per-server connection acceptance policy.
+	Policy = experiments.PolicySpec
+	// Cluster fixes the testbed: server count, worker/core/backlog
+	// parameters, seed. The zero value is the paper's 12-server platform.
+	Cluster = experiments.ClusterConfig
+	// PoissonRun is the outcome of one Poisson-workload run.
+	PoissonRun = experiments.PoissonRun
+
+	// Calibration measures λ0, the §V-A drop-onset rate.
+	Calibration       = experiments.CalibrationConfig
+	CalibrationResult = experiments.CalibrationResult
+
+	// Figure configs/results (figures 2–8 of the paper).
+	Fig2Config = experiments.Fig2Config
+	Fig2Result = experiments.Fig2Result
+	CDFConfig  = experiments.CDFConfig
+	CDFResult  = experiments.CDFResult
+	Fig4Config = experiments.Fig4Config
+	Fig4Result = experiments.Fig4Result
+	WikiConfig = experiments.WikiConfig
+	WikiResult = experiments.WikiResult
+
+	// WikiDay parameterizes the synthetic Wikipedia day (§VI).
+	WikiDay = wiki.Config
+	// WikiCost is the per-replica service-cost model.
+	WikiCost = wiki.CostModel
+	// TraceEntry is one request of a recorded access trace.
+	TraceEntry = trace.Entry
+
+	// Ablation studies (beyond the paper's own figures).
+	AblationConfig = experiments.AblationConfig
+	AblationResult = experiments.AblationResult
+	// RetransmitConfig/Result: the §IV-C abort-on-overflow study.
+	RetransmitConfig = experiments.RetransmitConfig
+	RetransmitResult = experiments.RetransmitResult
+	// HeteroConfig/Result: the heterogeneous-cluster extension.
+	HeteroConfig = experiments.HeteroConfig
+	HeteroResult = experiments.HeteroResult
+)
+
+// Policy constructors.
+var (
+	// RR is the paper's baseline: one random server, no Service Hunting.
+	RR = experiments.RR
+	// SRStatic is Algorithm 1 (SRc) over two random candidates.
+	SRStatic = experiments.SRc
+	// SRStaticK generalizes SRc to k candidates.
+	SRStaticK = experiments.SRcK
+	// SRDynamic is Algorithm 2 (SRdyn) over two random candidates.
+	SRDynamic = experiments.SRdyn
+	// PaperPolicies returns {RR, SR4, SR8, SR16, SRdyn} — the lines of
+	// figures 2, 3 and 5.
+	PaperPolicies = experiments.PaperPolicies
+)
+
+// MeanDemand is the paper's Poisson-workload CPU cost mean (100 ms).
+const MeanDemand = experiments.MeanDemand
+
+// RunPoisson replays §V's workload: `queries` Poisson arrivals at
+// ratePerSec with Exp(MeanDemand) demands under the given policy.
+func RunPoisson(cluster Cluster, policy Policy, ratePerSec float64, queries int) PoissonRun {
+	return experiments.RunPoisson(cluster, policy, ratePerSec, queries, experiments.PoissonHooks{})
+}
+
+// Calibrate measures λ0 by bisection (§V-A's bootstrap).
+func Calibrate(cfg Calibration) CalibrationResult { return experiments.Calibrate(cfg) }
+
+// RunFig2 sweeps mean response time vs normalized load (figure 2).
+func RunFig2(cfg Fig2Config) Fig2Result { return experiments.RunFig2(cfg) }
+
+// RunFig3 runs the high-load CDF at ρ=0.88 (figure 3).
+func RunFig3(cfg CDFConfig) CDFResult { return experiments.RunFig3(cfg) }
+
+// RunFig4 records instantaneous load and fairness timelines (figure 4).
+func RunFig4(cfg Fig4Config) Fig4Result { return experiments.RunFig4(cfg) }
+
+// RunFig5 runs the light-load CDF at ρ=0.61 (figure 5).
+func RunFig5(cfg CDFConfig) CDFResult { return experiments.RunFig5(cfg) }
+
+// RunWiki replays a (synthetic) Wikipedia day under RR and SR4, producing
+// the data behind figures 6, 7 and 8.
+func RunWiki(cfg WikiConfig) WikiResult { return experiments.RunWiki(cfg) }
+
+// RunAllAblations executes the design-choice studies listed in DESIGN.md.
+func RunAllAblations(cfg AblationConfig) []AblationResult {
+	return experiments.RunAllAblations(cfg)
+}
+
+// RunRetransmitAblation compares abort-on-overflow (RST) against silent
+// drops + client SYN retransmission under overload — the measurement-
+// hygiene decision of §IV-C.
+func RunRetransmitAblation(cfg RetransmitConfig) RetransmitResult {
+	return experiments.RunRetransmitAblation(cfg)
+}
+
+// RunHetero runs RR/SR4/SRdyn on a cluster with mixed core counts — the
+// capacity-shedding extension the local-threshold design enables.
+func RunHetero(cfg HeteroConfig) HeteroResult { return experiments.RunHetero(cfg) }
+
+// SynthesizeWikiTrace writes a synthetic Wikipedia day to w in the trace
+// format (cmd/srlb-trace wraps this).
+func SynthesizeWikiTrace(day WikiDay, w io.Writer) (wikiQueries, staticQueries int, err error) {
+	tw := trace.NewWriter(w)
+	return wiki.Synthesize(day, tw)
+}
+
+// ReadTrace loads a recorded access trace.
+func ReadTrace(r io.Reader) ([]TraceEntry, error) { return trace.ReadAll(r) }
+
+// QuickComparison runs a small RR-vs-SR4 comparison at the given load and
+// returns (rrMean, sr4Mean) — the two-line demo of the README.
+func QuickComparison(seed uint64, servers int, rho float64, queries int) (rrMean, sr4Mean time.Duration) {
+	cluster := Cluster{Seed: seed, Servers: servers}
+	cal := Calibrate(Calibration{Cluster: cluster, Queries: queries})
+	rr := RunPoisson(cluster, RR(), rho*cal.Lambda0, queries)
+	sr := RunPoisson(cluster, SRStatic(4), rho*cal.Lambda0, queries)
+	return rr.RT.Mean(), sr.RT.Mean()
+}

@@ -1,0 +1,87 @@
+package srlb_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"srlb"
+)
+
+func TestQuickComparison(t *testing.T) {
+	rr, sr := srlb.QuickComparison(1, 4, 0.85, 4000)
+	if rr <= 0 || sr <= 0 {
+		t.Fatal("zero means")
+	}
+	if sr >= rr {
+		t.Fatalf("SR4 (%v) not better than RR (%v) at high load", sr, rr)
+	}
+}
+
+func TestFacadeRunPoisson(t *testing.T) {
+	cluster := srlb.Cluster{Seed: 2, Servers: 4}
+	run := srlb.RunPoisson(cluster, srlb.SRDynamic(), 40, 2000)
+	if run.RT.Count()+run.Refused+run.Unfinished != 2000 {
+		t.Fatal("query accounting broken")
+	}
+	if run.Spec.Name != "SR dyn" {
+		t.Fatalf("spec = %q", run.Spec.Name)
+	}
+}
+
+func TestFacadePolicyConstructors(t *testing.T) {
+	if srlb.RR().Candidates != 1 {
+		t.Fatal("RR candidates")
+	}
+	if srlb.SRStatic(8).Name != "SR 8" {
+		t.Fatal("SRStatic name")
+	}
+	if srlb.SRStaticK(4, 3).Candidates != 3 {
+		t.Fatal("SRStaticK candidates")
+	}
+	if len(srlb.PaperPolicies()) != 5 {
+		t.Fatal("paper policies")
+	}
+	if srlb.MeanDemand.Milliseconds() != 100 {
+		t.Fatal("mean demand must be the paper's 100ms")
+	}
+}
+
+func TestSynthesizeAndReadTrace(t *testing.T) {
+	var buf bytes.Buffer
+	day := srlb.WikiDay{Seed: 3, Compression: 2880} // 24h -> 30s
+	wikiN, statN, err := srlb.SynthesizeWikiTrace(day, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wikiN == 0 || statN == 0 {
+		t.Fatalf("counts %d/%d", wikiN, statN)
+	}
+	entries, err := srlb.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != wikiN+statN {
+		t.Fatalf("read %d, want %d", len(entries), wikiN+statN)
+	}
+	sawWiki := false
+	for _, e := range entries {
+		if strings.Contains(e.URL, "/wiki/index.php") {
+			sawWiki = true
+			break
+		}
+	}
+	if !sawWiki {
+		t.Fatal("no wiki pages in trace")
+	}
+}
+
+func TestFacadeCalibrate(t *testing.T) {
+	cal := srlb.Calibrate(srlb.Calibration{
+		Cluster: srlb.Cluster{Seed: 4, Servers: 4},
+		Queries: 4000,
+	})
+	if cal.Lambda0 <= 0 {
+		t.Fatal("no lambda0")
+	}
+}
