@@ -10,16 +10,42 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"srlb"
 	"srlb/internal/appserver"
 	"srlb/internal/plot"
 )
+
+// sweepCellJSON is one row of BENCH_sweep.json: the per-cell summary of
+// the figure-2 sweep, with host wall-clock, so successive PRs can track
+// both the simulated results and the harness's own speed.
+type sweepCellJSON struct {
+	Policy     string  `json:"policy"`
+	Workload   string  `json:"workload"`
+	Load       float64 `json:"load"`
+	Seed       uint64  `json:"seed"`
+	MeanMS     float64 `json:"mean_ms"`
+	MedianMS   float64 `json:"median_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	OKFraction float64 `json:"ok_fraction"`
+	Refused    int     `json:"refused"`
+	WallMS     float64 `json:"wall_ms"`
+}
+
+type sweepJSON struct {
+	Lambda0     float64         `json:"lambda0_qps"`
+	Workers     int             `json:"workers"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	TotalWallMS float64         `json:"total_wall_ms"`
+	Cells       []sweepCellJSON `json:"cells"`
+}
 
 // appserverDefaultWithBacklog returns the paper's server config with a
 // shallower accept queue.
@@ -38,6 +64,7 @@ func main() {
 		servers    = flag.Int("servers", 12, "application servers (paper: 12)")
 		compress   = flag.Float64("compress", 24, "wiki replay time compression (1 = full 24h)")
 		rhoPoints  = flag.Int("rho-points", 24, "number of load points for fig2 (paper: 24)")
+		workers    = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log per-point progress")
 		asciiPlot  = flag.Bool("plot", false, "render ASCII charts of figures 2 and 8 to stdout")
 	)
@@ -108,13 +135,19 @@ func main() {
 			for i := range rhos {
 				rhos[i] = float64(i+1) / float64(*rhoPoints+1)
 			}
+			start := time.Now()
 			res := srlb.RunFig2(srlb.Fig2Config{
 				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
-				Rhos: rhos, Progress: progress,
+				Rhos: rhos, Workers: *workers, Progress: progress,
 			})
+			sweepWall := time.Since(start)
 			if imp, err := res.Improvement("SR 4", 0.88); err == nil {
 				fmt.Printf("   SR4 vs RR at rho=0.88: %.2fx (paper: up to 2.3x)\n", imp)
 			}
+			if err := writeSweepJSON(*out, lambda0, *workers, sweepWall, res.Cells); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s\n", filepath.Join(*out, "BENCH_sweep.json"))
 			if *asciiPlot {
 				series := make([]plot.Series, len(res.Policies))
 				for pi, p := range res.Policies {
@@ -139,7 +172,8 @@ func main() {
 		needLambda0()
 		run("figure 3: response-time CDF at rho=0.88", func() error {
 			res := srlb.RunFig3(srlb.CDFConfig{
-				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Workers: *workers, Progress: progress,
 			})
 			return writeFile("fig3_cdf_rho088.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
@@ -149,7 +183,8 @@ func main() {
 		needLambda0()
 		run("figure 4: server load mean + fairness timeline", func() error {
 			res := srlb.RunFig4(srlb.Fig4Config{
-				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Workers: *workers, Progress: progress,
 			})
 			for _, name := range []string{"RR", "SR 4"} {
 				if fair, err := res.MeanFairness(name); err == nil {
@@ -164,7 +199,8 @@ func main() {
 		needLambda0()
 		run("figure 5: response-time CDF at rho=0.61", func() error {
 			res := srlb.RunFig5(srlb.CDFConfig{
-				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Workers: *workers, Progress: progress,
 			})
 			return writeFile("fig5_cdf_rho061.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
@@ -175,6 +211,7 @@ func main() {
 			res := srlb.RunWiki(srlb.WikiConfig{
 				Cluster:  cluster,
 				Day:      srlb.WikiDay{Seed: *seed, Compression: *compress},
+				Workers:  *workers,
 				Progress: progress,
 			})
 			for _, s := range res.Summaries() {
@@ -215,7 +252,8 @@ func main() {
 		needLambda0()
 		run("ablations: candidates/threshold/window/scheme/backlog", func() error {
 			results := srlb.RunAllAblations(srlb.AblationConfig{
-				Cluster: cluster, Lambda0: lambda0, Queries: *queries, Progress: progress,
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Workers: *workers, Progress: progress,
 			})
 			return writeFile("ablations.tsv", func(f *os.File) error {
 				for _, r := range results {
@@ -244,7 +282,8 @@ func main() {
 		})
 		run("extension: heterogeneous cluster", func() error {
 			res := srlb.RunHetero(srlb.HeteroConfig{
-				Cluster: cluster, Queries: *queries, Progress: progress,
+				Cluster: cluster, Queries: *queries,
+				Workers: *workers, Progress: progress,
 			})
 			for _, row := range res.Rows {
 				fmt.Printf("   %-7s mean=%.3fs slow-share=%.3f (capacity share %.3f)\n",
@@ -253,4 +292,36 @@ func main() {
 			return writeFile("extension_heterogeneous.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
 	}
+}
+
+// writeSweepJSON renders the figure-2 sweep cells as BENCH_sweep.json.
+func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duration, cells []srlb.CellResult) error {
+	doc := sweepJSON{
+		Lambda0:     lambda0,
+		Workers:     workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TotalWallMS: float64(total.Microseconds()) / 1e3,
+	}
+	for _, c := range cells {
+		if c.Outcome.RT == nil {
+			continue
+		}
+		doc.Cells = append(doc.Cells, sweepCellJSON{
+			Policy:     c.Policy,
+			Workload:   c.Workload,
+			Load:       c.Load,
+			Seed:       c.Seed,
+			MeanMS:     float64(c.Outcome.RT.Mean().Microseconds()) / 1e3,
+			MedianMS:   float64(c.Outcome.RT.Median().Microseconds()) / 1e3,
+			P95MS:      float64(c.Outcome.RT.Quantile(0.95).Microseconds()) / 1e3,
+			OKFraction: c.Outcome.OKFraction(),
+			Refused:    c.Outcome.Refused,
+			WallMS:     float64(c.Wall.Microseconds()) / 1e3,
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_sweep.json"), append(buf, '\n'), 0o644)
 }

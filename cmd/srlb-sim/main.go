@@ -8,9 +8,11 @@
 //	srlb-sim -policy sr4 -rho 0.88
 //	srlb-sim -policy srdyn -rate 150 -queries 50000 -servers 24
 //	srlb-sim -policy src:6 -rho 0.7 -workers 16 -cores 1
+//	srlb-sim -policy sr4 -rho 0.6 -workload bursty
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +62,7 @@ func main() {
 		cores      = flag.Float64("cores", 2, "CPU cores per server")
 		backlog    = flag.Int("backlog", 128, "TCP accept backlog per server")
 		noAbort    = flag.Bool("no-abort-on-overflow", false, "silently drop instead of RST on backlog overflow")
+		workload   = flag.String("workload", "poisson", "poisson | bursty (on/off MMPP at the same mean rate)")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
@@ -67,6 +70,10 @@ func main() {
 	spec, err := parsePolicy(*policyFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srlb-sim: %v\n", err)
+		os.Exit(2)
+	}
+	if *workload != "poisson" && *workload != "bursty" {
+		fmt.Fprintf(os.Stderr, "srlb-sim: unknown workload %q (want poisson or bursty)\n", *workload)
 		os.Exit(2)
 	}
 	cluster := srlb.Cluster{
@@ -85,6 +92,35 @@ func main() {
 		r = *rho * cal.Lambda0
 		fmt.Printf("lambda0 = %.1f q/s (theoretical %.1f); running at rho=%.2f -> %.1f q/s\n",
 			cal.Lambda0, cal.Theoretical, *rho, r)
+	}
+
+	if *workload == "bursty" {
+		// The bursty workload runs through the Scenario API; per-server
+		// completions come from its PoissonStats payload.
+		cell := srlb.Scenario{
+			Cluster:  cluster,
+			Policy:   spec,
+			Workload: srlb.BurstyWorkload{Lambda0: r, Queries: *queries},
+		}.Run(context.Background())
+		out := cell.Outcome
+		fmt.Printf("\npolicy %s, %s: %d queries at mean %.1f q/s\n",
+			spec.Name, cell.Workload, *queries, r)
+		fmt.Printf("  completed : %d (%.2f%%)\n", out.RT.Count(), 100*out.OKFraction())
+		fmt.Printf("  refused   : %d (RST on backlog overflow)\n", out.Refused)
+		fmt.Printf("  unfinished: %d\n", out.Unfinished)
+		if out.RT.Count() > 0 {
+			fmt.Printf("  response time: mean=%.3fs median=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+				out.RT.Mean().Seconds(), out.RT.Median().Seconds(),
+				out.RT.Quantile(0.9).Seconds(), out.RT.Quantile(0.99).Seconds(),
+				out.RT.Max().Seconds())
+		}
+		if stats, ok := out.Extra.(srlb.PoissonStats); ok {
+			fmt.Println("\nper-server completions:")
+			for i, done := range stats.ServerCompleted {
+				fmt.Printf("  server-%-4d completed=%d\n", i, done)
+			}
+		}
+		return
 	}
 
 	var tb *testbed.Testbed

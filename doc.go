@@ -4,8 +4,9 @@
 // substrate needed to reproduce the paper's evaluation: a wire-accurate
 // IPv6 Segment Routing data plane, a discrete-event datacenter testbed
 // with processor-sharing application servers, the paper's connection
-// acceptance policies, Poisson and synthetic-Wikipedia workloads, and a
-// harness that regenerates every figure of the paper.
+// acceptance policies, a family of workloads, and a composable experiment
+// API that regenerates every figure of the paper and scales to new
+// scenarios.
 //
 // # Service Hunting in one paragraph
 //
@@ -20,6 +21,38 @@
 // with no out-of-band signaling — which server owns the flow; all later
 // packets of the flow are steered with a one-segment SRH.
 //
+// # The experiment API: Scenario, Workload, Sweep, Runner
+//
+// Experiments compose from four values instead of per-figure entry points:
+//
+//   - Workload — an arrival process plus demand model: PoissonWorkload
+//     (§V), BurstyWorkload (flowlet-style on/off MMPP), WikiWorkload
+//     (the §VI synthetic Wikipedia day), TraceWorkload (recorded traces).
+//   - Scenario — one cell: cluster × policy × workload × load point.
+//   - Sweep — the cross product policies × load points × seeds over one
+//     workload.
+//   - Runner — context-aware worker-pool execution. Every random stream
+//     derives from the scenario value alone, so results are identical for
+//     1 worker and N, and a cancelled sweep returns promptly with the
+//     cells finished so far.
+//
+// A complete figure-2-style sweep:
+//
+//	cal := srlb.Calibrate(srlb.Calibration{Cluster: cluster})
+//	res, _ := srlb.Runner{}.RunSweep(ctx, srlb.Sweep{
+//		Cluster:  cluster,
+//		Policies: srlb.PaperPolicies(),
+//		Loads:    []float64{0.2, 0.61, 0.88},
+//		Seeds:    srlb.DeriveSeeds(1, 3),
+//		Workload: srlb.PoissonWorkload{Lambda0: cal.Lambda0},
+//	})
+//	cell := res.Cell(1, 2, 0) // SR4, ρ=0.88, first seed
+//
+// The paper's artifacts remain available as one-line wrappers (RunFig2,
+// RunFig3, RunFig4, RunFig5, RunWiki, RunHetero, …), each now a thin
+// Scenario/Sweep composition; cmd/srlb-bench regenerates all of them and
+// emits a machine-readable per-cell summary (BENCH_sweep.json).
+//
 // # Package map
 //
 // The public API in this root package fronts the implementation packages:
@@ -31,9 +64,9 @@
 //   - internal/des, internal/netsim — simulation kernel and LAN
 //   - internal/livenet — real-time goroutine runtime, same wire format
 //   - internal/workload: internal/wiki, internal/trace, internal/rng
-//   - internal/experiments — figures 2–8, λ0 calibration, ablations
+//   - internal/experiments — Scenario/Sweep/Runner, workloads, figures 2–8,
+//     λ0 calibration, ablations
 //
-// Use Quickstart for a two-line comparison run, or the Fig*/Wiki/Calibrate
-// wrappers to regenerate the paper's artifacts; cmd/srlb-bench does both
-// from the command line.
+// Use QuickComparison for a two-line comparison run, Sweep/Runner for
+// anything bigger; cmd/srlb-bench does both from the command line.
 package srlb

@@ -1,14 +1,17 @@
-// Quickstart: the two-minute tour of SRLB.
+// Quickstart: the two-minute tour of SRLB and its experiment API.
 //
-// Builds the paper's 12-server testbed twice — once with the random
-// baseline (RR) and once with Service Hunting under the SR4 policy — and
-// replays the same high-load Poisson workload (§V) against both, printing
-// the response-time comparison that is the paper's headline result.
+// Calibrates the paper's 12-server testbed once, then runs one parallel
+// Sweep — every paper policy against the same high-load Poisson workload
+// (§V) — and prints the response-time comparison that is the paper's
+// headline result. A second mini-sweep swaps in the bursty (flowlet-style
+// on/off) workload to show that scenarios compose: same cluster, same
+// policies, different arrival process, one line changed.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"srlb"
@@ -31,15 +34,44 @@ func main() {
 	fmt.Printf("calibrated lambda0 = %.1f queries/s (theoretical %.1f)\n\n",
 		cal.Lambda0, cal.Theoretical)
 
-	rate := rho * cal.Lambda0
-	for _, policy := range []srlb.Policy{srlb.RR(), srlb.SRStatic(4), srlb.SRDynamic()} {
-		run := srlb.RunPoisson(cluster, policy, rate, queries)
+	// One Sweep, every policy, run in parallel on all cores.
+	policies := []srlb.Policy{srlb.RR(), srlb.SRStatic(4), srlb.SRDynamic()}
+	res, err := srlb.Runner{}.RunSweep(context.Background(), srlb.Sweep{
+		Cluster:  cluster,
+		Policies: policies,
+		Loads:    []float64{rho},
+		Workload: srlb.PoissonWorkload{Lambda0: cal.Lambda0, Queries: queries},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Poisson workload (the paper's SS V):")
+	for pi, policy := range policies {
+		cell := res.Cell(pi, 0, 0)
 		fmt.Printf("%-7s mean=%.3fs median=%.3fs p90=%.3fs refused=%d\n",
-			policy.Name,
-			run.RT.Mean().Seconds(),
-			run.RT.Median().Seconds(),
-			run.RT.Quantile(0.9).Seconds(),
-			run.Refused)
+			policy.Name, cell.Outcome.RT.Mean().Seconds(),
+			cell.Outcome.RT.Median().Seconds(),
+			cell.Outcome.RT.Quantile(0.9).Seconds(), cell.Outcome.Refused)
+	}
+
+	// Scenarios compose: the same sweep over a bursty arrival process.
+	// Mean load 0.6 — but the ON bursts run at 3× that, so the cluster
+	// oscillates between slack and overload, which is exactly the regime
+	// where hunting beats blind spraying.
+	bursty, err := srlb.Runner{}.RunSweep(context.Background(), srlb.Sweep{
+		Cluster:  cluster,
+		Policies: policies,
+		Loads:    []float64{0.6},
+		Workload: srlb.BurstyWorkload{Lambda0: cal.Lambda0, Queries: queries},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nbursty (flowlet-style on/off) workload, mean load 0.6:")
+	for pi, policy := range policies {
+		rt := bursty.Cell(pi, 0, 0).Outcome.RT
+		fmt.Printf("%-7s mean=%.3fs p90=%.3fs\n",
+			policy.Name, rt.Mean().Seconds(), rt.Quantile(0.9).Seconds())
 	}
 
 	rrMean, srMean := srlb.QuickComparison(seed, servers, rho, queries)

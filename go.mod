@@ -1,0 +1,3 @@
+module srlb
+
+go 1.24

@@ -169,5 +169,23 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 	}
 }
 
+// RunUntilLimit executes at most limit events with timestamps ≤ deadline
+// and reports whether any such events remain. Only once none remain is the
+// clock advanced to the deadline, so interleaving RunUntilLimit calls with
+// other work (e.g. cancellation polls) is equivalent to one RunUntil.
+func (s *Simulator) RunUntilLimit(deadline time.Duration, limit int) bool {
+	for limit > 0 && len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+		limit--
+	}
+	if len(s.events) > 0 && s.events[0].at <= deadline {
+		return true
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return false
+}
+
 // RunFor executes events for a further d of virtual time.
 func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + d) }

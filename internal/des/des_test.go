@@ -152,6 +152,35 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestRunUntilLimit(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	if !s.RunUntilLimit(4*time.Second, 2) {
+		t.Fatal("events ≤ deadline should remain after 2 steps")
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if s.Now() == 4*time.Second {
+		t.Fatal("clock must not jump to deadline while events remain")
+	}
+	if s.RunUntilLimit(4*time.Second, 100) {
+		t.Fatal("no events ≤ deadline should remain")
+	}
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4", fired)
+	}
+	if s.Now() != 4*time.Second {
+		t.Fatalf("Now() = %v, want 4s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+}
+
 func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
 	s := New()
 	s.RunUntil(10 * time.Second)

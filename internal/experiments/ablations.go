@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -19,6 +20,8 @@ type AblationConfig struct {
 	Rho     float64
 	Lambda0 float64
 	Queries int
+	// Workers bounds each study's parallelism (0 = GOMAXPROCS).
+	Workers int
 	// Progress receives one line per finished run, if non-nil.
 	Progress func(string)
 }
@@ -72,20 +75,42 @@ func (cfg *AblationConfig) defaults() {
 	}
 }
 
-func (cfg *AblationConfig) runOne(study string, label string, spec PolicySpec, cluster ClusterConfig) AblationRow {
-	run := RunPoisson(cluster, spec, cfg.Rho*cfg.Lambda0, cfg.Queries, PoissonHooks{})
-	row := AblationRow{
-		Label:   label,
-		Mean:    run.RT.Mean(),
-		Median:  run.RT.Median(),
-		P95:     run.RT.Quantile(0.95),
-		Refused: run.Refused,
+// scenario builds one study cell: the shared Poisson workload at the
+// study load, under a (possibly per-cell) cluster and policy.
+func (cfg *AblationConfig) scenario(label string, spec PolicySpec, cluster ClusterConfig) Scenario {
+	return Scenario{
+		Name:     label,
+		Cluster:  cluster,
+		Policy:   spec,
+		Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+		Load:     cfg.Rho,
 	}
-	if cfg.Progress != nil {
-		cfg.Progress(fmt.Sprintf("[%s] %s: mean=%s refused=%d",
-			study, label, metrics.FormatDuration(row.Mean), row.Refused))
+}
+
+// runStudy executes a study's scenarios on the parallel Runner and folds
+// the cells into labeled rows (input order; cancelled cells omitted).
+func (cfg *AblationConfig) runStudy(ctx context.Context, study string, scenarios []Scenario) AblationResult {
+	res := AblationResult{Study: study, Rho: cfg.Rho}
+	progress := cfg.Progress
+	if progress != nil {
+		study := study
+		orig := progress
+		progress = func(s string) { orig(fmt.Sprintf("[%s] %s", study, s)) }
 	}
-	return row
+	cells, _ := Runner{Workers: cfg.Workers, Progress: progress}.Run(ctx, scenarios)
+	for _, cell := range cells {
+		if cell.Skipped() {
+			continue
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:   cell.Name,
+			Mean:    cell.Outcome.RT.Mean(),
+			Median:  cell.Outcome.RT.Median(),
+			P95:     cell.Outcome.RT.Quantile(0.95),
+			Refused: cell.Outcome.Refused,
+		})
+	}
+	return res
 }
 
 // RunCandidateAblation sweeps the SR list length k ∈ {1, 2, 3, 4} at the
@@ -93,17 +118,15 @@ func (cfg *AblationConfig) runOne(study string, label string, spec PolicySpec, c
 // from more than two servers" cited in §II-B.
 func RunCandidateAblation(cfg AblationConfig) AblationResult {
 	cfg.defaults()
-	res := AblationResult{Study: "SR candidates (power of k choices)", Rho: cfg.Rho}
+	var scenarios []Scenario
 	for _, k := range []int{1, 2, 3, 4} {
-		spec := SRcK(4, k)
-		label := fmt.Sprintf("k=%d", k)
+		spec, label := SRcK(4, k), fmt.Sprintf("k=%d", k)
 		if k == 1 {
-			spec = RR()
-			label = "k=1 (RR)"
+			spec, label = RR(), "k=1 (RR)"
 		}
-		res.Rows = append(res.Rows, cfg.runOne(res.Study, label, spec, cfg.Cluster))
+		scenarios = append(scenarios, cfg.scenario(label, spec, cfg.Cluster))
 	}
-	return res
+	return cfg.runStudy(context.Background(), "SR candidates (power of k choices)", scenarios)
 }
 
 // RunThresholdAblation sweeps the static threshold c at fixed load,
@@ -111,18 +134,18 @@ func RunCandidateAblation(cfg AblationConfig) AblationResult {
 // direct influence on the behavior of the global system").
 func RunThresholdAblation(cfg AblationConfig) AblationResult {
 	cfg.defaults()
-	res := AblationResult{Study: "static threshold c sweep", Rho: cfg.Rho}
+	var scenarios []Scenario
 	for _, c := range []int{1, 2, 4, 6, 8, 12, 16, 24, 32} {
-		res.Rows = append(res.Rows, cfg.runOne(res.Study, fmt.Sprintf("c=%d", c), SRc(c), cfg.Cluster))
+		scenarios = append(scenarios, cfg.scenario(fmt.Sprintf("c=%d", c), SRc(c), cfg.Cluster))
 	}
-	return res
+	return cfg.runStudy(context.Background(), "static threshold c sweep", scenarios)
 }
 
 // RunWindowAblation sweeps SRdyn's adaptation window (Algorithm 2 uses
 // 50).
 func RunWindowAblation(cfg AblationConfig) AblationResult {
 	cfg.defaults()
-	res := AblationResult{Study: "SRdyn window size", Rho: cfg.Rho}
+	var scenarios []Scenario
 	for _, win := range []int{10, 25, 50, 100, 200} {
 		win := win
 		spec := PolicySpec{
@@ -132,37 +155,38 @@ func RunWindowAblation(cfg AblationConfig) AblationResult {
 				return agent.NewDynamic(agent.DynamicConfig{WindowSize: win})
 			},
 		}
-		res.Rows = append(res.Rows, cfg.runOne(res.Study, spec.Name, spec, cfg.Cluster))
+		scenarios = append(scenarios, cfg.scenario(spec.Name, spec, cfg.Cluster))
 	}
-	return res
+	return cfg.runStudy(context.Background(), "SRdyn window size", scenarios)
 }
 
 // RunSchemeAblation compares uniform-random candidate selection against
 // the Maglev consistent-hash pairs (§II-B's two schemes).
 func RunSchemeAblation(cfg AblationConfig) AblationResult {
 	cfg.defaults()
-	res := AblationResult{Study: "selection scheme (random vs consistent hash)", Rho: cfg.Rho}
-	res.Rows = append(res.Rows, cfg.runOne(res.Study, "random2", SRc(4), cfg.Cluster))
 	ch := cfg.Cluster
 	ch.ConsistentHash = true
-	res.Rows = append(res.Rows, cfg.runOne(res.Study, "chash2", SRc(4), ch))
-	return res
+	scenarios := []Scenario{
+		cfg.scenario("random2", SRc(4), cfg.Cluster),
+		cfg.scenario("chash2", SRc(4), ch),
+	}
+	return cfg.runStudy(context.Background(), "selection scheme (random vs consistent hash)", scenarios)
 }
 
 // RunBacklogAblation varies the accept-queue depth and the
 // abort-on-overflow switch (§IV-C pins them to 128/on).
 func RunBacklogAblation(cfg AblationConfig) AblationResult {
 	cfg.defaults()
-	res := AblationResult{Study: "backlog depth and abort-on-overflow", Rho: cfg.Rho}
+	var scenarios []Scenario
 	for _, backlog := range []int{16, 64, 128, 512} {
 		cl := cfg.Cluster
 		cl.Server.Backlog = backlog
-		res.Rows = append(res.Rows, cfg.runOne(res.Study, fmt.Sprintf("backlog=%d", backlog), SRc(4), cl))
+		scenarios = append(scenarios, cfg.scenario(fmt.Sprintf("backlog=%d", backlog), SRc(4), cl))
 	}
 	cl := cfg.Cluster
 	cl.Server.AbortOnOverflow = false
-	res.Rows = append(res.Rows, cfg.runOne(res.Study, "backlog=128,silent-drop", SRc(4), cl))
-	return res
+	scenarios = append(scenarios, cfg.scenario("backlog=128,silent-drop", SRc(4), cl))
+	return cfg.runStudy(context.Background(), "backlog depth and abort-on-overflow", scenarios)
 }
 
 // RunAllAblations executes every study.

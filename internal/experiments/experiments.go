@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"net/netip"
@@ -87,6 +88,10 @@ type ClusterConfig struct {
 	// ConsistentHash switches candidate selection from uniform random to
 	// the Maglev table (ablation).
 	ConsistentHash bool
+	// ServerOverride, when non-nil, configures server i — heterogeneous
+	// clusters with mixed core counts or worker pools. A zero Config falls
+	// back to Server.
+	ServerOverride func(i int) appserver.Config
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -116,11 +121,12 @@ func (c ClusterConfig) TheoreticalCapacity() float64 {
 func (c ClusterConfig) testbedConfig(spec PolicySpec) testbed.Config {
 	c = c.withDefaults()
 	cfg := testbed.Config{
-		Seed:    c.Seed,
-		Servers: c.Servers,
-		Server:  c.Server,
-		Clients: c.Clients,
-		Policy:  func(int) agent.Policy { return spec.NewAgent() },
+		Seed:           c.Seed,
+		Servers:        c.Servers,
+		Server:         c.Server,
+		Clients:        c.Clients,
+		ServerOverride: c.ServerOverride,
+		Policy:         func(int) agent.Policy { return spec.NewAgent() },
 	}
 	k := spec.Candidates
 	if k <= 0 {
@@ -175,54 +181,15 @@ type PoissonHooks struct {
 	Testbed func(tb *testbed.Testbed, horizon time.Duration)
 }
 
-// RunPoisson executes the experiment and returns its outcome.
+// RunPoisson executes the experiment and returns its outcome. It is the
+// serial, hook-capable face of PoissonWorkload — both run the same engine
+// (runOpenLoop) from the same seed streams, so their results coincide.
 func RunPoisson(cluster ClusterConfig, spec PolicySpec, ratePerSec float64, queries int, hooks PoissonHooks) PoissonRun {
 	cluster = cluster.withDefaults()
-	tb := testbed.New(cluster.testbedConfig(spec))
-
-	out := PoissonRun{Spec: spec, RatePerSec: ratePerSec, Queries: queries,
-		RT: metrics.NewRecorder(queries)}
-	tb.Gen.DiscardResults = true
-	tb.Gen.OnResult = func(res testbed.Result) {
-		switch {
-		case res.OK:
-			out.RT.Add(res.RT)
-		case res.Refused:
-			out.Refused++
-		default:
-			out.Unfinished++
-		}
-		if hooks.OnResult != nil {
-			hooks.OnResult(res)
-		}
+	arrivals := rng.NewPoisson(rng.Split(cluster.Seed, 0xa221), ratePerSec, 0)
+	out, _ := runOpenLoop(context.Background(), cluster, spec, arrivals, ratePerSec, queries, 0, hooks)
+	return PoissonRun{
+		Spec: spec, RatePerSec: ratePerSec, Queries: queries,
+		RT: out.RT, Refused: out.Refused, Unfinished: out.Unfinished,
 	}
-
-	arrivals := rng.Split(cluster.Seed, 0xa221)
-	demands := rng.Split(cluster.Seed, 0xde3a)
-	p := rng.NewPoisson(arrivals, ratePerSec, 0)
-	horizon := time.Duration(float64(queries)/ratePerSec*float64(time.Second)) + 2*time.Minute
-	if hooks.Testbed != nil {
-		hooks.Testbed(tb, horizon)
-	}
-	// Stream arrivals one ahead instead of pre-scheduling all of them.
-	remaining := queries
-	var id uint64
-	var launchNext func()
-	launchNext = func() {
-		if remaining == 0 {
-			return
-		}
-		remaining--
-		q := testbed.Query{ID: id, Demand: rng.Exp(demands, MeanDemand)}
-		id++
-		tb.Gen.Launch(q)
-		if remaining > 0 {
-			next := p.Next()
-			tb.Sim.At(next, launchNext)
-		}
-	}
-	tb.Sim.At(p.Next(), launchNext)
-	tb.Sim.RunUntil(horizon)
-	out.Unfinished += tb.Gen.DrainPending()
-	return out
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,6 +22,8 @@ type Fig2Config struct {
 	Policies []PolicySpec
 	// Queries per (policy, ρ) point (default 20000, as in §V-B).
 	Queries int
+	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS).
+	Workers int
 	// Progress, if non-nil, receives one line per finished point.
 	Progress func(string)
 }
@@ -50,10 +53,18 @@ type Fig2Result struct {
 	Policies []PolicySpec
 	Rhos     []float64
 	Points   [][]Fig2Point
+	// Cells are the raw sweep cells (Scenarios() order), including
+	// per-cell wall-clock — cmd/srlb-bench's machine-readable artifact.
+	Cells []CellResult
 }
 
-// RunFig2 executes the sweep.
-func RunFig2(cfg Fig2Config) Fig2Result {
+// RunFig2 executes the figure as a Sweep: PaperPolicies × ρ points over
+// the Poisson workload, on a parallel Runner.
+func RunFig2(cfg Fig2Config) Fig2Result { return RunFig2Ctx(context.Background(), cfg) }
+
+// RunFig2Ctx is RunFig2 with cancellation; a cancelled run returns the
+// points finished so far (unfinished points are zero).
+func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if cfg.Lambda0 == 0 {
 		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
@@ -68,26 +79,30 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = PaperPolicies()
 	}
-	if cfg.Queries == 0 {
-		cfg.Queries = 20000
-	}
-	res := Fig2Result{Lambda0: cfg.Lambda0, Policies: cfg.Policies, Rhos: cfg.Rhos}
+
+	sweep, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Loads:    cfg.Rhos,
+		Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+	})
+
+	res := Fig2Result{Lambda0: cfg.Lambda0, Policies: cfg.Policies, Rhos: cfg.Rhos, Cells: sweep.Cells}
 	res.Points = make([][]Fig2Point, len(cfg.Policies))
-	for pi, spec := range cfg.Policies {
+	for pi := range cfg.Policies {
 		res.Points[pi] = make([]Fig2Point, len(cfg.Rhos))
 		for ri, rho := range cfg.Rhos {
-			run := RunPoisson(cfg.Cluster, spec, rho*cfg.Lambda0, cfg.Queries, PoissonHooks{})
+			cell := sweep.Cell(pi, ri, 0)
+			if cell.Skipped() {
+				continue
+			}
 			res.Points[pi][ri] = Fig2Point{
 				Rho:     rho,
-				Mean:    run.RT.Mean(),
-				Median:  run.RT.Median(),
-				P95:     run.RT.Quantile(0.95),
-				OKFrac:  run.OKFraction(),
-				Refused: run.Refused,
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(fmt.Sprintf("%s rho=%.2f mean=%s ok=%.3f",
-					spec.Name, rho, metrics.FormatDuration(run.RT.Mean()), run.OKFraction()))
+				Mean:    cell.Outcome.RT.Mean(),
+				Median:  cell.Outcome.RT.Median(),
+				P95:     cell.Outcome.RT.Quantile(0.95),
+				OKFrac:  cell.Outcome.OKFraction(),
+				Refused: cell.Outcome.Refused,
 			}
 		}
 	}

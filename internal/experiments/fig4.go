@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"srlb/internal/metrics"
+	"srlb/internal/rng"
 	"srlb/internal/testbed"
 )
 
@@ -25,7 +27,9 @@ type Fig4Config struct {
 	// SampleEvery sets the load-sampling period (default 100ms).
 	SampleEvery time.Duration
 	// EWMATau is the smoothing constant (default 1s = the paper's α).
-	EWMATau  time.Duration
+	EWMATau time.Duration
+	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS).
+	Workers  int
 	Progress func(string)
 }
 
@@ -49,8 +53,63 @@ type Fig4Result struct {
 	Series  []Fig4Series
 }
 
-// RunFig4 executes the experiment.
-func RunFig4(cfg Fig4Config) Fig4Result {
+// fig4Workload is the Poisson workload instrumented with periodic
+// busy-worker sampling; the smoothed timeline rides in Extra. Each Run
+// builds its own sampling state, so cells are safe to run concurrently.
+type fig4Workload struct {
+	lambda0     float64
+	queries     int
+	sampleEvery time.Duration
+	tau         time.Duration
+}
+
+// Label implements Workload.
+func (w fig4Workload) Label() string {
+	return fmt.Sprintf("poisson+load-sampling(%dq)", w.queries)
+}
+
+// Run implements Workload.
+func (w fig4Workload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error) {
+	var samples []Fig4Sample
+	meanE := metrics.NewEWMA(w.tau)
+	fairE := metrics.NewEWMA(w.tau)
+	hooks := PoissonHooks{
+		Testbed: func(tb *testbed.Testbed, horizon time.Duration) {
+			tb.SampleLoads(w.sampleEvery, horizon, func(now time.Duration, busy []int) {
+				xs := make([]float64, len(busy))
+				var sum float64
+				for i, b := range busy {
+					xs[i] = float64(b)
+					sum += xs[i]
+				}
+				samples = append(samples, Fig4Sample{
+					At:       now,
+					MeanBusy: meanE.Update(now, sum/float64(len(busy))),
+					Fairness: fairE.Update(now, metrics.Fairness(xs)),
+				})
+			})
+		},
+	}
+	rate := load * w.lambda0
+	arrivals := rng.NewPoisson(rng.Split(cluster.Seed, 0xa221), rate, 0)
+	out, err := runOpenLoop(ctx, cluster, spec, arrivals, rate, w.queries, 0, hooks)
+	// Trim trailing idle samples (after the last query completed the
+	// cluster sits empty until the horizon guard).
+	last := len(samples)
+	for last > 0 && samples[last-1].MeanBusy < 1e-9 {
+		last--
+	}
+	out.Extra = samples[:last]
+	return out, err
+}
+
+// RunFig4 executes the experiment: a one-load-point Sweep of the sampled
+// Poisson workload over {RR, SR4}, run in parallel.
+func RunFig4(cfg Fig4Config) Fig4Result { return RunFig4Ctx(context.Background(), cfg) }
+
+// RunFig4Ctx is RunFig4 with cancellation; cancelled cells yield empty
+// series.
+func RunFig4Ctx(ctx context.Context, cfg Fig4Config) Fig4Result {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if cfg.Rho == 0 {
 		cfg.Rho = 0.88
@@ -71,41 +130,26 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 	if cfg.EWMATau == 0 {
 		cfg.EWMATau = time.Second
 	}
+
+	sweep, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Loads:    []float64{cfg.Rho},
+		Workload: fig4Workload{
+			lambda0:     cfg.Lambda0,
+			queries:     cfg.Queries,
+			sampleEvery: cfg.SampleEvery,
+			tau:         cfg.EWMATau,
+		},
+	})
+
 	res := Fig4Result{Rho: cfg.Rho, Lambda0: cfg.Lambda0}
-	for _, spec := range cfg.Policies {
+	for pi, spec := range cfg.Policies {
 		series := Fig4Series{Spec: spec}
-		meanE := metrics.NewEWMA(cfg.EWMATau)
-		fairE := metrics.NewEWMA(cfg.EWMATau)
-		hooks := PoissonHooks{
-			Testbed: func(tb *testbed.Testbed, horizon time.Duration) {
-				tb.SampleLoads(cfg.SampleEvery, horizon, func(now time.Duration, busy []int) {
-					xs := make([]float64, len(busy))
-					var sum float64
-					for i, b := range busy {
-						xs[i] = float64(b)
-						sum += xs[i]
-					}
-					series.Samples = append(series.Samples, Fig4Sample{
-						At:       now,
-						MeanBusy: meanE.Update(now, sum/float64(len(busy))),
-						Fairness: fairE.Update(now, metrics.Fairness(xs)),
-					})
-				})
-			},
+		if samples, ok := sweep.Cell(pi, 0, 0).Outcome.Extra.([]Fig4Sample); ok {
+			series.Samples = samples
 		}
-		run := RunPoisson(cfg.Cluster, spec, cfg.Rho*cfg.Lambda0, cfg.Queries, hooks)
-		// Trim trailing idle samples (after the last query completed the
-		// cluster sits empty until the horizon guard).
-		last := len(series.Samples)
-		for last > 0 && series.Samples[last-1].MeanBusy < 1e-9 {
-			last--
-		}
-		series.Samples = series.Samples[:last]
 		res.Series = append(res.Series, series)
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%s: %d samples, mean RT %s",
-				spec.Name, len(series.Samples), metrics.FormatDuration(run.RT.Mean())))
-		}
 	}
 	return res
 }

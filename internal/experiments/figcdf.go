@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,9 @@ type CDFConfig struct {
 	Policies []PolicySpec
 	Queries  int
 	// Points bounds the emitted CDF resolution (default 200).
-	Points   int
+	Points int
+	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS).
+	Workers  int
 	Progress func(string)
 }
 
@@ -33,8 +36,13 @@ type CDFResult struct {
 	Points int
 }
 
-// RunCDF executes the experiment at cfg.Rho.
-func RunCDF(cfg CDFConfig) CDFResult {
+// RunCDF executes the experiment at cfg.Rho: a one-load-point Sweep over
+// the policy set, run in parallel.
+func RunCDF(cfg CDFConfig) CDFResult { return RunCDFCtx(context.Background(), cfg) }
+
+// RunCDFCtx is RunCDF with cancellation; cancelled cells yield empty
+// recorders.
+func RunCDFCtx(ctx context.Context, cfg CDFConfig) CDFResult {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if cfg.Lambda0 == 0 {
 		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
@@ -43,22 +51,25 @@ func RunCDF(cfg CDFConfig) CDFResult {
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = PaperPolicies()
 	}
-	if cfg.Queries == 0 {
-		cfg.Queries = 20000
-	}
 	if cfg.Points == 0 {
 		cfg.Points = 200
 	}
+
+	sweep, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Loads:    []float64{cfg.Rho},
+		Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+	})
+
 	res := CDFResult{Rho: cfg.Rho, Lambda0: cfg.Lambda0, Policies: cfg.Policies, Points: cfg.Points}
-	for _, spec := range cfg.Policies {
-		run := RunPoisson(cfg.Cluster, spec, cfg.Rho*cfg.Lambda0, cfg.Queries, PoissonHooks{})
-		res.RT = append(res.RT, run.RT)
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%s rho=%.2f median=%s q3=%s",
-				spec.Name, cfg.Rho,
-				metrics.FormatDuration(run.RT.Median()),
-				metrics.FormatDuration(run.RT.Quantile(0.75))))
+	for pi := range cfg.Policies {
+		cell := sweep.Cell(pi, 0, 0)
+		rt := cell.Outcome.RT
+		if rt == nil {
+			rt = metrics.NewRecorder(0)
 		}
+		res.RT = append(res.RT, rt)
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,7 +32,9 @@ type WikiConfig struct {
 	// Entries optionally replays a recorded trace instead of the
 	// synthetic stream (e.g. loaded via the trace package). When set,
 	// Day is only used for compression/labeling.
-	Entries  []trace.Entry
+	Entries []trace.Entry
+	// Workers bounds the per-policy parallelism (0 = GOMAXPROCS).
+	Workers  int
 	Progress func(string)
 }
 
@@ -60,8 +63,78 @@ type WikiResult struct {
 
 const classWiki = 1
 
-// RunWiki replays the day under every policy.
-func RunWiki(cfg WikiConfig) WikiResult {
+// WikiWorkload replays the synthetic Wikipedia day (§VI) — diurnal NHPP
+// arrivals, Zipf page popularity, per-replica memcached models — or a
+// recorded trace when Entries is set. The load point is ignored: intensity
+// lives in Day (Scale/Compression). Extra carries the full WikiRun.
+type WikiWorkload struct {
+	Day  wiki.Config
+	Cost wiki.CostModel
+	// BinWidth is the report bin in trace time (default 10min).
+	BinWidth time.Duration
+	// Entries, when non-empty, replaces the synthetic stream.
+	Entries []trace.Entry
+}
+
+// Label implements Workload.
+func (w WikiWorkload) Label() string {
+	if len(w.Entries) > 0 {
+		return fmt.Sprintf("wiki-trace(%d entries)", len(w.Entries))
+	}
+	return fmt.Sprintf("wiki-day(compress=%.0fx)", w.Day.Compression)
+}
+
+// Run implements Workload.
+func (w WikiWorkload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, _ float64) (CellOutcome, error) {
+	binWidth := w.BinWidth
+	if binWidth == 0 {
+		binWidth = 10 * time.Minute
+	}
+	run, err := runWikiReplay(ctx, cluster, spec, w.Day, w.Cost, binWidth, w.Entries, 1)
+	return CellOutcome{RT: run.WikiAll, Refused: run.Refused, Extra: run}, err
+}
+
+// TraceWorkload replays a recorded access trace (see cmd/srlb-trace and
+// the trace package). Demands are derived per server from the URL through
+// the Wikipedia replica model, as in §VI. The load point is a replay
+// speed-up: arrival times are divided by it (load 2 replays twice as
+// fast; load 1 replays in recorded time). Extra carries the WikiRun.
+type TraceWorkload struct {
+	Entries []trace.Entry
+	// Cost is the per-replica service-cost model (zero value = defaults).
+	Cost wiki.CostModel
+	// BinWidth is the report bin in trace time (default 10min).
+	BinWidth time.Duration
+}
+
+// Label implements Workload.
+func (w TraceWorkload) Label() string {
+	return fmt.Sprintf("trace(%d entries)", len(w.Entries))
+}
+
+// Run implements Workload.
+func (w TraceWorkload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error) {
+	if load <= 0 {
+		load = 1
+	}
+	binWidth := w.BinWidth
+	if binWidth == 0 {
+		binWidth = 10 * time.Minute
+	}
+	// The zero-value day keeps the replica cache model (catalog size, cost
+	// scaling) independent of the replay speed — speed only rescales
+	// arrival times and report bins, so load points stay comparable.
+	run, err := runWikiReplay(ctx, cluster, spec, wiki.Config{}, w.Cost, binWidth, w.Entries, load)
+	return CellOutcome{RT: run.WikiAll, Refused: run.Refused, Extra: run}, err
+}
+
+// RunWiki replays the day under every policy: a Sweep of the wiki workload
+// over the policy set, one parallel cell per policy.
+func RunWiki(cfg WikiConfig) WikiResult { return RunWikiCtx(context.Background(), cfg) }
+
+// RunWikiCtx is RunWiki with cancellation; cancelled runs are omitted from
+// the result.
+func RunWikiCtx(ctx context.Context, cfg WikiConfig) WikiResult {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = []PolicySpec{RR(), SRc(4)}
@@ -69,42 +142,54 @@ func RunWiki(cfg WikiConfig) WikiResult {
 	if cfg.BinWidth == 0 {
 		cfg.BinWidth = 10 * time.Minute
 	}
+
+	sweep, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Workload: WikiWorkload{Day: cfg.Day, Cost: cfg.Cost, BinWidth: cfg.BinWidth, Entries: cfg.Entries},
+	})
+
 	res := WikiResult{Day: cfg.Day, BinWidth: cfg.BinWidth}
-	for _, spec := range cfg.Policies {
-		res.Runs = append(res.Runs, runWikiOne(cfg, spec))
-		if cfg.Progress != nil {
-			run := res.Runs[len(res.Runs)-1]
-			cfg.Progress(fmt.Sprintf("%s: %d wiki pages, median=%s q3=%s refused=%d",
-				spec.Name, run.WikiAll.Count(),
-				metrics.FormatDuration(run.WikiAll.Median()),
-				metrics.FormatDuration(run.WikiAll.Quantile(0.75)),
-				run.Refused))
+	for pi := range cfg.Policies {
+		if run, ok := sweep.Cell(pi, 0, 0).Outcome.Extra.(WikiRun); ok {
+			res.Runs = append(res.Runs, run)
 		}
 	}
 	return res
 }
 
-func runWikiOne(cfg WikiConfig, spec PolicySpec) WikiRun {
-	tbCfg := cfg.Cluster.testbedConfig(spec)
+// runWikiReplay is the §VI replay engine shared by WikiWorkload and
+// TraceWorkload. speed scales recorded-entry arrival times (synthetic-day
+// speed lives in day.Compression).
+func runWikiReplay(ctx context.Context, cluster ClusterConfig, spec PolicySpec, day wiki.Config, cost wiki.CostModel, binWidth time.Duration, entries []trace.Entry, speed float64) (WikiRun, error) {
+	cluster = cluster.withDefaults()
+	tbCfg := cluster.testbedConfig(spec)
 	// The replicas compute demand from the URL and their cache state.
 	// Caches start prewarmed with the popular head (the paper's replicas
 	// are long-running MediaWiki installations, not cold starts) and are
 	// scaled to the day's page catalog so hit rates survive compression.
-	replicas := make([]*wiki.Replica, cfg.Cluster.withDefaults().Servers)
-	day := cfg.Day
-	model := cfg.Cost.ScaledTo(day.CatalogPages())
+	replicas := make([]*wiki.Replica, cluster.Servers)
+	model := cost.ScaledTo(day.CatalogPages())
 	model.Prewarm = true
 	tbCfg.Demand = func(i int) vrouter.DemandFn {
-		rep := wiki.NewReplica(cfg.Cluster.Seed+uint64(i)*7919, model)
+		rep := wiki.NewReplica(cluster.Seed+uint64(i)*7919, model)
 		replicas[i] = rep
 		return rep.Demand
 	}
 	tb := testbed.New(tbCfg)
 
 	virtualHorizon := day.VirtualHorizon()
-	// Bin width in virtual time (compression shrinks the clock).
+	if n := len(entries); n > 0 {
+		// A recorded trace defines its own horizon.
+		virtualHorizon = time.Duration(float64(entries[n-1].At) / speed)
+	}
+	// Bin width in virtual time: compression shrinks the synthetic clock,
+	// and recorded entries are additionally rescaled by speed.
 	comp := day.RealTime(time.Second).Seconds() // = Compression factor
-	virtualBin := time.Duration(float64(cfg.BinWidth) / comp)
+	if len(entries) > 0 {
+		comp *= speed
+	}
+	virtualBin := time.Duration(float64(binWidth) / comp)
 
 	run := WikiRun{
 		Spec:      spec,
@@ -133,21 +218,22 @@ func runWikiOne(cfg WikiConfig, spec PolicySpec) WikiRun {
 		class := uint8(0)
 		if isWiki {
 			class = classWiki
-			run.RateBins.Add(e.At, 0)
+			run.RateBins.Add(tb.Sim.Now(), 0)
 		}
 		tb.Gen.Launch(testbed.Query{ID: id, URL: e.URL, Class: class})
 		id++
 	}
-	if len(cfg.Entries) > 0 {
+	if len(entries) > 0 {
+		at := func(i int) time.Duration { return time.Duration(float64(entries[i].At) / speed) }
 		var step func(i int)
 		step = func(i int) {
-			e := cfg.Entries[i]
+			e := entries[i]
 			launch(e, e.IsWikiPage())
-			if i+1 < len(cfg.Entries) {
-				tb.Sim.At(cfg.Entries[i+1].At, func() { step(i + 1) })
+			if i+1 < len(entries) {
+				tb.Sim.At(at(i+1), func() { step(i + 1) })
 			}
 		}
-		tb.Sim.At(cfg.Entries[0].At, func() { step(0) })
+		tb.Sim.At(at(0), func() { step(0) })
 	} else {
 		stream := wiki.NewStream(day)
 		var step func(e trace.Entry, isWiki bool)
@@ -162,12 +248,12 @@ func runWikiOne(cfg WikiConfig, spec PolicySpec) WikiRun {
 		}
 		schedule()
 	}
-	tb.Sim.RunUntil(virtualHorizon + 2*time.Minute)
+	err := runSim(ctx, tb.Sim, virtualHorizon+2*time.Minute)
 	run.Refused += tb.Gen.DrainPending()
 	for _, rep := range replicas {
 		if rep != nil {
 			run.HitRates = append(run.HitRates, rep.HitRate())
 		}
 	}
-	return run
+	return run, err
 }

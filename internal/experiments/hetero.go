@@ -1,14 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"srlb/internal/appserver"
 	"srlb/internal/metrics"
-	"srlb/internal/rng"
-	"srlb/internal/testbed"
 )
 
 // HeteroConfig studies a heterogeneous cluster — a natural extension the
@@ -24,8 +23,10 @@ type HeteroConfig struct {
 	SlowFraction float64
 	SlowCores    float64
 	// Rho is computed against the HETEROGENEOUS capacity (default 0.85).
-	Rho      float64
-	Queries  int
+	Rho     float64
+	Queries int
+	// Workers bounds the per-policy parallelism (0 = GOMAXPROCS).
+	Workers  int
 	Progress func(string)
 }
 
@@ -49,8 +50,13 @@ type HeteroResult struct {
 	Rows          []HeteroRow
 }
 
-// RunHetero executes RR, SR4 and SRdyn on the mixed cluster.
-func RunHetero(cfg HeteroConfig) HeteroResult {
+// RunHetero executes RR, SR4 and SRdyn on the mixed cluster — a Sweep over
+// the three policies whose cluster carries a ServerOverride, with the
+// slow-box completion share read from the workload's PoissonStats.
+func RunHetero(cfg HeteroConfig) HeteroResult { return RunHeteroCtx(context.Background(), cfg) }
+
+// RunHeteroCtx is RunHetero with cancellation; cancelled rows are omitted.
+func RunHeteroCtx(ctx context.Context, cfg HeteroConfig) HeteroResult {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if cfg.SlowFraction == 0 {
 		cfg.SlowFraction = 1.0 / 3
@@ -69,10 +75,16 @@ func RunHetero(cfg HeteroConfig) HeteroResult {
 	fastCores := cfg.Cluster.Server.Cores
 	totalCores := float64(servers-slow)*fastCores + float64(slow)*cfg.SlowCores
 	capacity := totalCores / MeanDemand.Seconds()
-	rate := cfg.Rho * capacity
 
 	slowCfg := cfg.Cluster.Server
 	slowCfg.Cores = cfg.SlowCores
+	cluster := cfg.Cluster
+	cluster.ServerOverride = func(i int) appserver.Config {
+		if i < slow {
+			return slowCfg
+		}
+		return appserver.Config{}
+	}
 
 	res := HeteroResult{
 		Rho:           cfg.Rho,
@@ -80,56 +92,38 @@ func RunHetero(cfg HeteroConfig) HeteroResult {
 		TotalServers:  servers,
 		CapacityShare: float64(slow) * cfg.SlowCores / totalCores,
 	}
-	for _, spec := range []PolicySpec{RR(), SRc(4), SRdyn()} {
-		tbCfg := cfg.Cluster.testbedConfig(spec)
-		tbCfg.ServerOverride = func(i int) appserver.Config {
-			if i < slow {
-				return slowCfg
+	policies := []PolicySpec{RR(), SRc(4), SRdyn()}
+	sweep, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
+		Cluster:  cluster,
+		Policies: policies,
+		Loads:    []float64{cfg.Rho},
+		Workload: PoissonWorkload{Lambda0: capacity, Queries: cfg.Queries},
+	})
+	for pi, spec := range policies {
+		cell := sweep.Cell(pi, 0, 0)
+		if cell.Skipped() {
+			continue
+		}
+		row := HeteroRow{
+			Policy:  spec.Name,
+			Mean:    cell.Outcome.RT.Mean(),
+			Median:  cell.Outcome.RT.Median(),
+			P95:     cell.Outcome.RT.Quantile(0.95),
+			Refused: cell.Outcome.Refused,
+		}
+		if stats, ok := cell.Outcome.Extra.(PoissonStats); ok {
+			var slowDone, allDone uint64
+			for i, done := range stats.ServerCompleted {
+				allDone += done
+				if i < slow {
+					slowDone += done
+				}
 			}
-			return appserver.Config{}
-		}
-		tb := testbed.New(tbCfg)
-		rt := metrics.NewRecorder(cfg.Queries)
-		row := HeteroRow{Policy: spec.Name}
-		tb.Gen.DiscardResults = true
-		tb.Gen.OnResult = func(r testbed.Result) {
-			if r.OK {
-				rt.Add(r.RT)
-			} else if r.Refused {
-				row.Refused++
-			}
-		}
-		arrivals := rng.Split(cfg.Cluster.Seed, 0xa221)
-		demands := rng.Split(cfg.Cluster.Seed, 0xde3a)
-		p := rng.NewPoisson(arrivals, rate, 0)
-		for i := 0; i < cfg.Queries; i++ {
-			at := p.Next()
-			q := testbed.Query{ID: uint64(i), Demand: rng.Exp(demands, MeanDemand)}
-			tb.Sim.At(at, func() { tb.Gen.Launch(q) })
-		}
-		horizon := time.Duration(float64(cfg.Queries)/rate*float64(time.Second)) + 2*time.Minute
-		tb.Sim.RunUntil(horizon)
-		tb.Gen.DrainPending()
-
-		var slowDone, allDone uint64
-		for i, s := range tb.Servers {
-			done := s.Stats().Completed
-			allDone += done
-			if i < slow {
-				slowDone += done
+			if allDone > 0 {
+				row.SlowShare = float64(slowDone) / float64(allDone)
 			}
 		}
-		if allDone > 0 {
-			row.SlowShare = float64(slowDone) / float64(allDone)
-		}
-		row.Mean = rt.Mean()
-		row.Median = rt.Median()
-		row.P95 = rt.Quantile(0.95)
 		res.Rows = append(res.Rows, row)
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%s: mean=%s slow-share=%.3f (capacity share %.3f)",
-				spec.Name, metrics.FormatDuration(row.Mean), row.SlowShare, res.CapacityShare))
-		}
 	}
 	return res
 }

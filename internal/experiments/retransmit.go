@@ -1,13 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"srlb/internal/metrics"
-	"srlb/internal/rng"
-	"srlb/internal/testbed"
 )
 
 // RetransmitConfig studies the paper's §IV-C design decision: with
@@ -50,8 +49,16 @@ type RetransmitResult struct {
 	Rows []RetransmitRow
 }
 
-// RunRetransmitAblation executes both modes under identical arrivals.
+// RunRetransmitAblation executes both modes under identical arrivals —
+// two explicit Scenarios (same policy and workload shape, RST vs
+// silent-drop clusters) handed to the parallel Runner.
 func RunRetransmitAblation(cfg RetransmitConfig) RetransmitResult {
+	return RunRetransmitAblationCtx(context.Background(), cfg)
+}
+
+// RunRetransmitAblationCtx is RunRetransmitAblation with cancellation;
+// cancelled rows are omitted.
+func RunRetransmitAblationCtx(ctx context.Context, cfg RetransmitConfig) RetransmitResult {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if cfg.Rho == 0 {
 		cfg.Rho = 1.05
@@ -66,62 +73,49 @@ func RunRetransmitAblation(cfg RetransmitConfig) RetransmitResult {
 		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
 		cfg.Lambda0 = cal.Lambda0
 	}
+
+	silentCluster := cfg.Cluster
+	silentCluster.Server.AbortOnOverflow = false
+	scenarios := []Scenario{
+		{
+			Name:     "abort-on-overflow (RST)",
+			Cluster:  cfg.Cluster,
+			Policy:   SRc(4),
+			Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+			Load:     cfg.Rho,
+		},
+		{
+			Name:     "silent-drop + SYN retransmit",
+			Cluster:  silentCluster,
+			Policy:   SRc(4),
+			Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries, RetransmitRTO: cfg.RTO},
+			Load:     cfg.Rho,
+		},
+	}
+	cells, _ := Runner{Progress: cfg.Progress}.Run(ctx, scenarios)
+
 	res := RetransmitResult{Rho: cfg.Rho}
-	for _, silent := range []bool{false, true} {
-		mode := "abort-on-overflow (RST)"
-		cluster := cfg.Cluster
-		if silent {
-			mode = "silent-drop + SYN retransmit"
-			cluster.Server.AbortOnOverflow = false
+	for _, cell := range cells {
+		if cell.Skipped() {
+			continue
 		}
-		row := runRetransmitOne(cfg, cluster, silent)
-		row.Mode = mode
+		rt := cell.Outcome.RT
+		row := RetransmitRow{
+			Mode:      cell.Name,
+			Median:    rt.Median(),
+			P95:       rt.Quantile(0.95),
+			P99:       rt.Quantile(0.99),
+			Max:       rt.Max(),
+			Completed: rt.Count(),
+			Refused:   cell.Outcome.Refused,
+			TimedOut:  cell.Outcome.Unfinished,
+		}
+		if stats, ok := cell.Outcome.Extra.(PoissonStats); ok {
+			row.Retransmits = stats.Retransmits
+		}
 		res.Rows = append(res.Rows, row)
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%s: p99=%s refused=%d timeouts=%d retx=%d",
-				mode, metrics.FormatDuration(row.P99), row.Refused, row.TimedOut, row.Retransmits))
-		}
 	}
 	return res
-}
-
-func runRetransmitOne(cfg RetransmitConfig, cluster ClusterConfig, silent bool) RetransmitRow {
-	tb := testbed.New(cluster.testbedConfig(SRc(4)))
-	if silent {
-		tb.Gen.RetransmitRTO = cfg.RTO
-	}
-	rt := metrics.NewRecorder(cfg.Queries)
-	var row RetransmitRow
-	tb.Gen.DiscardResults = true
-	tb.Gen.OnResult = func(res testbed.Result) {
-		switch {
-		case res.OK:
-			rt.Add(res.RT)
-		case res.Refused:
-			row.Refused++
-		default:
-			row.TimedOut++
-		}
-	}
-	arrivals := rng.Split(cluster.Seed, 0xa221)
-	demands := rng.Split(cluster.Seed, 0xde3a)
-	rate := cfg.Rho * cfg.Lambda0
-	p := rng.NewPoisson(arrivals, rate, 0)
-	for i := 0; i < cfg.Queries; i++ {
-		at := p.Next()
-		q := testbed.Query{ID: uint64(i), Demand: rng.Exp(demands, MeanDemand)}
-		tb.Sim.At(at, func() { tb.Gen.Launch(q) })
-	}
-	horizon := time.Duration(float64(cfg.Queries)/rate*float64(time.Second)) + 5*time.Minute
-	tb.Sim.RunUntil(horizon)
-	row.TimedOut += tb.Gen.DrainPending()
-	row.Completed = rt.Count()
-	row.Median = rt.Median()
-	row.P95 = rt.Quantile(0.95)
-	row.P99 = rt.Quantile(0.99)
-	row.Max = rt.Max()
-	row.Retransmits = tb.Gen.Counts.Get("syn_retransmits")
-	return row
 }
 
 // WriteTSV renders the comparison.

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Scenario is one fully specified experiment cell: a cluster, a policy,
+// a workload, and the workload's load point. Scenarios are values — build
+// them directly, or let Sweep enumerate a cross product.
+type Scenario struct {
+	// Name labels the cell in progress lines and artifacts; empty derives
+	// "<policy> <workload> load=<load>".
+	Name     string
+	Cluster  ClusterConfig
+	Policy   PolicySpec
+	Workload Workload
+	// Load is the workload intensity (default 1).
+	Load float64
+	// Seed, when nonzero, overrides Cluster.Seed — the replication axis.
+	Seed uint64
+}
+
+func (sc Scenario) load() float64 {
+	if sc.Load == 0 {
+		return 1
+	}
+	return sc.Load
+}
+
+// seed returns the effective seed: the Seed override when set, else the
+// cluster's.
+func (sc Scenario) seed() uint64 {
+	if sc.Seed != 0 {
+		return sc.Seed
+	}
+	return sc.Cluster.Seed
+}
+
+func (sc Scenario) label() string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	return fmt.Sprintf("%s %s load=%.2f", sc.Policy.Name, sc.Workload.Label(), sc.load())
+}
+
+// Run executes the scenario on the calling goroutine. The outcome is a
+// pure function of the scenario value: every random stream is derived from
+// the effective seed, so any two runs — serial or inside a parallel sweep —
+// produce identical results.
+func (sc Scenario) Run(ctx context.Context) CellResult {
+	sc.Cluster.Seed = sc.seed()
+	res := CellResult{
+		Name:     sc.label(),
+		Policy:   sc.Policy.Name,
+		Workload: sc.Workload.Label(),
+		Load:     sc.load(),
+		Seed:     sc.Cluster.Seed,
+	}
+	start := time.Now()
+	res.Outcome, res.Err = sc.Workload.Run(ctx, sc.Cluster, sc.Policy, sc.load())
+	res.Wall = time.Since(start)
+	return res
+}
+
+// CellResult is the outcome of one scenario.
+type CellResult struct {
+	// Index is the scenario's position in the Runner's input.
+	Index int
+	// Name, Policy, Workload, Load, Seed identify the cell.
+	Name     string
+	Policy   string
+	Workload string
+	Load     float64
+	Seed     uint64
+	// Outcome is the workload's measurement (partial when Err != nil,
+	// zero when the cell was skipped after cancellation).
+	Outcome CellOutcome
+	// Wall is the host wall-clock cost of the cell. It is the only field
+	// that is not a deterministic function of the scenario.
+	Wall time.Duration
+	// Err is non-nil when the cell was cancelled before or during its run.
+	Err error
+}
+
+// Skipped reports whether the cell never ran (sweep cancelled first).
+func (c CellResult) Skipped() bool { return c.Err != nil && c.Outcome.RT == nil }

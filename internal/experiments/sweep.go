@@ -1,0 +1,87 @@
+package experiments
+
+// Sweep enumerates the cross product policies × loads × seeds over one
+// workload — "run policy set P over workload W on cluster C, swept over
+// load points, replicated over seeds" as a single value. Expand it with
+// Scenarios, or hand it to Runner.RunSweep.
+type Sweep struct {
+	Cluster ClusterConfig
+	// Policies defaults to PaperPolicies().
+	Policies []PolicySpec
+	// Loads are the workload intensities to sweep (default {1}).
+	Loads []float64
+	// Seeds is the replication axis (default {Cluster.Seed}).
+	Seeds []uint64
+	// Workload is required.
+	Workload Workload
+}
+
+func (s Sweep) withDefaults() Sweep {
+	if len(s.Policies) == 0 {
+		s.Policies = PaperPolicies()
+	}
+	if len(s.Loads) == 0 {
+		s.Loads = []float64{1}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{s.Cluster.Seed}
+	}
+	return s
+}
+
+// Size returns the number of cells in the cross product.
+func (s Sweep) Size() int {
+	s = s.withDefaults()
+	return len(s.Policies) * len(s.Loads) * len(s.Seeds)
+}
+
+// Scenarios expands the cross product in deterministic order:
+// policy-major, then load, then seed. The scenario at (pi, li, si) has
+// index (pi×len(Loads)+li)×len(Seeds)+si — SweepResult.Cell inverts this.
+func (s Sweep) Scenarios() []Scenario {
+	s = s.withDefaults()
+	out := make([]Scenario, 0, s.Size())
+	for _, spec := range s.Policies {
+		for _, load := range s.Loads {
+			for _, seed := range s.Seeds {
+				out = append(out, Scenario{
+					Cluster:  s.Cluster,
+					Policy:   spec,
+					Workload: s.Workload,
+					Load:     load,
+					Seed:     seed,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DeriveSeeds expands a base seed into n well-separated seeds for the
+// replication axis (SplitMix64 over the base).
+func DeriveSeeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	x := base
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		out[i] = z ^ (z >> 31)
+	}
+	return out
+}
+
+// SweepResult indexes the runner's flat cell slice by the sweep's axes.
+type SweepResult struct {
+	Policies []PolicySpec
+	Loads    []float64
+	Seeds    []uint64
+	// Cells holds one result per scenario, in Scenarios() order.
+	Cells []CellResult
+}
+
+// Cell returns the result at (policy pi, load li, seed si).
+func (r SweepResult) Cell(pi, li, si int) CellResult {
+	return r.Cells[(pi*len(r.Loads)+li)*len(r.Seeds)+si]
+}

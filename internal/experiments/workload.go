@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"srlb/internal/des"
+	"srlb/internal/metrics"
+	"srlb/internal/rng"
+	"srlb/internal/testbed"
+)
+
+// Workload is an arrival process plus a demand model, replayable against
+// any (cluster, policy) pair at a given load point. Implementations must
+// derive all randomness from the cluster seed so that a scenario's outcome
+// is a pure function of its inputs — this is what lets the Runner execute
+// cells in any order, on any number of workers, with identical results.
+type Workload interface {
+	// Label names the workload in progress lines and artifacts.
+	Label() string
+	// Run replays the workload against a freshly built testbed. load is
+	// the workload's intensity knob — the normalized rate ρ for the
+	// Poisson-family workloads, a replay speed-up for traces. Run returns
+	// ctx.Err() when cancelled mid-replay; the outcome then holds the
+	// partial measurement.
+	Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error)
+}
+
+// CellOutcome is the measurement a Workload produces for one cell.
+type CellOutcome struct {
+	// RT holds the response times of successful queries.
+	RT *metrics.Recorder
+	// Refused counts RST-refused connections; Unfinished counts queries
+	// still pending (or timed out client-side) at horizon end.
+	Refused    int
+	Unfinished int
+	// Extra carries workload-specific payloads: PoissonStats for the
+	// Poisson-family workloads, WikiRun for WikiWorkload, the sampled
+	// timeline for figure 4's workload.
+	Extra any
+}
+
+// OKFraction returns the completed fraction of all observed queries
+// (0 for a skipped cell, whose RT is nil).
+func (o CellOutcome) OKFraction() float64 {
+	if o.RT == nil {
+		return 0
+	}
+	total := o.RT.Count() + o.Refused + o.Unfinished
+	if total == 0 {
+		return 0
+	}
+	return float64(o.RT.Count()) / float64(total)
+}
+
+// PoissonStats is the Extra payload of PoissonWorkload and BurstyWorkload.
+type PoissonStats struct {
+	// ServerCompleted is the number of queries each server completed —
+	// the capacity-shedding evidence of the heterogeneous-cluster study.
+	ServerCompleted []uint64
+	// Retransmits and SYNTimeouts are nonzero only with RetransmitRTO set
+	// (the §IV-C silent-drop study).
+	Retransmits uint64
+	SYNTimeouts uint64
+}
+
+// PoissonWorkload is the paper's §V workload: open-loop Poisson arrivals
+// with Exp(MeanDemand) CPU demands. rate = load × Lambda0.
+type PoissonWorkload struct {
+	// Lambda0 converts the load point to an absolute rate in queries/sec
+	// (measure it with Calibrate; §V-A).
+	Lambda0 float64
+	// Queries per cell (default 20000, the paper's batch).
+	Queries int
+	// RetransmitRTO, when nonzero, enables client SYN retransmission —
+	// pair with Cluster.Server.AbortOnOverflow=false for the §IV-C study.
+	RetransmitRTO time.Duration
+}
+
+// Label implements Workload.
+func (w PoissonWorkload) Label() string {
+	return fmt.Sprintf("poisson(%dq)", w.queries())
+}
+
+func (w PoissonWorkload) queries() int {
+	if w.Queries == 0 {
+		return 20000
+	}
+	return w.Queries
+}
+
+// Run implements Workload.
+func (w PoissonWorkload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error) {
+	rate := load * w.Lambda0
+	arrivals := rng.NewPoisson(rng.Split(cluster.Seed, 0xa221), rate, 0)
+	return runOpenLoop(ctx, cluster, spec, arrivals, rate, w.queries(), w.RetransmitRTO, PoissonHooks{})
+}
+
+// BurstyWorkload is a two-state Markov-modulated Poisson process — a
+// flowlet-style on/off arrival stream in the spirit of the host-driven
+// flowlet-balancing literature: bursts at several times the long-run rate
+// alternate with quiet periods, while the mean stays load × Lambda0. It
+// stresses exactly what Service Hunting is for: instantaneous imbalance
+// that a static random spray cannot see.
+type BurstyWorkload struct {
+	Lambda0 float64
+	Queries int
+	// MeanOn and MeanOff are the mean burst and quiet durations
+	// (exponentially distributed; defaults 2s and 6s).
+	MeanOn, MeanOff time.Duration
+	// PeakFactor is the ON-state rate relative to the long-run mean
+	// (default 3; capped at (MeanOn+MeanOff)/MeanOn, where the OFF state
+	// goes fully quiet).
+	PeakFactor float64
+}
+
+func (w BurstyWorkload) withDefaults() BurstyWorkload {
+	if w.Queries == 0 {
+		w.Queries = 20000
+	}
+	if w.MeanOn == 0 {
+		w.MeanOn = 2 * time.Second
+	}
+	if w.MeanOff == 0 {
+		w.MeanOff = 6 * time.Second
+	}
+	if w.PeakFactor == 0 {
+		w.PeakFactor = 3
+	}
+	onFrac := w.MeanOn.Seconds() / (w.MeanOn + w.MeanOff).Seconds()
+	if w.PeakFactor > 1/onFrac {
+		w.PeakFactor = 1 / onFrac
+	}
+	if w.PeakFactor < 1 {
+		w.PeakFactor = 1
+	}
+	return w
+}
+
+// Label implements Workload.
+func (w BurstyWorkload) Label() string {
+	w = w.withDefaults()
+	return fmt.Sprintf("bursty(%dq,peak=%.1fx)", w.Queries, w.PeakFactor)
+}
+
+// Run implements Workload.
+func (w BurstyWorkload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error) {
+	w = w.withDefaults()
+	mean := load * w.Lambda0
+	onFrac := w.MeanOn.Seconds() / (w.MeanOn + w.MeanOff).Seconds()
+	rateOn := w.PeakFactor * mean
+	rateOff := (mean - onFrac*rateOn) / (1 - onFrac)
+	if rateOff < 0 {
+		rateOff = 0
+	}
+	arrivals := &mmpp{
+		r:       rng.Split(cluster.Seed, 0xb124),
+		rateOn:  rateOn,
+		rateOff: rateOff,
+		meanOn:  w.MeanOn,
+		meanOff: w.MeanOff,
+	}
+	// Start in the OFF state with a fresh dwell time.
+	arrivals.switchAt = rng.Exp(arrivals.r, arrivals.meanOff)
+	return runOpenLoop(ctx, cluster, spec, arrivals, mean, w.Queries, 0, PoissonHooks{})
+}
+
+// mmpp generates arrivals of a two-state Markov-modulated Poisson process.
+// Exponential holding times make the per-state restart at each boundary
+// exact (memorylessness), so no thinning is needed.
+type mmpp struct {
+	r               *rand.Rand
+	rateOn, rateOff float64
+	meanOn, meanOff time.Duration
+	t, switchAt     time.Duration
+	on              bool
+}
+
+func (p *mmpp) Next() time.Duration {
+	for {
+		rate := p.rateOff
+		if p.on {
+			rate = p.rateOn
+		}
+		if rate > 0 {
+			dt := rng.ExpRate(p.r, rate)
+			if p.t+dt <= p.switchAt {
+				p.t += dt
+				return p.t
+			}
+		}
+		p.t = p.switchAt
+		p.on = !p.on
+		dwell := p.meanOff
+		if p.on {
+			dwell = p.meanOn
+		}
+		p.switchAt = p.t + rng.Exp(p.r, dwell)
+	}
+}
+
+// arrivalStream yields successive absolute arrival times of an open-loop
+// arrival process.
+type arrivalStream interface {
+	Next() time.Duration
+}
+
+// runOpenLoop replays `queries` open-loop arrivals with Exp(MeanDemand)
+// demands against a fresh testbed — the engine behind PoissonWorkload and
+// BurstyWorkload, and the ctx-aware core of RunPoisson. meanRate sizes the
+// horizon guard; rto enables client SYN retransmission.
+func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, arrivals arrivalStream, meanRate float64, queries int, rto time.Duration, hooks PoissonHooks) (CellOutcome, error) {
+	cluster = cluster.withDefaults()
+	tb := testbed.New(cluster.testbedConfig(spec))
+	tb.Gen.RetransmitRTO = rto
+
+	out := CellOutcome{RT: metrics.NewRecorder(queries)}
+	tb.Gen.DiscardResults = true
+	tb.Gen.OnResult = func(res testbed.Result) {
+		switch {
+		case res.OK:
+			out.RT.Add(res.RT)
+		case res.Refused:
+			out.Refused++
+		default:
+			out.Unfinished++
+		}
+		if hooks.OnResult != nil {
+			hooks.OnResult(res)
+		}
+	}
+
+	demands := rng.Split(cluster.Seed, 0xde3a)
+	horizon := time.Duration(float64(queries)/meanRate*float64(time.Second)) + 2*time.Minute
+	if rto > 0 {
+		horizon += 3 * time.Minute // leave room for the backoff ladder
+	}
+	if hooks.Testbed != nil {
+		hooks.Testbed(tb, horizon)
+	}
+	// Stream arrivals one ahead instead of pre-scheduling all of them.
+	remaining := queries
+	var id uint64
+	var launchNext func()
+	launchNext = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		q := testbed.Query{ID: id, Demand: rng.Exp(demands, MeanDemand)}
+		id++
+		tb.Gen.Launch(q)
+		if remaining > 0 {
+			next := arrivals.Next()
+			tb.Sim.At(next, launchNext)
+		}
+	}
+	tb.Sim.At(arrivals.Next(), launchNext)
+	err := runSim(ctx, tb.Sim, horizon)
+	out.Unfinished += tb.Gen.DrainPending()
+
+	stats := PoissonStats{
+		ServerCompleted: make([]uint64, len(tb.Servers)),
+		Retransmits:     tb.Gen.Counts.Get("syn_retransmits"),
+		SYNTimeouts:     tb.Gen.Counts.Get("syn_timeout"),
+	}
+	for i, s := range tb.Servers {
+		stats.ServerCompleted[i] = s.Stats().Completed
+	}
+	out.Extra = stats
+	return out, err
+}
+
+// simBatch is how many DES events run between cancellation polls. Large
+// enough that ctx.Err() is noise in the profile, small enough that a
+// cancelled 20000-query cell aborts within a few milliseconds.
+const simBatch = 8192
+
+// runSim drives the simulator to the horizon, polling ctx between event
+// batches so a cancelled sweep returns promptly even mid-cell.
+func runSim(ctx context.Context, sim *des.Simulator, horizon time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !sim.RunUntilLimit(horizon, simBatch) {
+			return nil
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package srlb
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -20,6 +21,27 @@ type (
 	Cluster = experiments.ClusterConfig
 	// PoissonRun is the outcome of one Poisson-workload run.
 	PoissonRun = experiments.PoissonRun
+
+	// The composable experiment API: a Scenario is one cell (cluster ×
+	// policy × workload × load point), a Sweep is the cross product
+	// policies × loads × seeds over one workload, and a Runner executes
+	// either on a worker pool with deterministic results.
+	Scenario    = experiments.Scenario
+	Sweep       = experiments.Sweep
+	Runner      = experiments.Runner
+	CellResult  = experiments.CellResult
+	CellOutcome = experiments.CellOutcome
+	SweepResult = experiments.SweepResult
+
+	// Workload is the arrival-process-plus-demand-model interface every
+	// scenario replays; these are the built-in implementations.
+	Workload        = experiments.Workload
+	PoissonWorkload = experiments.PoissonWorkload
+	BurstyWorkload  = experiments.BurstyWorkload
+	TraceWorkload   = experiments.TraceWorkload
+	WikiWorkload    = experiments.WikiWorkload
+	// PoissonStats is the Extra payload of the Poisson-family workloads.
+	PoissonStats = experiments.PoissonStats
 
 	// Calibration measures λ0, the §V-A drop-onset rate.
 	Calibration       = experiments.CalibrationConfig
@@ -71,6 +93,10 @@ var (
 // MeanDemand is the paper's Poisson-workload CPU cost mean (100 ms).
 const MeanDemand = experiments.MeanDemand
 
+// DeriveSeeds expands a base seed into n well-separated seeds for a
+// Sweep's replication axis.
+func DeriveSeeds(base uint64, n int) []uint64 { return experiments.DeriveSeeds(base, n) }
+
 // RunPoisson replays §V's workload: `queries` Poisson arrivals at
 // ratePerSec with Exp(MeanDemand) demands under the given policy.
 func RunPoisson(cluster Cluster, policy Policy, ratePerSec float64, queries int) PoissonRun {
@@ -79,6 +105,11 @@ func RunPoisson(cluster Cluster, policy Policy, ratePerSec float64, queries int)
 
 // Calibrate measures λ0 by bisection (§V-A's bootstrap).
 func Calibrate(cfg Calibration) CalibrationResult { return experiments.Calibrate(cfg) }
+
+// Legacy figure entry points. Each is a one-line wrapper over a
+// Scenario/Sweep composition in internal/experiments — prefer building
+// Sweeps directly for new workloads; these survive for the paper's
+// artifacts and existing callers.
 
 // RunFig2 sweeps mean response time vs normalized load (figure 2).
 func RunFig2(cfg Fig2Config) Fig2Result { return experiments.RunFig2(cfg) }
@@ -123,11 +154,17 @@ func SynthesizeWikiTrace(day WikiDay, w io.Writer) (wikiQueries, staticQueries i
 func ReadTrace(r io.Reader) ([]TraceEntry, error) { return trace.ReadAll(r) }
 
 // QuickComparison runs a small RR-vs-SR4 comparison at the given load and
-// returns (rrMean, sr4Mean) — the two-line demo of the README.
+// returns (rrMean, sr4Mean) — the two-line demo of the README. It
+// calibrates the cluster once and runs both policies as one parallel
+// Sweep against the same calibrated Poisson workload.
 func QuickComparison(seed uint64, servers int, rho float64, queries int) (rrMean, sr4Mean time.Duration) {
 	cluster := Cluster{Seed: seed, Servers: servers}
 	cal := Calibrate(Calibration{Cluster: cluster, Queries: queries})
-	rr := RunPoisson(cluster, RR(), rho*cal.Lambda0, queries)
-	sr := RunPoisson(cluster, SRStatic(4), rho*cal.Lambda0, queries)
-	return rr.RT.Mean(), sr.RT.Mean()
+	res, _ := Runner{}.RunSweep(context.Background(), Sweep{
+		Cluster:  cluster,
+		Policies: []Policy{RR(), SRStatic(4)},
+		Loads:    []float64{rho},
+		Workload: PoissonWorkload{Lambda0: cal.Lambda0, Queries: queries},
+	})
+	return res.Cell(0, 0, 0).Outcome.RT.Mean(), res.Cell(1, 0, 0).Outcome.RT.Mean()
 }

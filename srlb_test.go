@@ -2,6 +2,7 @@ package srlb_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -73,6 +74,45 @@ func TestSynthesizeAndReadTrace(t *testing.T) {
 	}
 	if !sawWiki {
 		t.Fatal("no wiki pages in trace")
+	}
+}
+
+func TestFacadeSweepRunner(t *testing.T) {
+	cluster := srlb.Cluster{Seed: 5, Servers: 4}
+	res, err := srlb.Runner{Workers: 4}.RunSweep(context.Background(), srlb.Sweep{
+		Cluster:  cluster,
+		Policies: []srlb.Policy{srlb.RR(), srlb.SRStatic(4)},
+		Loads:    []float64{0.4, 0.85},
+		Workload: srlb.PoissonWorkload{Lambda0: 80, Queries: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	// The paper's claim, through the new API: SR4 beats RR at high load.
+	rr := res.Cell(0, 1, 0).Outcome.RT.Mean()
+	sr := res.Cell(1, 1, 0).Outcome.RT.Mean()
+	if sr >= rr {
+		t.Fatalf("SR4 (%v) not better than RR (%v) at rho=0.85", sr, rr)
+	}
+}
+
+func TestFacadeScenarioWorkloads(t *testing.T) {
+	cluster := srlb.Cluster{Seed: 6, Servers: 4}
+	var w srlb.Workload = srlb.BurstyWorkload{Lambda0: 80, Queries: 1000}
+	cell := srlb.Scenario{Cluster: cluster, Policy: srlb.SRDynamic(), Workload: w, Load: 0.5}.
+		Run(context.Background())
+	out := cell.Outcome
+	if out.RT.Count()+out.Refused+out.Unfinished != 1000 {
+		t.Fatal("bursty accounting broken")
+	}
+	if _, ok := out.Extra.(srlb.PoissonStats); !ok {
+		t.Fatal("missing PoissonStats extra")
+	}
+	if len(srlb.DeriveSeeds(1, 3)) != 3 {
+		t.Fatal("DeriveSeeds length")
 	}
 }
 
