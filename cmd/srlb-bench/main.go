@@ -5,8 +5,15 @@
 // Usage:
 //
 //	srlb-bench -experiment all -out results/
-//	srlb-bench -experiment fig2 -queries 20000
+//	srlb-bench -experiment fig2 -queries 20000 -seeds 5
 //	srlb-bench -experiment wiki -compress 24   # 24h replayed as 1 sim-hour
+//
+// With -seeds N > 1 every Poisson-family experiment (calibrate, figures
+// 2–5, ablations, hetero) replicates its cells across N derived seeds
+// and reports mean ± 95% CI; BENCH_sweep.json (schema v2, see
+// docs/RESULTS_SCHEMA.md) carries the per-cell aggregates. The wiki
+// replay (figures 6–8) stays single-seed — replicate it through the
+// Sweep API as in examples/wikipedia.
 package main
 
 import (
@@ -23,28 +30,50 @@ import (
 	"srlb/internal/plot"
 )
 
-// sweepCellJSON is one row of BENCH_sweep.json: the per-cell summary of
-// the figure-2 sweep, with host wall-clock, so successive PRs can track
-// both the simulated results and the harness's own speed.
+// distJSON serializes a srlb.Dist: the across-seed mean of a per-seed
+// statistic with its Student-t 95% half-width (see docs/RESULTS_SCHEMA.md).
+type distJSON struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func distMS(d srlb.Dist) distJSON {
+	return distJSON{Mean: d.Mean * 1e3, CI95: d.CI95 * 1e3, Min: d.Min * 1e3, Max: d.Max * 1e3}
+}
+
+func dist(d srlb.Dist) distJSON {
+	return distJSON{Mean: d.Mean, CI95: d.CI95, Min: d.Min, Max: d.Max}
+}
+
+// sweepCellJSON is one row of BENCH_sweep.json: a logical (policy, load)
+// cell aggregated across the replication axis, with summed host
+// wall-clock, so successive PRs can track both the simulated results and
+// the harness's own speed.
 type sweepCellJSON struct {
-	Policy     string  `json:"policy"`
-	Workload   string  `json:"workload"`
-	Load       float64 `json:"load"`
-	Seed       uint64  `json:"seed"`
-	MeanMS     float64 `json:"mean_ms"`
-	MedianMS   float64 `json:"median_ms"`
-	P95MS      float64 `json:"p95_ms"`
-	OKFraction float64 `json:"ok_fraction"`
-	Refused    int     `json:"refused"`
-	WallMS     float64 `json:"wall_ms"`
+	Policy     string   `json:"policy"`
+	Workload   string   `json:"workload"`
+	Load       float64  `json:"load"`
+	N          int      `json:"n"`
+	Seeds      []uint64 `json:"seeds"`
+	MeanMS     distJSON `json:"mean_ms"`
+	P50MS      distJSON `json:"p50_ms"`
+	P95MS      distJSON `json:"p95_ms"`
+	P99MS      distJSON `json:"p99_ms"`
+	OKFraction distJSON `json:"ok_fraction"`
+	Refused    distJSON `json:"refused"`
+	WallMS     float64  `json:"wall_ms"`
 }
 
 type sweepJSON struct {
-	Lambda0     float64         `json:"lambda0_qps"`
-	Workers     int             `json:"workers"`
-	GOMAXPROCS  int             `json:"gomaxprocs"`
-	TotalWallMS float64         `json:"total_wall_ms"`
-	Cells       []sweepCellJSON `json:"cells"`
+	SchemaVersion int             `json:"schema_version"`
+	Lambda0       float64         `json:"lambda0_qps"`
+	Workers       int             `json:"workers"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Seeds         []uint64        `json:"seeds"`
+	TotalWallMS   float64         `json:"total_wall_ms"`
+	Cells         []sweepCellJSON `json:"cells"`
 }
 
 // appserverDefaultWithBacklog returns the paper's server config with a
@@ -60,6 +89,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|all (wiki covers figures 6-8)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
+		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
 		queries    = flag.Int("queries", 20000, "queries per Poisson experiment point (paper: 20000)")
 		servers    = flag.Int("servers", 12, "application servers (paper: 12)")
 		compress   = flag.Float64("compress", 24, "wiki replay time compression (1 = full 24h)")
@@ -68,7 +98,24 @@ func main() {
 		verbose    = flag.Bool("v", false, "log per-point progress")
 		asciiPlot  = flag.Bool("plot", false, "render ASCII charts of figures 2 and 8 to stdout")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintln(flag.CommandLine.Output(), `
+Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
+machine-readable summary of the figure-2 sweep (schema v2: n, mean,
+ci95, p50, p99 per cell; documented field-by-field in
+docs/RESULTS_SCHEMA.md).`)
+	}
 	flag.Parse()
+	// The replication axis, shared by every Poisson-family experiment
+	// below (the wiki replay has no Seeds knob). One seed means "the
+	// master seed itself" (no CI); more derive well-separated streams
+	// from it.
+	seeds := []uint64{*seed}
+	if *seedCount > 1 {
+		seeds = srlb.DeriveSeeds(*seed, *seedCount)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "srlb-bench: %v\n", err)
@@ -110,7 +157,7 @@ func main() {
 	// probes overestimate λ0.
 	var lambda0 float64
 	calibrate := func() error {
-		cal := srlb.Calibrate(srlb.Calibration{Cluster: cluster})
+		cal := srlb.CalibrateCached(srlb.Calibration{Cluster: cluster})
 		lambda0 = cal.Lambda0
 		fmt.Printf("   lambda0 = %.1f q/s (theoretical %.1f, %d probes)\n",
 			cal.Lambda0, cal.Theoretical, len(cal.Probes))
@@ -138,13 +185,16 @@ func main() {
 			start := time.Now()
 			res := srlb.RunFig2(srlb.Fig2Config{
 				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
-				Rhos: rhos, Workers: *workers, Progress: progress,
+				Rhos: rhos, Seeds: seeds, Workers: *workers, Progress: progress,
 			})
 			sweepWall := time.Since(start)
 			if imp, err := res.Improvement("SR 4", 0.88); err == nil {
 				fmt.Printf("   SR4 vs RR at rho=0.88: %.2fx (paper: up to 2.3x)\n", imp)
 			}
-			if err := writeSweepJSON(*out, lambda0, *workers, sweepWall, res.Cells); err != nil {
+			if len(seeds) > 1 {
+				fmt.Printf("   replicated over %d seeds; cells report mean ± 95%% CI\n", len(seeds))
+			}
+			if err := writeSweepJSON(*out, lambda0, *workers, sweepWall, res.Stats); err != nil {
 				return err
 			}
 			fmt.Printf("   wrote %s\n", filepath.Join(*out, "BENCH_sweep.json"))
@@ -173,7 +223,7 @@ func main() {
 		run("figure 3: response-time CDF at rho=0.88", func() error {
 			res := srlb.RunFig3(srlb.CDFConfig{
 				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
-				Workers: *workers, Progress: progress,
+				Seeds: seeds, Workers: *workers, Progress: progress,
 			})
 			return writeFile("fig3_cdf_rho088.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
@@ -184,7 +234,7 @@ func main() {
 		run("figure 4: server load mean + fairness timeline", func() error {
 			res := srlb.RunFig4(srlb.Fig4Config{
 				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
-				Workers: *workers, Progress: progress,
+				Seeds: seeds, Workers: *workers, Progress: progress,
 			})
 			for _, name := range []string{"RR", "SR 4"} {
 				if fair, err := res.MeanFairness(name); err == nil {
@@ -200,7 +250,7 @@ func main() {
 		run("figure 5: response-time CDF at rho=0.61", func() error {
 			res := srlb.RunFig5(srlb.CDFConfig{
 				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
-				Workers: *workers, Progress: progress,
+				Seeds: seeds, Workers: *workers, Progress: progress,
 			})
 			return writeFile("fig5_cdf_rho061.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
@@ -208,6 +258,9 @@ func main() {
 
 	if want("wiki") || want("fig6") || want("fig7") || want("fig8") {
 		run("figures 6-8: Wikipedia day replay (RR vs SR4)", func() error {
+			if len(seeds) > 1 {
+				fmt.Println("   note: wiki replay is single-seed (-seeds ignored); see examples/wikipedia for a replicated replay")
+			}
 			res := srlb.RunWiki(srlb.WikiConfig{
 				Cluster:  cluster,
 				Day:      srlb.WikiDay{Seed: *seed, Compression: *compress},
@@ -253,7 +306,7 @@ func main() {
 		run("ablations: candidates/threshold/window/scheme/backlog", func() error {
 			results := srlb.RunAllAblations(srlb.AblationConfig{
 				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
-				Workers: *workers, Progress: progress,
+				Seeds: seeds, Workers: *workers, Progress: progress,
 			})
 			return writeFile("ablations.tsv", func(f *os.File) error {
 				for _, r := range results {
@@ -272,7 +325,7 @@ func main() {
 			shallow := cluster
 			shallow.Server = appserverDefaultWithBacklog(16)
 			res := srlb.RunRetransmitAblation(srlb.RetransmitConfig{
-				Cluster: shallow, Rho: 2.0, Queries: *queries, Progress: progress,
+				Cluster: shallow, Rho: 2.0, Queries: *queries, Seeds: seeds, Progress: progress,
 			})
 			for _, row := range res.Rows {
 				fmt.Printf("   %-30s p99=%.3fs refused=%d timeouts=%d retransmits=%d\n",
@@ -283,7 +336,7 @@ func main() {
 		run("extension: heterogeneous cluster", func() error {
 			res := srlb.RunHetero(srlb.HeteroConfig{
 				Cluster: cluster, Queries: *queries,
-				Workers: *workers, Progress: progress,
+				Seeds: seeds, Workers: *workers, Progress: progress,
 			})
 			for _, row := range res.Rows {
 				fmt.Printf("   %-7s mean=%.3fs slow-share=%.3f (capacity share %.3f)\n",
@@ -294,28 +347,35 @@ func main() {
 	}
 }
 
-// writeSweepJSON renders the figure-2 sweep cells as BENCH_sweep.json.
-func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duration, cells []srlb.CellResult) error {
+// writeSweepJSON renders the figure-2 sweep aggregates as
+// BENCH_sweep.json (schema v2, documented in docs/RESULTS_SCHEMA.md):
+// one entry per logical (policy, load) cell, each carrying the n/mean/
+// ci95 aggregates of its replicates.
+func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
 	doc := sweepJSON{
-		Lambda0:     lambda0,
-		Workers:     workers,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		TotalWallMS: float64(total.Microseconds()) / 1e3,
+		SchemaVersion: 2,
+		Lambda0:       lambda0,
+		Workers:       workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seeds:         agg.Seeds,
+		TotalWallMS:   float64(total.Microseconds()) / 1e3,
 	}
-	for _, c := range cells {
-		if c.Outcome.RT == nil {
+	for _, c := range agg.Cells {
+		if c.N() == 0 {
 			continue
 		}
 		doc.Cells = append(doc.Cells, sweepCellJSON{
 			Policy:     c.Policy,
 			Workload:   c.Workload,
 			Load:       c.Load,
-			Seed:       c.Seed,
-			MeanMS:     float64(c.Outcome.RT.Mean().Microseconds()) / 1e3,
-			MedianMS:   float64(c.Outcome.RT.Median().Microseconds()) / 1e3,
-			P95MS:      float64(c.Outcome.RT.Quantile(0.95).Microseconds()) / 1e3,
-			OKFraction: c.Outcome.OKFraction(),
-			Refused:    c.Outcome.Refused,
+			N:          c.N(),
+			Seeds:      c.Seeds,
+			MeanMS:     distMS(c.Mean.Dist),
+			P50MS:      distMS(c.Median.Dist),
+			P95MS:      distMS(c.P95.Dist),
+			P99MS:      distMS(c.P99.Dist),
+			OKFraction: dist(c.OKFraction.Dist),
+			Refused:    dist(c.Refused.Dist),
 			WallMS:     float64(c.Wall.Microseconds()) / 1e3,
 		})
 	}

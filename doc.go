@@ -36,22 +36,60 @@
 //     1 worker and N, and a cancelled sweep returns promptly with the
 //     cells finished so far.
 //
-// A complete figure-2-style sweep:
+// A complete figure-2-style sweep, replicated over 5 seeds and
+// aggregated into per-cell mean ± 95% CI:
 //
-//	cal := srlb.Calibrate(srlb.Calibration{Cluster: cluster})
-//	res, _ := srlb.Runner{}.RunSweep(ctx, srlb.Sweep{
+//	cal := srlb.CalibrateCached(srlb.Calibration{Cluster: cluster})
+//	agg, _ := srlb.Runner{}.RunSweepStats(ctx, srlb.Sweep{
 //		Cluster:  cluster,
 //		Policies: srlb.PaperPolicies(),
 //		Loads:    []float64{0.2, 0.61, 0.88},
-//		Seeds:    srlb.DeriveSeeds(1, 3),
+//		Seeds:    srlb.DeriveSeeds(1, 5),
 //		Workload: srlb.PoissonWorkload{Lambda0: cal.Lambda0},
 //	})
-//	cell := res.Cell(1, 2, 0) // SR4, ρ=0.88, first seed
+//	cell := agg.Cell(1, 2) // SR4, ρ=0.88: mean ± CI over the 5 seeds
+//	fmt.Printf("%v ± %v (n=%d)\n", cell.MeanRT(), cell.MeanCI95(), cell.N())
 //
-// The paper's artifacts remain available as one-line wrappers (RunFig2,
-// RunFig3, RunFig4, RunFig5, RunWiki, RunHetero, …), each now a thin
-// Scenario/Sweep composition; cmd/srlb-bench regenerates all of them and
-// emits a machine-readable per-cell summary (BENCH_sweep.json).
+// RunSweep keeps the raw per-seed cells (SweepResult.Cell(pi, li, si));
+// Aggregate folds them after the fact. The paper's artifacts remain
+// available as one-line wrappers (RunFig2, RunFig3, RunFig4, RunFig5,
+// RunWiki, RunHetero, …), each now a thin Scenario/Sweep composition
+// with its own Seeds knob; cmd/srlb-bench regenerates all of them and
+// emits a machine-readable per-cell summary (BENCH_sweep.json,
+// documented in docs/RESULTS_SCHEMA.md).
+//
+// # Interpreting results: seeds, CI width, choosing Sweep.Seeds
+//
+// Every simulation cell is a pure function of its scenario value, so a
+// single cell is exactly reproducible — but it is still one draw from
+// the distribution the paper's claims are about. Replication is the
+// Seeds axis: Sweep.Seeds (use DeriveSeeds to expand a base seed into
+// well-separated streams) reruns every (policy, load) cell once per
+// seed, and the stats layer (internal/stats, re-exported here as Dist,
+// Replicated, CellStats, SweepStats) folds the replicates into
+// mean ± 95% confidence intervals.
+//
+// How to read the numbers:
+//
+//   - A CellStats metric (Mean, Median, P95, P99) is the across-seed
+//     mean of the per-seed statistic; its Dist.CI95 is the Student-t
+//     95% half-width. Report "mean ± ci95 (n=seeds)".
+//   - N == 1 reports CI95 = 0. That means "unknown", not "exact" — a
+//     single replicate carries no dispersion information.
+//   - Two policies differ meaningfully when their intervals separate.
+//     Overlapping intervals at n=3 are an instruction to add seeds, not
+//     a conclusion of equality.
+//
+// Choosing the number of seeds: CI width shrinks as s/√n·t(n−1), so the
+// first few seeds buy the most. On this testbed, 5 seeds resolve the
+// headline RR-vs-SR4 gap at high load (a ~2× effect); closely matched
+// configurations (SR8 vs SR16 at light load, threshold micro-sweeps)
+// need 10–20. Light loads have small variance and converge quickly;
+// near saturation (ρ ≳ 0.9) variance explodes and CIs stay wide — that
+// width is real signal about the operating regime, not noise to tune
+// away. λ0 calibration (Calibrate/CalibrateCached) is itself seeded and
+// cached per cluster fingerprint, so replicates share one λ0 rather
+// than folding calibration noise into every cell.
 //
 // # Package map
 //
@@ -64,6 +102,8 @@
 //   - internal/des, internal/netsim — simulation kernel and LAN
 //   - internal/livenet — real-time goroutine runtime, same wire format
 //   - internal/workload: internal/wiki, internal/trace, internal/rng
+//   - internal/stats — replication statistics: Dist, Replicated,
+//     Student-t CIs, seeded bootstrap
 //   - internal/experiments — Scenario/Sweep/Runner, workloads, figures 2–8,
 //     λ0 calibration, ablations
 //

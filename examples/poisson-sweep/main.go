@@ -1,14 +1,18 @@
-// Poisson-sweep: a miniature of the paper's figure 2.
+// Poisson-sweep: a miniature of the paper's figure 2, with error bars.
 //
-// Sweeps the normalized load ρ over a handful of points and prints the
-// mean response time of every policy at each point — showing where the
-// power of two choices pays (high load) and where it is neutral (light
-// load), and that SRdyn tracks the best static policy without tuning.
+// Builds the sweep directly on the composable API — one Sweep value:
+// every paper policy × a coarse load grid × 3 replication seeds over
+// the calibrated Poisson workload — runs it on the parallel Runner, and
+// aggregates the replicates into mean ± 95% CI per point. The table
+// shows where the power of two choices pays (high load), where it is
+// neutral (light load), and — through the intervals — which of those
+// differences the three seeds can actually resolve.
 //
 //	go run ./examples/poisson-sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -16,37 +20,64 @@ import (
 )
 
 func main() {
-	cluster := srlb.Cluster{Seed: 11, Servers: 12}
+	const (
+		seed    = 11
+		queries = 8000
+		nSeeds  = 3
+	)
+	cluster := srlb.Cluster{Seed: seed, Servers: 12}
 
-	res := srlb.RunFig2(srlb.Fig2Config{
-		Cluster: cluster,
-		// A coarse grid keeps the example fast; cmd/srlb-bench sweeps the
-		// paper's full 24 points.
-		Rhos:    []float64{0.2, 0.4, 0.6, 0.75, 0.88, 0.95},
-		Queries: 8000,
-		Progress: func(s string) {
-			fmt.Fprintln(os.Stderr, "  "+s)
-		},
-	})
+	// §V-A bootstrap, memoized per cluster fingerprint: rerunning this
+	// example (or any figure) in the same process reuses the probes.
+	cal := srlb.CalibrateCached(srlb.Calibration{Cluster: cluster})
+	fmt.Fprintf(os.Stderr, "lambda0 = %.1f q/s (theoretical %.1f)\n", cal.Lambda0, cal.Theoretical)
 
-	fmt.Printf("\nmean response time (s) by normalized load — lambda0 = %.1f q/s\n\n", res.Lambda0)
+	// A coarse grid keeps the example fast; cmd/srlb-bench sweeps the
+	// paper's full 24 points (and takes -seeds for deeper replication).
+	sweep := srlb.Sweep{
+		Cluster:  cluster,
+		Policies: srlb.PaperPolicies(),
+		Loads:    []float64{0.2, 0.4, 0.6, 0.75, 0.88, 0.95},
+		Seeds:    srlb.DeriveSeeds(seed, nSeeds),
+		Workload: srlb.PoissonWorkload{Lambda0: cal.Lambda0, Queries: queries},
+	}
+	agg, err := srlb.Runner{
+		Progress: func(s string) { fmt.Fprintln(os.Stderr, "  "+s) },
+	}.RunSweepStats(context.Background(), sweep)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nmean response time (s) ± 95%% CI over %d seeds, by normalized load\n\n", nSeeds)
 	fmt.Print("rho    ")
-	for _, p := range res.Policies {
-		fmt.Printf("%8s", p.Name)
+	for _, p := range agg.Policies {
+		fmt.Printf("%16s", p.Name)
 	}
 	fmt.Println()
-	for ri, rho := range res.Rhos {
+	for li, rho := range agg.Loads {
 		fmt.Printf("%.2f   ", rho)
-		for pi := range res.Policies {
-			fmt.Printf("%8.3f", res.Points[pi][ri].Mean.Seconds())
+		for pi := range agg.Policies {
+			cell := agg.Cell(pi, li)
+			fmt.Printf("  %6.3f ±%5.3f",
+				cell.Mean.Dist.Mean, cell.Mean.Dist.CI95)
 		}
 		fmt.Println()
 	}
 
-	if imp, err := res.Improvement("SR 4", 0.88); err == nil {
-		fmt.Printf("\nSR4 vs RR at rho=0.88: %.2fx better (paper: up to 2.3x)\n", imp)
+	// The paper's headline, now with uncertainty attached: RR vs SR4 and
+	// SRdyn at ρ = 0.88 (load index 4).
+	rr := agg.Cell(0, 4).Mean.Dist
+	for pi, p := range agg.Policies {
+		if p.Name != "SR 4" && p.Name != "SR dyn" {
+			continue
+		}
+		d := agg.Cell(pi, 4).Mean.Dist
+		fmt.Printf("\n%s vs RR at rho=0.88: %.2fx better", p.Name, rr.Mean/d.Mean)
+		if d.Hi() < rr.Lo() {
+			fmt.Print(" (intervals separate — the gap is resolved at 3 seeds)")
+		} else {
+			fmt.Print(" (intervals overlap — add seeds to resolve)")
+		}
 	}
-	if imp, err := res.Improvement("SR dyn", 0.88); err == nil {
-		fmt.Printf("SRdyn vs RR at rho=0.88: %.2fx — no manual tuning needed\n", imp)
-	}
+	fmt.Println("\n(paper: up to 2.3x for SR4; SRdyn tracks it without tuning)")
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"srlb/internal/agent"
@@ -20,41 +21,65 @@ type AblationConfig struct {
 	Rho     float64
 	Lambda0 float64
 	Queries int
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds []uint64
 	// Workers bounds each study's parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Progress receives one line per finished run, if non-nil.
 	Progress func(string)
 }
 
-// AblationRow is one configuration's outcome.
+// AblationRow is one configuration's outcome, aggregated across the
+// replication axis (MeanCI95 is zero when N == 1).
 type AblationRow struct {
-	Label   string
-	Mean    time.Duration
-	Median  time.Duration
-	P95     time.Duration
-	Refused int
+	Label    string
+	Mean     time.Duration
+	Median   time.Duration
+	P95      time.Duration
+	Refused  int
+	N        int
+	MeanCI95 time.Duration
 }
 
 // AblationResult groups rows under a study name.
 type AblationResult struct {
 	Study string
 	Rho   float64
+	Seeds []uint64
 	Rows  []AblationRow
 }
 
-// WriteTSV renders the study.
+// WriteTSV renders the study; replicated runs gain mean_ci95_s and n
+// columns.
 func (r AblationResult) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# Ablation: %s (rho=%.2f)\n", r.Study, r.Rho); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "config\tmean_s\tmedian_s\tp95_s\trefused")
+	replicated := len(r.Seeds) > 1
+	if replicated {
+		fmt.Fprintln(w, "config\tmean_s\tmean_ci95_s\tmedian_s\tp95_s\trefused\tn")
+	} else {
+		fmt.Fprintln(w, "config\tmean_s\tmedian_s\tp95_s\trefused")
+	}
 	for _, row := range r.Rows {
-		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\n",
-			row.Label,
-			metrics.FormatDuration(row.Mean),
-			metrics.FormatDuration(row.Median),
-			metrics.FormatDuration(row.P95),
-			row.Refused); err != nil {
+		var err error
+		if replicated {
+			_, err = fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\n",
+				row.Label,
+				metrics.FormatDuration(row.Mean),
+				metrics.FormatDuration(row.MeanCI95),
+				metrics.FormatDuration(row.Median),
+				metrics.FormatDuration(row.P95),
+				row.Refused, row.N)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\n",
+				row.Label,
+				metrics.FormatDuration(row.Mean),
+				metrics.FormatDuration(row.Median),
+				metrics.FormatDuration(row.P95),
+				row.Refused)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -69,8 +94,13 @@ func (cfg *AblationConfig) defaults() {
 	if cfg.Queries == 0 {
 		cfg.Queries = 20000
 	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []uint64{cfg.Cluster.Seed}
+	}
 	if cfg.Lambda0 == 0 {
-		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		// Through the calibration cache: every study on the same cluster
+		// (and any figure sharing it) calibrates once per process.
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
 		cfg.Lambda0 = cal.Lambda0
 	}
 }
@@ -87,27 +117,31 @@ func (cfg *AblationConfig) scenario(label string, spec PolicySpec, cluster Clust
 	}
 }
 
-// runStudy executes a study's scenarios on the parallel Runner and folds
-// the cells into labeled rows (input order; cancelled cells omitted).
+// runStudy replicates every labeled scenario across the study's seeds,
+// executes the whole batch on the parallel Runner, and folds each
+// scenario's replicates into one labeled row (input order; cancelled
+// replicates omitted, fully-cancelled scenarios dropped).
 func (cfg *AblationConfig) runStudy(ctx context.Context, study string, scenarios []Scenario) AblationResult {
-	res := AblationResult{Study: study, Rho: cfg.Rho}
+	res := AblationResult{Study: study, Rho: cfg.Rho, Seeds: cfg.Seeds}
 	progress := cfg.Progress
 	if progress != nil {
-		study := study
 		orig := progress
 		progress = func(s string) { orig(fmt.Sprintf("[%s] %s", study, s)) }
 	}
-	cells, _ := Runner{Workers: cfg.Workers, Progress: progress}.Run(ctx, scenarios)
-	for _, cell := range cells {
-		if cell.Skipped() {
+	cells, _ := Runner{Workers: cfg.Workers, Progress: progress}.Run(ctx, replicateScenarios(scenarios, cfg.Seeds))
+	for i := range scenarios {
+		cs := newCellStats(cells[i*len(cfg.Seeds) : (i+1)*len(cfg.Seeds)])
+		if cs.N() == 0 {
 			continue
 		}
 		res.Rows = append(res.Rows, AblationRow{
-			Label:   cell.Name,
-			Mean:    cell.Outcome.RT.Mean(),
-			Median:  cell.Outcome.RT.Median(),
-			P95:     cell.Outcome.RT.Quantile(0.95),
-			Refused: cell.Outcome.Refused,
+			Label:    cs.Name,
+			Mean:     secDur(cs.Mean.Dist.Mean),
+			Median:   secDur(cs.Median.Dist.Mean),
+			P95:      secDur(cs.P95.Dist.Mean),
+			Refused:  int(math.Round(cs.Refused.Dist.Mean)),
+			N:        cs.N(),
+			MeanCI95: secDur(cs.Mean.Dist.CI95),
 		})
 	}
 	return res

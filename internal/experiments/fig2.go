@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"srlb/internal/metrics"
@@ -22,6 +23,10 @@ type Fig2Config struct {
 	Policies []PolicySpec
 	// Queries per (policy, ρ) point (default 20000, as in §V-B).
 	Queries int
+	// Seeds is the replication axis (default: the cluster seed alone).
+	// With several seeds every point reports mean ± 95% CI across
+	// replicates — use DeriveSeeds to expand a base seed.
+	Seeds []uint64
 	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Progress, if non-nil, receives one line per finished point.
@@ -37,7 +42,10 @@ func DefaultRhos() []float64 {
 	return out
 }
 
-// Fig2Point is one (policy, ρ) outcome.
+// Fig2Point is one (policy, ρ) outcome, aggregated across the
+// replication axis: point estimates are across-seed means of per-seed
+// statistics, the CI95 fields their Student-t 95% half-widths (zero
+// when N == 1 — unknown, not exact).
 type Fig2Point struct {
 	Rho     float64
 	Mean    time.Duration
@@ -45,6 +53,11 @@ type Fig2Point struct {
 	P95     time.Duration
 	OKFrac  float64
 	Refused int
+	// N is the number of completed replicates behind the estimates.
+	N          int
+	MeanCI95   time.Duration
+	MedianCI95 time.Duration
+	P95CI95    time.Duration
 }
 
 // Fig2Result holds the full sweep, indexed [policy][rhoIdx].
@@ -52,10 +65,14 @@ type Fig2Result struct {
 	Lambda0  float64
 	Policies []PolicySpec
 	Rhos     []float64
+	Seeds    []uint64
 	Points   [][]Fig2Point
 	// Cells are the raw sweep cells (Scenarios() order), including
-	// per-cell wall-clock — cmd/srlb-bench's machine-readable artifact.
+	// per-cell wall-clock.
 	Cells []CellResult
+	// Stats folds the replication axis: one aggregate per (policy, ρ) —
+	// cmd/srlb-bench's machine-readable artifact (BENCH_sweep.json).
+	Stats SweepStats
 }
 
 // RunFig2 executes the figure as a Sweep: PaperPolicies × ρ points over
@@ -67,7 +84,7 @@ func RunFig2(cfg Fig2Config) Fig2Result { return RunFig2Ctx(context.Background()
 func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 	cfg.Cluster = cfg.Cluster.withDefaults()
 	if cfg.Lambda0 == 0 {
-		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
 		cfg.Lambda0 = cal.Lambda0
 		if cfg.Progress != nil {
 			cfg.Progress(fmt.Sprintf("calibrated lambda0 = %.1f q/s (theoretical %.1f)", cal.Lambda0, cal.Theoretical))
@@ -84,25 +101,32 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 		Cluster:  cfg.Cluster,
 		Policies: cfg.Policies,
 		Loads:    cfg.Rhos,
+		Seeds:    cfg.Seeds,
 		Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
 	})
+	agg := sweep.Aggregate()
 
-	res := Fig2Result{Lambda0: cfg.Lambda0, Policies: cfg.Policies, Rhos: cfg.Rhos, Cells: sweep.Cells}
+	res := Fig2Result{Lambda0: cfg.Lambda0, Policies: cfg.Policies, Rhos: cfg.Rhos,
+		Seeds: sweep.Seeds, Cells: sweep.Cells, Stats: agg}
 	res.Points = make([][]Fig2Point, len(cfg.Policies))
 	for pi := range cfg.Policies {
 		res.Points[pi] = make([]Fig2Point, len(cfg.Rhos))
 		for ri, rho := range cfg.Rhos {
-			cell := sweep.Cell(pi, ri, 0)
-			if cell.Skipped() {
+			cs := agg.Cell(pi, ri)
+			if cs.N() == 0 {
 				continue
 			}
 			res.Points[pi][ri] = Fig2Point{
-				Rho:     rho,
-				Mean:    cell.Outcome.RT.Mean(),
-				Median:  cell.Outcome.RT.Median(),
-				P95:     cell.Outcome.RT.Quantile(0.95),
-				OKFrac:  cell.Outcome.OKFraction(),
-				Refused: cell.Outcome.Refused,
+				Rho:        rho,
+				Mean:       secDur(cs.Mean.Dist.Mean),
+				Median:     secDur(cs.Median.Dist.Mean),
+				P95:        secDur(cs.P95.Dist.Mean),
+				OKFrac:     cs.OKFraction.Dist.Mean,
+				Refused:    int(math.Round(cs.Refused.Dist.Mean)),
+				N:          cs.N(),
+				MeanCI95:   secDur(cs.Mean.Dist.CI95),
+				MedianCI95: secDur(cs.Median.Dist.CI95),
+				P95CI95:    secDur(cs.P95.Dist.CI95),
 			}
 		}
 	}
@@ -111,20 +135,32 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 
 // WriteTSV renders the figure's series: one row per ρ, one mean-response
 // column per policy (matching the paper's axes: load factor vs mean
-// response time in seconds).
+// response time in seconds). A replicated sweep (more than one seed)
+// adds a <policy>_ci95 half-width column next to every mean.
 func (r Fig2Result) WriteTSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# Figure 2: mean response time (s) vs normalized load; lambda0=%.1f q/s\n", r.Lambda0); err != nil {
+	replicated := len(r.Seeds) > 1
+	if _, err := fmt.Fprintf(w, "# Figure 2: mean response time (s) vs normalized load; lambda0=%.1f q/s", r.Lambda0); err != nil {
 		return err
 	}
+	if replicated {
+		fmt.Fprintf(w, "; n=%d seeds, ci = Student-t 95%% half-width", len(r.Seeds))
+	}
+	fmt.Fprintln(w)
 	fmt.Fprint(w, "rho")
 	for _, p := range r.Policies {
 		fmt.Fprintf(w, "\t%s", p.Name)
+		if replicated {
+			fmt.Fprintf(w, "\t%s_ci95", p.Name)
+		}
 	}
 	fmt.Fprintln(w)
 	for ri, rho := range r.Rhos {
 		fmt.Fprintf(w, "%.2f", rho)
 		for pi := range r.Policies {
 			fmt.Fprintf(w, "\t%s", metrics.FormatDuration(r.Points[pi][ri].Mean))
+			if replicated {
+				fmt.Fprintf(w, "\t%s", metrics.FormatDuration(r.Points[pi][ri].MeanCI95))
+			}
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err
@@ -151,7 +187,7 @@ func (r Fig2Result) Improvement(policyName string, rho float64) (float64, error)
 	}
 	best, bestDiff := -1, 2.0
 	for i, v := range r.Rhos {
-		if d := abs(v - rho); d < bestDiff {
+		if d := math.Abs(v - rho); d < bestDiff {
 			best, bestDiff = i, d
 		}
 	}
@@ -161,11 +197,4 @@ func (r Fig2Result) Improvement(policyName string, rho float64) (float64, error)
 		return 0, fmt.Errorf("fig2: zero mean for %s", policyName)
 	}
 	return float64(rr) / float64(pol), nil
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -8,6 +8,7 @@ import (
 
 	"srlb/internal/metrics"
 	"srlb/internal/rng"
+	"srlb/internal/stats"
 	"srlb/internal/testbed"
 )
 
@@ -28,21 +29,31 @@ type Fig4Config struct {
 	SampleEvery time.Duration
 	// EWMATau is the smoothing constant (default 1s = the paper's α).
 	EWMATau time.Duration
+	// Seeds is the replication axis (default: the cluster seed alone).
+	// With several seeds each timeline point is the across-seed mean
+	// with a Student-t 95% CI.
+	Seeds []uint64
 	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS).
 	Workers  int
 	Progress func(string)
 }
 
-// Fig4Sample is one point of the smoothed series.
+// Fig4Sample is one point of the smoothed series. With replication the
+// values are across-seed means and the CI95 fields their 95% interval
+// half-widths (zero for a single seed).
 type Fig4Sample struct {
-	At       time.Duration
-	MeanBusy float64
-	Fairness float64
+	At           time.Duration
+	MeanBusy     float64
+	Fairness     float64
+	MeanBusyCI95 float64
+	FairnessCI95 float64
 }
 
 // Fig4Series is the timeline for one policy.
 type Fig4Series struct {
-	Spec    PolicySpec
+	Spec PolicySpec
+	// N is the number of replicates aggregated into Samples.
+	N       int
 	Samples []Fig4Sample
 }
 
@@ -50,6 +61,7 @@ type Fig4Series struct {
 type Fig4Result struct {
 	Rho     float64
 	Lambda0 float64
+	Seeds   []uint64
 	Series  []Fig4Series
 }
 
@@ -115,7 +127,7 @@ func RunFig4Ctx(ctx context.Context, cfg Fig4Config) Fig4Result {
 		cfg.Rho = 0.88
 	}
 	if cfg.Lambda0 == 0 {
-		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
 		cfg.Lambda0 = cal.Lambda0
 	}
 	if cfg.Queries == 0 {
@@ -135,6 +147,7 @@ func RunFig4Ctx(ctx context.Context, cfg Fig4Config) Fig4Result {
 		Cluster:  cfg.Cluster,
 		Policies: cfg.Policies,
 		Loads:    []float64{cfg.Rho},
+		Seeds:    cfg.Seeds,
 		Workload: fig4Workload{
 			lambda0:     cfg.Lambda0,
 			queries:     cfg.Queries,
@@ -143,28 +156,90 @@ func RunFig4Ctx(ctx context.Context, cfg Fig4Config) Fig4Result {
 		},
 	})
 
-	res := Fig4Result{Rho: cfg.Rho, Lambda0: cfg.Lambda0}
+	res := Fig4Result{Rho: cfg.Rho, Lambda0: cfg.Lambda0, Seeds: sweep.Seeds}
 	for pi, spec := range cfg.Policies {
-		series := Fig4Series{Spec: spec}
-		if samples, ok := sweep.Cell(pi, 0, 0).Outcome.Extra.([]Fig4Sample); ok {
-			series.Samples = samples
+		var timelines [][]Fig4Sample
+		for si := range sweep.Seeds {
+			cell := sweep.Cell(pi, 0, si)
+			if cell.Err != nil { // a cancelled cell's timeline is truncated
+				continue
+			}
+			if samples, ok := cell.Outcome.Extra.([]Fig4Sample); ok {
+				timelines = append(timelines, samples)
+			}
 		}
-		res.Series = append(res.Series, series)
+		res.Series = append(res.Series, Fig4Series{
+			Spec:    spec,
+			N:       len(timelines),
+			Samples: aggregateTimelines(timelines),
+		})
 	}
 	return res
 }
 
+// aggregateTimelines folds per-seed timelines into one pointwise
+// mean ± CI series. The sampling clock is deterministic (fixed period
+// from t=0), so sample i has the same At in every replicate; lengths
+// differ only by the trailing-idle trim, and the aggregate stops at the
+// shortest replicate.
+func aggregateTimelines(timelines [][]Fig4Sample) []Fig4Sample {
+	switch len(timelines) {
+	case 0:
+		return nil
+	case 1:
+		return timelines[0]
+	}
+	n := len(timelines[0])
+	for _, tl := range timelines[1:] {
+		n = min(n, len(tl))
+	}
+	out := make([]Fig4Sample, n)
+	busy := make([]float64, len(timelines))
+	fair := make([]float64, len(timelines))
+	for i := range out {
+		for ti, tl := range timelines {
+			busy[ti] = tl[i].MeanBusy
+			fair[ti] = tl[i].Fairness
+		}
+		db, df := stats.Describe(busy), stats.Describe(fair)
+		out[i] = Fig4Sample{
+			At:           timelines[0][i].At,
+			MeanBusy:     db.Mean,
+			Fairness:     df.Mean,
+			MeanBusyCI95: db.CI95,
+			FairnessCI95: df.CI95,
+		}
+	}
+	return out
+}
+
 // WriteTSV emits two blocks per policy — the figure's two stacked plots:
-// (time, smoothed mean busy workers) and (time, smoothed fairness).
+// (time, smoothed mean busy workers) and (time, smoothed fairness). A
+// replicated run appends the per-point 95% CI half-width columns.
 func (r Fig4Result) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# Figure 4: instantaneous server load (mean, fairness), rho=%.2f\n", r.Rho); err != nil {
 		return err
 	}
 	for _, s := range r.Series {
-		fmt.Fprintf(w, "# policy: %s\n", s.Spec.Name)
-		fmt.Fprintf(w, "t_s\tmean_busy_%s\tfairness_%s\n", s.Spec.Name, s.Spec.Name)
+		replicated := s.N > 1
+		if replicated {
+			fmt.Fprintf(w, "# policy: %s (mean over %d seeds)\n", s.Spec.Name, s.N)
+		} else {
+			fmt.Fprintf(w, "# policy: %s\n", s.Spec.Name)
+		}
+		fmt.Fprintf(w, "t_s\tmean_busy_%s\tfairness_%s", s.Spec.Name, s.Spec.Name)
+		if replicated {
+			fmt.Fprint(w, "\tmean_busy_ci95\tfairness_ci95")
+		}
+		fmt.Fprintln(w)
 		for _, p := range s.Samples {
-			fmt.Fprintf(w, "%.1f\t%.3f\t%.4f\n", p.At.Seconds(), p.MeanBusy, p.Fairness)
+			fmt.Fprintf(w, "%.1f\t%.3f\t%.4f", p.At.Seconds(), p.MeanBusy, p.Fairness)
+			if replicated {
+				fmt.Fprintf(w, "\t%.3f\t%.4f", p.MeanBusyCI95, p.FairnessCI95)
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err

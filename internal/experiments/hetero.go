@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"srlb/internal/appserver"
 	"srlb/internal/metrics"
+	"srlb/internal/stats"
 )
 
 // HeteroConfig studies a heterogeneous cluster — a natural extension the
@@ -25,12 +27,15 @@ type HeteroConfig struct {
 	// Rho is computed against the HETEROGENEOUS capacity (default 0.85).
 	Rho     float64
 	Queries int
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds []uint64
 	// Workers bounds the per-policy parallelism (0 = GOMAXPROCS).
 	Workers  int
 	Progress func(string)
 }
 
-// HeteroRow is one policy's outcome on the mixed cluster.
+// HeteroRow is one policy's outcome on the mixed cluster, aggregated
+// across the replication axis (CI95 fields are zero when N == 1).
 type HeteroRow struct {
 	Policy       string
 	Mean, Median time.Duration
@@ -39,6 +44,10 @@ type HeteroRow struct {
 	// SlowShare is the fraction of total completions served by slow boxes
 	// (capacity-proportional would equal slow capacity share).
 	SlowShare float64
+	// N counts the completed replicates behind the row.
+	N             int
+	MeanCI95      time.Duration
+	SlowShareCI95 float64
 }
 
 // HeteroResult compares policies on the mixed cluster.
@@ -47,6 +56,7 @@ type HeteroResult struct {
 	SlowServers   int
 	TotalServers  int
 	CapacityShare float64 // slow boxes' share of total capacity
+	Seeds         []uint64
 	Rows          []HeteroRow
 }
 
@@ -97,52 +107,86 @@ func RunHeteroCtx(ctx context.Context, cfg HeteroConfig) HeteroResult {
 		Cluster:  cluster,
 		Policies: policies,
 		Loads:    []float64{cfg.Rho},
+		Seeds:    cfg.Seeds,
 		Workload: PoissonWorkload{Lambda0: capacity, Queries: cfg.Queries},
 	})
+	agg := sweep.Aggregate()
+	res.Seeds = sweep.Seeds
 	for pi, spec := range policies {
-		cell := sweep.Cell(pi, 0, 0)
-		if cell.Skipped() {
+		cs := agg.Cell(pi, 0)
+		if cs.N() == 0 {
 			continue
 		}
 		row := HeteroRow{
-			Policy:  spec.Name,
-			Mean:    cell.Outcome.RT.Mean(),
-			Median:  cell.Outcome.RT.Median(),
-			P95:     cell.Outcome.RT.Quantile(0.95),
-			Refused: cell.Outcome.Refused,
+			Policy:   spec.Name,
+			Mean:     secDur(cs.Mean.Dist.Mean),
+			Median:   secDur(cs.Median.Dist.Mean),
+			P95:      secDur(cs.P95.Dist.Mean),
+			Refused:  int(math.Round(cs.Refused.Dist.Mean)),
+			N:        cs.N(),
+			MeanCI95: secDur(cs.Mean.Dist.CI95),
 		}
-		if stats, ok := cell.Outcome.Extra.(PoissonStats); ok {
-			var slowDone, allDone uint64
-			for i, done := range stats.ServerCompleted {
-				allDone += done
-				if i < slow {
-					slowDone += done
+		var shares []float64
+		for si := range sweep.Seeds {
+			cell := sweep.Cell(pi, 0, si)
+			if cell.Err != nil { // match newCellStats: no truncated runs
+				continue
+			}
+			if ps, ok := cell.Outcome.Extra.(PoissonStats); ok {
+				var slowDone, allDone uint64
+				for i, done := range ps.ServerCompleted {
+					allDone += done
+					if i < slow {
+						slowDone += done
+					}
+				}
+				if allDone > 0 {
+					shares = append(shares, float64(slowDone)/float64(allDone))
 				}
 			}
-			if allDone > 0 {
-				row.SlowShare = float64(slowDone) / float64(allDone)
-			}
+		}
+		if d := stats.Describe(shares); d.N > 0 {
+			row.SlowShare = d.Mean
+			row.SlowShareCI95 = d.CI95
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res
 }
 
-// WriteTSV renders the study.
+// WriteTSV renders the study; replicated runs gain mean_ci95_s and
+// slow_share_ci95 columns.
 func (r HeteroResult) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w,
 		"# Extension: heterogeneous cluster (%d/%d slow servers, capacity share %.3f), rho=%.2f\n",
 		r.SlowServers, r.TotalServers, r.CapacityShare, r.Rho); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "policy\tmean_s\tmedian_s\tp95_s\tslow_share\trefused")
+	replicated := len(r.Seeds) > 1
+	if replicated {
+		fmt.Fprintln(w, "policy\tmean_s\tmean_ci95_s\tmedian_s\tp95_s\tslow_share\tslow_share_ci95\trefused\tn")
+	} else {
+		fmt.Fprintln(w, "policy\tmean_s\tmedian_s\tp95_s\tslow_share\trefused")
+	}
 	for _, row := range r.Rows {
-		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%d\n",
-			row.Policy,
-			metrics.FormatDuration(row.Mean),
-			metrics.FormatDuration(row.Median),
-			metrics.FormatDuration(row.P95),
-			row.SlowShare, row.Refused); err != nil {
+		var err error
+		if replicated {
+			_, err = fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%.3f\t%.3f\t%d\t%d\n",
+				row.Policy,
+				metrics.FormatDuration(row.Mean),
+				metrics.FormatDuration(row.MeanCI95),
+				metrics.FormatDuration(row.Median),
+				metrics.FormatDuration(row.P95),
+				row.SlowShare, row.SlowShareCI95, row.Refused, row.N)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%d\n",
+				row.Policy,
+				metrics.FormatDuration(row.Mean),
+				metrics.FormatDuration(row.Median),
+				metrics.FormatDuration(row.P95),
+				row.SlowShare, row.Refused)
+		}
+		if err != nil {
 			return err
 		}
 	}

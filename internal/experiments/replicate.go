@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"srlb/internal/stats"
+)
+
+// CellStats aggregates the replicates of one logical cell — the same
+// (policy, workload, load) run under every seed of the sweep's
+// replication axis — into mean ± 95% CI per metric. Each metric is a
+// stats.Replicated: the raw per-seed values plus the Dist of their
+// float64 projection (durations project to seconds).
+//
+// A CellStats over a single seed degenerates gracefully: the point
+// estimates equal the underlying cell's and every CI95 is zero
+// ("unknown", not "exact" — see the stats package documentation).
+type CellStats struct {
+	// Name, Policy, Workload, Load identify the logical cell.
+	Name     string
+	Policy   string
+	Workload string
+	Load     float64
+	// Seeds lists the replicates that ran to completion. Cancelled
+	// replicates — skipped or interrupted mid-run — are dropped, so N()
+	// can be smaller than the sweep's seed count.
+	Seeds []uint64
+	// Mean, Median, P95, P99 summarize the per-seed response-time
+	// statistics, projected to seconds.
+	Mean, Median, P95, P99 stats.Replicated[time.Duration]
+	// OKFraction and Refused summarize the per-seed completion
+	// accounting.
+	OKFraction stats.Replicated[float64]
+	Refused    stats.Replicated[int]
+	// Wall is the summed host wall-clock over the replicates.
+	Wall time.Duration
+}
+
+// N returns the number of completed replicates.
+func (c CellStats) N() int { return len(c.Seeds) }
+
+// MeanRT returns the across-seed mean of per-seed mean response times.
+func (c CellStats) MeanRT() time.Duration { return secDur(c.Mean.Dist.Mean) }
+
+// MeanCI95 returns the CI half-width of MeanRT.
+func (c CellStats) MeanCI95() time.Duration { return secDur(c.Mean.Dist.CI95) }
+
+// secDur converts seconds to a duration.
+func secDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// durSeconds is the projection used for response-time metrics.
+func durSeconds(d time.Duration) float64 { return d.Seconds() }
+
+// newCellStats folds replicate cells (same logical cell, different
+// seeds) into a CellStats. Skipped cells are dropped; an all-skipped
+// group yields a CellStats with N() == 0 and zero metrics.
+func newCellStats(cells []CellResult) CellStats {
+	var (
+		cs      CellStats
+		means   []time.Duration
+		medians []time.Duration
+		p95s    []time.Duration
+		p99s    []time.Duration
+		okFracs []float64
+		refused []int
+	)
+	for _, c := range cells {
+		cs.Wall += c.Wall
+		// Err != nil (not just Skipped) — a cell cancelled mid-run holds
+		// a truncated recorder whose statistics would silently skew the
+		// aggregate.
+		if c.Err != nil {
+			continue
+		}
+		if len(cs.Seeds) == 0 {
+			cs.Name, cs.Policy, cs.Workload, cs.Load = c.Name, c.Policy, c.Workload, c.Load
+		}
+		cs.Seeds = append(cs.Seeds, c.Seed)
+		means = append(means, c.Outcome.RT.Mean())
+		medians = append(medians, c.Outcome.RT.Median())
+		p95s = append(p95s, c.Outcome.RT.Quantile(0.95))
+		p99s = append(p99s, c.Outcome.RT.Quantile(0.99))
+		okFracs = append(okFracs, c.Outcome.OKFraction())
+		refused = append(refused, c.Outcome.Refused)
+	}
+	cs.Mean = stats.NewReplicated(means, durSeconds)
+	cs.Median = stats.NewReplicated(medians, durSeconds)
+	cs.P95 = stats.NewReplicated(p95s, durSeconds)
+	cs.P99 = stats.NewReplicated(p99s, durSeconds)
+	cs.OKFraction = stats.NewReplicated(okFracs, func(f float64) float64 { return f })
+	cs.Refused = stats.NewReplicated(refused, func(n int) float64 { return float64(n) })
+	return cs
+}
+
+// replicateScenarios expands each scenario across the seeds,
+// scenario-major, so the replicates of scenario i are the adjacent
+// cells [i*len(seeds), (i+1)*len(seeds)) of the Runner's output —
+// ready for newCellStats. This is the explicit-scenario counterpart of
+// Sweep's own Seeds axis.
+func replicateScenarios(scenarios []Scenario, seeds []uint64) []Scenario {
+	out := make([]Scenario, 0, len(scenarios)*len(seeds))
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			rep := sc
+			rep.Seed = seed
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// SweepStats is a SweepResult with the replication axis folded away:
+// one CellStats per (policy, load), each aggregating len(Seeds)
+// replicates.
+type SweepStats struct {
+	Policies []PolicySpec
+	Loads    []float64
+	// Seeds is the sweep's replication axis (the requested seeds; a
+	// cell's own Seeds field lists the ones that completed).
+	Seeds []uint64
+	// Cells holds one aggregate per (policy, load), policy-major — the
+	// same order as SweepResult with the seed axis removed.
+	Cells []CellStats
+}
+
+// Cell returns the aggregate at (policy pi, load li).
+func (s SweepStats) Cell(pi, li int) CellStats {
+	return s.Cells[pi*len(s.Loads)+li]
+}
+
+// Aggregate folds the replication axis: every group of len(Seeds)
+// adjacent replicates becomes one CellStats. This is the step that
+// turns a replicated sweep into per-cell mean ± CI.
+func (r SweepResult) Aggregate() SweepStats {
+	agg := SweepStats{
+		Policies: r.Policies,
+		Loads:    r.Loads,
+		Seeds:    r.Seeds,
+		Cells:    make([]CellStats, 0, len(r.Policies)*len(r.Loads)),
+	}
+	for pi := range r.Policies {
+		for li := range r.Loads {
+			group := make([]CellResult, 0, len(r.Seeds))
+			for si := range r.Seeds {
+				group = append(group, r.Cell(pi, li, si))
+			}
+			agg.Cells = append(agg.Cells, newCellStats(group))
+		}
+	}
+	return agg
+}
+
+// RunSweepStats expands and executes the sweep, then aggregates the
+// replication axis — the one-call way to get per-cell mean ± CI out of
+// a Sweep with several Seeds. The error mirrors RunSweep's: non-nil
+// only on cancellation, with the aggregates over the cells that did
+// finish.
+func (r Runner) RunSweepStats(ctx context.Context, s Sweep) (SweepStats, error) {
+	res, err := r.RunSweep(ctx, s)
+	return res.Aggregate(), err
+}

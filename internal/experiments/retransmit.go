@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"srlb/internal/metrics"
@@ -26,27 +27,35 @@ type RetransmitConfig struct {
 	Queries int
 	// RTO is the client's initial retransmission timeout (default 1s,
 	// Linux's floor).
-	RTO      time.Duration
+	RTO time.Duration
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds    []uint64
 	Progress func(string)
 }
 
-// RetransmitRow is one mode's outcome.
+// RetransmitRow is one mode's outcome, aggregated across the
+// replication axis (CI95 fields are zero when N == 1).
 type RetransmitRow struct {
 	Mode string
-	// Completed response-time stats.
+	// Completed response-time stats (across-seed means of per-seed
+	// statistics; Max is the max over all replicates).
 	Median, P95, P99, Max time.Duration
 	Completed             int
 	// Refused counts instant RSTs; TimedOut counts clients that gave up.
 	Refused  int
 	TimedOut int
-	// Retransmits counts extra SYNs sent.
+	// Retransmits counts extra SYNs sent (mean across replicates).
 	Retransmits uint64
+	// N counts the completed replicates behind the row.
+	N                   int
+	MedianCI95, P99CI95 time.Duration
 }
 
 // RetransmitResult compares abort-on-overflow against silent drop.
 type RetransmitResult struct {
-	Rho  float64
-	Rows []RetransmitRow
+	Rho   float64
+	Seeds []uint64
+	Rows  []RetransmitRow
 }
 
 // RunRetransmitAblation executes both modes under identical arrivals —
@@ -70,13 +79,20 @@ func RunRetransmitAblationCtx(ctx context.Context, cfg RetransmitConfig) Retrans
 		cfg.RTO = time.Second
 	}
 	if cfg.Lambda0 == 0 {
-		cal := Calibrate(CalibrationConfig{Cluster: cfg.Cluster})
+		// Through the calibration cache: the retransmit study shares its
+		// cluster (and thus its λ0) with every other figure run on it in
+		// this process.
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
 		cfg.Lambda0 = cal.Lambda0
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{cfg.Cluster.Seed}
 	}
 
 	silentCluster := cfg.Cluster
 	silentCluster.Server.AbortOnOverflow = false
-	scenarios := []Scenario{
+	modes := []Scenario{
 		{
 			Name:     "abort-on-overflow (RST)",
 			Cluster:  cfg.Cluster,
@@ -92,46 +108,85 @@ func RunRetransmitAblationCtx(ctx context.Context, cfg RetransmitConfig) Retrans
 			Load:     cfg.Rho,
 		},
 	}
-	cells, _ := Runner{Progress: cfg.Progress}.Run(ctx, scenarios)
+	cells, _ := Runner{Progress: cfg.Progress}.Run(ctx, replicateScenarios(modes, seeds))
 
-	res := RetransmitResult{Rho: cfg.Rho}
-	for _, cell := range cells {
-		if cell.Skipped() {
+	res := RetransmitResult{Rho: cfg.Rho, Seeds: seeds}
+	for mi := range modes {
+		group := cells[mi*len(seeds) : (mi+1)*len(seeds)]
+		cs := newCellStats(group)
+		if cs.N() == 0 {
 			continue
 		}
-		rt := cell.Outcome.RT
-		row := RetransmitRow{
-			Mode:      cell.Name,
-			Median:    rt.Median(),
-			P95:       rt.Quantile(0.95),
-			P99:       rt.Quantile(0.99),
-			Max:       rt.Max(),
-			Completed: rt.Count(),
-			Refused:   cell.Outcome.Refused,
-			TimedOut:  cell.Outcome.Unfinished,
+		// Metrics newCellStats does not carry: the all-replicate max and
+		// the completion/timeout/retransmit accounting.
+		var (
+			maxRT               time.Duration
+			completed, timedOut int
+			retransmits         float64
+		)
+		for _, cell := range group {
+			if cell.Err != nil { // match newCellStats: no truncated runs
+				continue
+			}
+			maxRT = max(maxRT, cell.Outcome.RT.Max())
+			completed += cell.Outcome.RT.Count()
+			timedOut += cell.Outcome.Unfinished
+			if ps, ok := cell.Outcome.Extra.(PoissonStats); ok {
+				retransmits += float64(ps.Retransmits)
+			}
 		}
-		if stats, ok := cell.Outcome.Extra.(PoissonStats); ok {
-			row.Retransmits = stats.Retransmits
-		}
-		res.Rows = append(res.Rows, row)
+		n := cs.N()
+		res.Rows = append(res.Rows, RetransmitRow{
+			Mode:        cs.Name,
+			Median:      secDur(cs.Median.Dist.Mean),
+			P95:         secDur(cs.P95.Dist.Mean),
+			P99:         secDur(cs.P99.Dist.Mean),
+			Max:         maxRT,
+			Completed:   int(math.Round(float64(completed) / float64(n))),
+			Refused:     int(math.Round(cs.Refused.Dist.Mean)),
+			TimedOut:    int(math.Round(float64(timedOut) / float64(n))),
+			Retransmits: uint64(math.Round(retransmits / float64(n))),
+			N:           n,
+			MedianCI95:  secDur(cs.Median.Dist.CI95),
+			P99CI95:     secDur(cs.P99.Dist.CI95),
+		})
 	}
 	return res
 }
 
-// WriteTSV renders the comparison.
+// WriteTSV renders the comparison; replicated runs gain CI columns.
 func (r RetransmitResult) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# Ablation: tcp_abort_on_overflow (SS IV-C), rho=%.2f\n", r.Rho); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "mode\tmedian_s\tp95_s\tp99_s\tmax_s\tcompleted\trefused\ttimed_out\tretransmits")
+	replicated := len(r.Seeds) > 1
+	if replicated {
+		fmt.Fprintln(w, "mode\tmedian_s\tmedian_ci95_s\tp95_s\tp99_s\tp99_ci95_s\tmax_s\tcompleted\trefused\ttimed_out\tretransmits\tn")
+	} else {
+		fmt.Fprintln(w, "mode\tmedian_s\tp95_s\tp99_s\tmax_s\tcompleted\trefused\ttimed_out\tretransmits")
+	}
 	for _, row := range r.Rows {
-		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
-			row.Mode,
-			metrics.FormatDuration(row.Median),
-			metrics.FormatDuration(row.P95),
-			metrics.FormatDuration(row.P99),
-			metrics.FormatDuration(row.Max),
-			row.Completed, row.Refused, row.TimedOut, row.Retransmits); err != nil {
+		var err error
+		if replicated {
+			_, err = fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+				row.Mode,
+				metrics.FormatDuration(row.Median),
+				metrics.FormatDuration(row.MedianCI95),
+				metrics.FormatDuration(row.P95),
+				metrics.FormatDuration(row.P99),
+				metrics.FormatDuration(row.P99CI95),
+				metrics.FormatDuration(row.Max),
+				row.Completed, row.Refused, row.TimedOut, row.Retransmits, row.N)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+				row.Mode,
+				metrics.FormatDuration(row.Median),
+				metrics.FormatDuration(row.P95),
+				metrics.FormatDuration(row.P99),
+				metrics.FormatDuration(row.Max),
+				row.Completed, row.Refused, row.TimedOut, row.Retransmits)
+		}
+		if err != nil {
 			return err
 		}
 	}

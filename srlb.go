@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"srlb/internal/experiments"
+	"srlb/internal/stats"
 	"srlb/internal/trace"
 	"srlb/internal/wiki"
 )
@@ -33,6 +34,17 @@ type (
 	CellOutcome = experiments.CellOutcome
 	SweepResult = experiments.SweepResult
 
+	// The replication-statistics layer: a Sweep with several Seeds
+	// aggregates into per-cell mean ± 95% CI. Dist summarizes one
+	// metric's replicates; Replicated pairs the raw per-seed values
+	// with their Dist; CellStats/SweepStats are the aggregated forms of
+	// CellResult/SweepResult (see SweepResult.Aggregate and
+	// Runner.RunSweepStats).
+	Dist       = stats.Dist
+	Interval   = stats.Interval
+	CellStats  = experiments.CellStats
+	SweepStats = experiments.SweepStats
+
 	// Workload is the arrival-process-plus-demand-model interface every
 	// scenario replays; these are the built-in implementations.
 	Workload        = experiments.Workload
@@ -56,6 +68,9 @@ type (
 	Fig4Result = experiments.Fig4Result
 	WikiConfig = experiments.WikiConfig
 	WikiResult = experiments.WikiResult
+	// WikiRun is one policy's replay outcome — also the Extra payload a
+	// WikiWorkload/TraceWorkload cell carries.
+	WikiRun = experiments.WikiRun
 
 	// WikiDay parameterizes the synthetic Wikipedia day (§VI).
 	WikiDay = wiki.Config
@@ -90,6 +105,29 @@ var (
 	PaperPolicies = experiments.PaperPolicies
 )
 
+// Replicated pairs a metric's raw per-replicate values with the Dist of
+// their float64 projection — the element type of CellStats
+// (Replicated[time.Duration] for response times, projected to seconds).
+type Replicated[T any] = stats.Replicated[T]
+
+// Describe computes the Dist (mean, std, stderr, Student-t 95% CI) of a
+// sample of observations.
+func Describe(xs []float64) Dist { return stats.Describe(xs) }
+
+// NewReplicated builds a Replicated from per-replicate values and the
+// projection used for aggregation.
+func NewReplicated[T any](values []T, proj func(T) float64) Replicated[T] {
+	return stats.NewReplicated(values, proj)
+}
+
+// BootstrapCI returns the deterministic percentile-bootstrap interval
+// for an arbitrary statistic of xs — the small-sample tool for order
+// statistics (percentiles, CDF bands) where the t interval of Describe
+// does not apply.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, conf float64, seed uint64) Interval {
+	return stats.BootstrapCI(xs, stat, resamples, conf, seed)
+}
+
 // MeanDemand is the paper's Poisson-workload CPU cost mean (100 ms).
 const MeanDemand = experiments.MeanDemand
 
@@ -103,8 +141,16 @@ func RunPoisson(cluster Cluster, policy Policy, ratePerSec float64, queries int)
 	return experiments.RunPoisson(cluster, policy, ratePerSec, queries, experiments.PoissonHooks{})
 }
 
-// Calibrate measures λ0 by bisection (§V-A's bootstrap).
+// Calibrate measures λ0 (§V-A's bootstrap) by a speculative-parallel
+// ladder search: each round probes Calibration.ProbeFan rates
+// concurrently, landing within one bisection tolerance of the serial
+// search in ~ProbeFan× fewer serial rounds.
 func Calibrate(cfg Calibration) CalibrationResult { return experiments.Calibrate(cfg) }
+
+// CalibrateCached is Calibrate behind a process-wide cache keyed by the
+// cluster fingerprint — sweeps and figures sharing a topology calibrate
+// it once.
+func CalibrateCached(cfg Calibration) CalibrationResult { return experiments.CalibrateCached(cfg) }
 
 // Legacy figure entry points. Each is a one-line wrapper over a
 // Scenario/Sweep composition in internal/experiments — prefer building
@@ -159,7 +205,7 @@ func ReadTrace(r io.Reader) ([]TraceEntry, error) { return trace.ReadAll(r) }
 // Sweep against the same calibrated Poisson workload.
 func QuickComparison(seed uint64, servers int, rho float64, queries int) (rrMean, sr4Mean time.Duration) {
 	cluster := Cluster{Seed: seed, Servers: servers}
-	cal := Calibrate(Calibration{Cluster: cluster, Queries: queries})
+	cal := CalibrateCached(Calibration{Cluster: cluster, Queries: queries})
 	res, _ := Runner{}.RunSweep(context.Background(), Sweep{
 		Cluster:  cluster,
 		Policies: []Policy{RR(), SRStatic(4)},

@@ -124,4 +124,42 @@ func TestFacadeCalibrate(t *testing.T) {
 	if cal.Lambda0 <= 0 {
 		t.Fatal("no lambda0")
 	}
+	cached := srlb.CalibrateCached(srlb.Calibration{
+		Cluster: srlb.Cluster{Seed: 4, Servers: 4},
+		Queries: 4000,
+	})
+	if cached.Lambda0 != cal.Lambda0 {
+		t.Fatalf("cached lambda0 %v != direct %v", cached.Lambda0, cal.Lambda0)
+	}
+}
+
+func TestFacadeReplication(t *testing.T) {
+	agg, err := srlb.Runner{}.RunSweepStats(context.Background(), srlb.Sweep{
+		Cluster:  srlb.Cluster{Seed: 9, Servers: 4},
+		Policies: []srlb.Policy{srlb.RR(), srlb.SRStatic(4)},
+		Loads:    []float64{0.85},
+		Seeds:    srlb.DeriveSeeds(9, 3),
+		Workload: srlb.PoissonWorkload{Lambda0: 80, Queries: 1500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell srlb.CellStats = agg.Cell(1, 0)
+	if cell.N() != 3 || cell.MeanCI95() <= 0 {
+		t.Fatalf("replication not aggregated: n=%d ci=%v", cell.N(), cell.MeanCI95())
+	}
+	// The stats layer is usable directly through the facade.
+	var d srlb.Dist = srlb.Describe([]float64{1, 2, 3})
+	if d.N != 3 || d.Mean != 2 {
+		t.Fatalf("Describe: %+v", d)
+	}
+	rep := srlb.NewReplicated([]int{1, 2, 3}, func(v int) float64 { return float64(v) })
+	if rep.Dist.Mean != 2 {
+		t.Fatalf("NewReplicated: %+v", rep.Dist)
+	}
+	mean := func(xs []float64) float64 { return srlb.Describe(xs).Mean }
+	iv := srlb.BootstrapCI([]float64{1, 2, 3, 4}, mean, 200, 0.95, 1)
+	if iv.Lo > 2.5 || iv.Hi < 2.5 {
+		t.Fatalf("bootstrap interval [%v, %v] misses the mean", iv.Lo, iv.Hi)
+	}
 }
