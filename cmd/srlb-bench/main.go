@@ -1,19 +1,24 @@
 // Command srlb-bench regenerates every evaluation artifact of the SRLB
-// paper (figures 2–8), the §V-A λ0 calibration, and the ablation studies,
-// writing one TSV per artifact plus a human-readable summary to stdout.
+// paper (figures 2–8), the §V-A λ0 calibration, the ablation studies,
+// and the topology extensions (bursty arrivals, LB-replica failover,
+// pool churn), writing one TSV per artifact plus a human-readable
+// summary to stdout.
 //
 // Usage:
 //
 //	srlb-bench -experiment all -out results/
 //	srlb-bench -experiment fig2 -queries 20000 -seeds 5
 //	srlb-bench -experiment wiki -compress 24   # 24h replayed as 1 sim-hour
+//	srlb-bench -experiment failover -seeds 5   # kill an LB replica mid-run
+//	srlb-bench -experiment churn               # drain+re-add servers under load
+//	srlb-bench -experiment bursty              # fig2 grid under on/off MMPP arrivals
 //
 // With -seeds N > 1 every Poisson-family experiment (calibrate, figures
-// 2–5, ablations, hetero) replicates its cells across N derived seeds
-// and reports mean ± 95% CI; BENCH_sweep.json (schema v2, see
-// docs/RESULTS_SCHEMA.md) carries the per-cell aggregates. The wiki
-// replay (figures 6–8) stays single-seed — replicate it through the
-// Sweep API as in examples/wikipedia.
+// 2–5, ablations, hetero, bursty, failover, churn) replicates its cells
+// across N derived seeds and reports mean ± 95% CI; BENCH_sweep.json
+// (schema v3, see docs/RESULTS_SCHEMA.md) carries the per-cell
+// aggregates. The wiki replay (figures 6–8) stays single-seed —
+// replicate it through the Sweep API as in examples/wikipedia.
 package main
 
 import (
@@ -54,6 +59,7 @@ func dist(d srlb.Dist) distJSON {
 type sweepCellJSON struct {
 	Policy     string   `json:"policy"`
 	Workload   string   `json:"workload"`
+	Variant    string   `json:"variant,omitempty"`
 	Load       float64  `json:"load"`
 	N          int      `json:"n"`
 	Seeds      []uint64 `json:"seeds"`
@@ -86,7 +92,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|all (wiki covers figures 6-8)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|all (wiki covers figures 6-8)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -103,9 +109,11 @@ func main() {
 		flag.PrintDefaults()
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
-machine-readable summary of the figure-2 sweep (schema v2: n, mean,
-ci95, p50, p99 per cell; documented field-by-field in
-docs/RESULTS_SCHEMA.md).`)
+machine-readable summary of the figure-2 sweep (schema v3: n, mean,
+ci95, p50, p99 per cell, plus the topology-variant label; documented
+field-by-field in docs/RESULTS_SCHEMA.md). The topology experiments
+(failover, churn) and the bursty sweep are described in
+docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
 	// The replication axis, shared by every Poisson-family experiment
@@ -199,18 +207,10 @@ docs/RESULTS_SCHEMA.md).`)
 			}
 			fmt.Printf("   wrote %s\n", filepath.Join(*out, "BENCH_sweep.json"))
 			if *asciiPlot {
-				series := make([]plot.Series, len(res.Policies))
-				for pi, p := range res.Policies {
-					s := plot.Series{Name: p.Name}
-					for ri, rho := range res.Rhos {
-						s.X = append(s.X, rho)
-						s.Y = append(s.Y, res.Points[pi][ri].Mean.Seconds())
-					}
-					series[pi] = s
-				}
+				// CI-aware: replicated sweeps render mean ± ci95 whiskers.
 				if err := plot.Render(os.Stdout, plot.Config{
 					Title: "Figure 2: mean response time (s) vs load", XLabel: "rho", YLabel: "rt(s)",
-				}, series...); err != nil {
+				}, res.Stats.PlotSeries()...); err != nil {
 					return err
 				}
 			}
@@ -345,6 +345,80 @@ docs/RESULTS_SCHEMA.md).`)
 			return writeFile("extension_heterogeneous.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
 	}
+
+	if want("bursty") {
+		needLambda0()
+		run("bursty sweep: fig2 grid under on/off MMPP arrivals", func() error {
+			res := srlb.RunFig2(srlb.Fig2Config{
+				Cluster: cluster, Lambda0: lambda0,
+				Rhos: burstyRhos(*rhoPoints), Seeds: seeds,
+				Workers: *workers, Progress: progress,
+				Workload: srlb.BurstyWorkload{Lambda0: lambda0, Queries: *queries},
+			})
+			if imp, err := res.Improvement("SR 4", 0.88); err == nil {
+				fmt.Printf("   SR4 vs RR at rho=0.88 under bursts: %.2fx\n", imp)
+			}
+			fmt.Println("   rows use the fig2 format (rho + per-policy mean[, ci95]) — diff the TSVs column for column")
+			if *asciiPlot {
+				if err := plot.Render(os.Stdout, plot.Config{
+					Title: "Bursty sweep: mean response time (s) vs load", XLabel: "rho", YLabel: "rt(s)",
+				}, res.Stats.PlotSeries()...); err != nil {
+					return err
+				}
+			}
+			return writeFile("bursty_mean_rt_vs_load.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("failover") {
+		needLambda0()
+		run("extension: LB-replica failover transient (maglev fallback vs random)", func() error {
+			res := srlb.RunFailover(srlb.FailoverConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Seeds: seeds, Workers: *workers, Progress: progress,
+			})
+			for _, m := range res.Modes {
+				fmt.Printf("   %-16s ok=%.4f±%.4f refused=%.0f unfinished=%.0f (n=%d)\n",
+					m.Name, m.Stats.OKFraction.Dist.Mean, m.Stats.OKFraction.Dist.CI95,
+					m.Stats.Refused.Dist.Mean, m.Stats.Unfinished.Dist.Mean, m.Stats.N())
+			}
+			fmt.Printf("   replica 0 of %d killed at t=%.1fs\n", res.Replicas, res.KillAt.Seconds())
+			return writeFile("extension_lb_failover.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("churn") {
+		needLambda0()
+		run("extension: pool churn/autoscale under load", func() error {
+			res := srlb.RunChurn(srlb.ChurnConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Seeds: seeds, Workers: *workers, Progress: progress,
+			})
+			for _, name := range []string{"RR", "SR 4", "SR dyn"} {
+				if pen, err := res.ChurnPenalty(name, 0.95); err == nil {
+					fmt.Printf("   churn penalty %-7s at rho=0.95: %.2fx\n", name, pen)
+				}
+			}
+			return writeFile("extension_churn.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+}
+
+// burstyRhos returns the bursty sweep's load grid: fewer points than
+// fig2 (bursty cells are costlier at equal mean rate), anchored so 0.88
+// is present for the headline comparison.
+func burstyRhos(points int) []float64 {
+	if points > 8 {
+		points = 8
+	}
+	if points < 2 {
+		points = 2
+	}
+	out := make([]float64, points)
+	for i := range out {
+		out[i] = 0.2 + (0.88-0.2)*float64(i)/float64(points-1)
+	}
+	return out
 }
 
 // writeSweepJSON renders the figure-2 sweep aggregates as
@@ -353,7 +427,7 @@ docs/RESULTS_SCHEMA.md).`)
 // ci95 aggregates of its replicates.
 func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
 	doc := sweepJSON{
-		SchemaVersion: 2,
+		SchemaVersion: 3,
 		Lambda0:       lambda0,
 		Workers:       workers,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -367,6 +441,7 @@ func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duratio
 		doc.Cells = append(doc.Cells, sweepCellJSON{
 			Policy:     c.Policy,
 			Workload:   c.Workload,
+			Variant:    c.Variant,
 			Load:       c.Load,
 			N:          c.N(),
 			Seeds:      c.Seeds,

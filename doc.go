@@ -53,10 +53,32 @@
 // RunSweep keeps the raw per-seed cells (SweepResult.Cell(pi, li, si));
 // Aggregate folds them after the fact. The paper's artifacts remain
 // available as one-line wrappers (RunFig2, RunFig3, RunFig4, RunFig5,
-// RunWiki, RunHetero, …), each now a thin Scenario/Sweep composition
-// with its own Seeds knob; cmd/srlb-bench regenerates all of them and
-// emits a machine-readable per-cell summary (BENCH_sweep.json,
-// documented in docs/RESULTS_SCHEMA.md).
+// RunWiki, RunHetero, RunFailover, RunChurn, …), each now a thin
+// Scenario/Sweep composition with its own Seeds knob; cmd/srlb-bench
+// regenerates all of them and emits a machine-readable per-cell summary
+// (BENCH_sweep.json, documented in docs/RESULTS_SCHEMA.md).
+//
+// # Topologies: LB replicas, multiple VIPs, lifecycle events
+//
+// Cluster construction is declarative (docs/TOPOLOGY.md): a Topology
+// names VIPs — each with its own selection scheme, miss-fallback and
+// server pool — attaches N LB replicas through anycast/ECMP (the
+// Maglev/Ananta deployment model that §II-B's consistent-hash selection
+// enables), and schedules lifecycle Events (AddServer, DrainServer,
+// FailServer, FailReplica, RecoverReplica) at virtual times during the
+// run. BuildTopology compiles the value to wired nodes; Cluster remains
+// the one-line single-LB/single-VIP wrapper, so existing figures are
+// untouched. Sweeps gain the matching axis: Sweep.Variants derives
+// topology variants (replica counts, event schedules) from the base
+// cluster, crossed with policies × loads × seeds, deterministic at any
+// worker count.
+//
+// Two first-class experiments ride on this: RunFailover kills an LB
+// replica mid-run and measures the client-observed transient (with the
+// consistent-hash fallback, completions hold at 100% through the kill;
+// with random selection, multi-replica operation is structurally
+// broken), and RunChurn drains and re-adds servers under load,
+// reporting each policy's churn penalty with CIs.
 //
 // # Interpreting results: seeds, CI width, choosing Sweep.Seeds
 //

@@ -55,6 +55,11 @@ type Config struct {
 	// that miss the flow table (e.g. after LB state loss) instead of
 	// dropping them. A consistent-hash scheme makes this deterministic.
 	MissFallback selection.Scheme
+	// MissFallbacks, when non-nil, overrides MissFallback per VIP — the
+	// multi-VIP form (each VIP has its own pool, so each needs its own
+	// fallback table). A VIP absent from the map falls back to
+	// MissFallback, then to dropping.
+	MissFallbacks map[netip.Addr]selection.Scheme
 }
 
 // LoadBalancer is the SRLB forwarding-plane element.
@@ -115,6 +120,15 @@ func (lb *LoadBalancer) FlowCount() int { return lb.flows.Len() }
 
 // FlowStats returns flow-table counters.
 func (lb *LoadBalancer) FlowStats() flowtable.Stats { return lb.flows.Stats() }
+
+// ResetFlows discards all learned flow state — a replica restarting
+// after a failure comes back stateless. The §II-B consistent-hashing
+// selection (and the MissFallback steering path) exist precisely so
+// that this is survivable without state synchronization: any replica
+// recomputes the same flow→server mapping from the packet alone.
+func (lb *LoadBalancer) ResetFlows() {
+	lb.flows = flowtable.New(lb.cfg.Flows)
+}
 
 // SweepNow immediately collects expired flow entries and returns how many
 // were removed.
@@ -180,20 +194,21 @@ func (lb *LoadBalancer) handleSYN(pkt *packet.Packet, scheme selection.Scheme) {
 		return
 	}
 	vip := pkt.IP.Dst
-	out := pkt.Clone()
 	pathSegs := append(append(make([]netip.Addr, 0, len(candidates)+1), candidates...), vip)
 	srh, err := srv6.New(ipv6.ProtoTCP, pathSegs...)
 	if err != nil {
 		panic(fmt.Sprintf("core: hunt SRH: %v", err))
 	}
-	out.SRH = srh
+	// The delivered packet is owned by this node (netsim.Node contract):
+	// mutate it in place rather than cloning on the hot path.
+	pkt.SRH = srh
 	active, err := srh.Active()
 	if err != nil {
 		panic(err)
 	}
-	out.IP.Dst = active
+	pkt.IP.Dst = active
 	lb.Counts.Inc("hunts_started")
-	lb.net.Send(out)
+	lb.net.Send(pkt)
 }
 
 // handleReturn processes a server→client packet SR-routed through the LB:
@@ -225,11 +240,10 @@ func (lb *LoadBalancer) handleReturn(pkt *packet.Packet) {
 		lb.Counts.Inc("flows_learned")
 	}
 	// Strip the SRH: the client is SR-oblivious.
-	out := pkt.Clone()
-	out.SRH = nil
-	out.IP.Dst = client
+	pkt.SRH = nil
+	pkt.IP.Dst = client
 	lb.Counts.Inc("returns_relayed")
-	lb.net.Send(out)
+	lb.net.Send(pkt)
 }
 
 // handleSteered forwards mid-flow client packets to the accepting server.
@@ -237,8 +251,8 @@ func (lb *LoadBalancer) handleSteered(pkt *packet.Packet) {
 	flow := pkt.Flow()
 	server, ok := lb.flows.Lookup(lb.sim.Now(), flow)
 	if !ok {
-		if lb.cfg.MissFallback != nil {
-			if cands := lb.cfg.MissFallback.Pick(flow); len(cands) > 0 {
+		if fb := lb.missFallback(pkt.IP.Dst); fb != nil {
+			if cands := fb.Pick(flow); len(cands) > 0 {
 				server = cands[0]
 				ok = true
 				lb.Counts.Inc("miss_fallback")
@@ -254,15 +268,22 @@ func (lb *LoadBalancer) handleSteered(pkt *packet.Packet) {
 		lb.Counts.Inc("closing_observed")
 	}
 	vip := pkt.IP.Dst
-	out := pkt.Clone()
 	srh, err := srv6.New(ipv6.ProtoTCP, server, vip)
 	if err != nil {
 		panic(fmt.Sprintf("core: steer SRH: %v", err))
 	}
-	out.SRH = srh
-	out.IP.Dst = server
+	pkt.SRH = srh
+	pkt.IP.Dst = server
 	lb.Counts.Inc("steered")
-	lb.net.Send(out)
+	lb.net.Send(pkt)
+}
+
+// missFallback returns the steering fallback scheme for the given VIP.
+func (lb *LoadBalancer) missFallback(vip netip.Addr) selection.Scheme {
+	if fb, ok := lb.cfg.MissFallbacks[vip]; ok && fb != nil {
+		return fb
+	}
+	return lb.cfg.MissFallback
 }
 
 var _ netsim.Node = (*LoadBalancer)(nil)

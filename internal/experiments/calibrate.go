@@ -185,6 +185,10 @@ func (cfg CalibrationConfig) fingerprint() string {
 	cl := cfg.Cluster
 	fmt.Fprintf(&b, "seed=%d;servers=%d;clients=%d;chash=%t;server=%+v",
 		cl.Seed, cl.Servers, cl.Clients, cl.ConsistentHash, cl.Server)
+	if cl.Replicas > 1 || cl.MissFallback || len(cl.Events) > 0 {
+		fmt.Fprintf(&b, ";replicas=%d;fallback=%t;events=%+v",
+			cl.Replicas, cl.MissFallback, cl.Events)
+	}
 	if cl.ServerOverride != nil {
 		for i := 0; i < cl.Servers; i++ {
 			fmt.Fprintf(&b, ";o%d=%+v", i, cl.ServerOverride(i))

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/metrics"
+	"srlb/internal/testbed"
+)
+
+// ChurnConfig is the pool-churn / autoscale experiment: mid-run, part of
+// the server pool is drained (scale-in under load — established flows
+// finish, no new connections land there) and later replaced by freshly
+// added servers (scale-out). Each load point runs two topology variants
+// under identical arrivals:
+//
+//   - "steady" — the fixed pool, the baseline every figure uses.
+//   - "churn"  — the drain/add schedule above.
+//
+// The measurement is how much of the churn window's capacity squeeze
+// each policy passes through to clients: Service Hunting steers new
+// connections around the drained servers' queues and onto fresh ones by
+// construction, while the random spray only finds them by luck.
+type ChurnConfig struct {
+	Cluster ClusterConfig
+	Lambda0 float64
+	// Rhos are the normalized loads, relative to the BASE pool's
+	// capacity (default {0.5, 0.75, 0.95}).
+	Rhos []float64
+	// ChurnBy is how many servers drain and are later re-added (default
+	// a third of the pool, at least 1).
+	ChurnBy int
+	// DrainFrac and GrowFrac place the two phases on the arrival span
+	// (defaults 0.3 and 0.65).
+	DrainFrac, GrowFrac float64
+	// Queries per cell (default 20000).
+	Queries int
+	// Policies defaults to {RR, SR4, SRdyn}.
+	Policies []PolicySpec
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds    []uint64
+	Workers  int
+	Progress func(string)
+}
+
+// ChurnRow is one (policy, rho, variant) outcome, aggregated across the
+// replication axis.
+type ChurnRow struct {
+	Policy string
+	Rho    float64
+	// Mode is "steady" or "churn".
+	Mode string
+	// N counts completed replicates.
+	N                   int
+	Mean, MeanCI95, P99 time.Duration
+	OKFrac, OKFracCI95  float64
+	// Refused and Unfinished are across-seed mean counts.
+	Refused, Unfinished float64
+}
+
+// ChurnResult holds the full grid.
+type ChurnResult struct {
+	Lambda0 float64
+	ChurnBy int
+	Seeds   []uint64
+	Rows    []ChurnRow
+}
+
+// RunChurn executes the experiment.
+func RunChurn(cfg ChurnConfig) ChurnResult { return RunChurnCtx(context.Background(), cfg) }
+
+// RunChurnCtx is RunChurn with cancellation; cancelled cells are dropped
+// from the aggregates.
+func RunChurnCtx(ctx context.Context, cfg ChurnConfig) ChurnResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if len(cfg.Rhos) == 0 {
+		cfg.Rhos = []float64{0.5, 0.75, 0.95}
+	}
+	if cfg.ChurnBy == 0 {
+		cfg.ChurnBy = max(1, cfg.Cluster.Servers/3)
+	}
+	if cfg.DrainFrac == 0 {
+		cfg.DrainFrac = 0.3
+	}
+	if cfg.GrowFrac == 0 {
+		cfg.GrowFrac = 0.65
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{RR(), SRc(4), SRdyn()}
+	}
+	if cfg.Lambda0 == 0 {
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+
+	res := ChurnResult{Lambda0: cfg.Lambda0, ChurnBy: cfg.ChurnBy}
+	// Event times scale with the arrival span, which depends on the
+	// rate: each load point is its own (small) sweep with its own
+	// schedule, all of them sharing the policies × variants × seeds grid.
+	for _, rho := range cfg.Rhos {
+		rate := rho * cfg.Lambda0
+		span := time.Duration(float64(cfg.Queries) / rate * float64(time.Second))
+		stagger := span / 100
+		events := make([]testbed.Event, 0, 2*cfg.ChurnBy)
+		for g := 0; g < cfg.ChurnBy; g++ {
+			at := time.Duration(cfg.DrainFrac*float64(span)) + time.Duration(g)*stagger
+			events = append(events, testbed.DrainServer(at, 0, g))
+		}
+		for g := 0; g < cfg.ChurnBy; g++ {
+			at := time.Duration(cfg.GrowFrac*float64(span)) + time.Duration(g)*stagger
+			events = append(events, testbed.AddServer(at, 0))
+		}
+		agg, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweepStats(ctx, Sweep{
+			Cluster:  cfg.Cluster,
+			Policies: cfg.Policies,
+			Variants: []ClusterVariant{
+				{Name: "steady"},
+				{Name: "churn", Apply: func(c ClusterConfig) ClusterConfig {
+					c.Events = events
+					return c
+				}},
+			},
+			Loads:    []float64{rho},
+			Seeds:    cfg.Seeds,
+			Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+		})
+		if len(res.Seeds) == 0 {
+			res.Seeds = agg.Seeds
+		}
+		for pi, spec := range cfg.Policies {
+			for vi, mode := range []string{"steady", "churn"} {
+				cs := agg.CellAt(pi, vi, 0)
+				if cs.N() == 0 {
+					continue
+				}
+				res.Rows = append(res.Rows, ChurnRow{
+					Policy: spec.Name, Rho: rho, Mode: mode, N: cs.N(),
+					Mean:     secDur(cs.Mean.Dist.Mean),
+					MeanCI95: secDur(cs.Mean.Dist.CI95),
+					P99:      secDur(cs.P99.Dist.Mean),
+					OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+					Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// WriteTSV renders the grid: one row per (rho, policy, mode).
+func (r ChurnResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Pool churn/autoscale: drain+re-add %d servers mid-run; lambda0=%.1f q/s\n",
+		r.ChurnBy, r.Lambda0); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "rho\tpolicy\tmode\tmean_s\tmean_ci95_s\tp99_s\tok_frac\tok_ci95\trefused\tunfinished\tn"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%.2f\t%s\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.0f\t%.0f\t%d\n",
+			row.Rho, row.Policy, row.Mode,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.MeanCI95),
+			metrics.FormatDuration(row.P99),
+			row.OKFrac, row.OKFracCI95, row.Refused, row.Unfinished, row.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChurnPenalty returns the churn/steady mean-RT ratio for the policy at
+// the rho closest to the requested load — "how much slower did clients
+// get because the pool churned".
+func (r ChurnResult) ChurnPenalty(policyName string, rho float64) (float64, error) {
+	var steady, churn time.Duration
+	bestDiff := 2.0
+	for _, row := range r.Rows {
+		if row.Policy != policyName {
+			continue
+		}
+		d := row.Rho - rho
+		if d < 0 {
+			d = -d
+		}
+		if d > bestDiff {
+			continue
+		}
+		if d < bestDiff {
+			bestDiff = d
+			steady, churn = 0, 0
+		}
+		switch row.Mode {
+		case "steady":
+			steady = row.Mean
+		case "churn":
+			churn = row.Mean
+		}
+	}
+	if steady == 0 || churn == 0 {
+		return 0, fmt.Errorf("churn: no complete steady/churn pair for %q near rho=%.2f", policyName, rho)
+	}
+	return float64(churn) / float64(steady), nil
+}

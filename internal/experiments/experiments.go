@@ -92,6 +92,18 @@ type ClusterConfig struct {
 	// clusters with mixed core counts or worker pools. A zero Config falls
 	// back to Server.
 	ServerOverride func(i int) appserver.Config
+
+	// Replicas is the number of LB replicas behind the anycast VIP
+	// (default 1 — the paper's single LB). With more than one, flows are
+	// ECMP-spread across stateless replicas (the Maglev/Ananta model).
+	Replicas int
+	// MissFallback installs a consistent-hash steering fallback on each
+	// replica: mid-flow packets that miss the flow table (cross-replica
+	// ECMP, replica restart) are hashed to a server instead of dropped.
+	MissFallback bool
+	// Events is the lifecycle schedule (server drain/add/fail, replica
+	// fail/recover) applied at virtual times during each run.
+	Events []testbed.Event
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -118,13 +130,16 @@ func (c ClusterConfig) TheoreticalCapacity() float64 {
 	return float64(c.Servers) * c.Server.Cores / MeanDemand.Seconds()
 }
 
-func (c ClusterConfig) testbedConfig(spec PolicySpec) testbed.Config {
+// topology lowers the cluster + policy pair into the declarative
+// testbed.Topology — the one place the legacy knobs (ConsistentHash,
+// Replicas, MissFallback, Events) map onto VIPSpec fields. A default
+// ClusterConfig compiles to the identical single-LB/single-VIP cluster
+// the pre-Topology testbed built.
+func (c ClusterConfig) topology(spec PolicySpec) testbed.Topology {
 	c = c.withDefaults()
-	cfg := testbed.Config{
-		Seed:           c.Seed,
+	vip := testbed.VIPSpec{
 		Servers:        c.Servers,
 		Server:         c.Server,
-		Clients:        c.Clients,
 		ServerOverride: c.ServerOverride,
 		Policy:         func(int) agent.Policy { return spec.NewAgent() },
 	}
@@ -132,20 +147,32 @@ func (c ClusterConfig) testbedConfig(spec PolicySpec) testbed.Config {
 	if k <= 0 {
 		k = 2
 	}
+	chash := func(servers []netip.Addr) selection.Scheme {
+		s, err := selection.NewConsistentHash(servers, 0)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
 	if c.ConsistentHash && k == 2 {
-		cfg.Scheme = func(servers []netip.Addr, _ *rand.Rand) selection.Scheme {
-			s, err := selection.NewConsistentHash(servers, 0)
-			if err != nil {
-				panic(err)
-			}
-			return s
+		vip.Scheme = func(servers []netip.Addr, _ *rand.Rand) selection.Scheme {
+			return chash(servers)
 		}
 	} else {
-		cfg.Scheme = func(servers []netip.Addr, r *rand.Rand) selection.Scheme {
+		vip.Scheme = func(servers []netip.Addr, r *rand.Rand) selection.Scheme {
 			return selection.NewRandom(servers, k, r)
 		}
 	}
-	return cfg
+	if c.MissFallback {
+		vip.Fallback = chash
+	}
+	return testbed.Topology{
+		Seed:     c.Seed,
+		Replicas: c.Replicas,
+		Clients:  c.Clients,
+		VIPs:     []testbed.VIPSpec{vip},
+		Events:   c.Events,
+	}
 }
 
 // PoissonRun is the outcome of one (policy, rate) Poisson experiment.

@@ -31,6 +31,12 @@ type Fig2Config struct {
 	Workers int
 	// Progress, if non-nil, receives one line per finished point.
 	Progress func(string)
+	// Workload, when non-nil, replaces the default Poisson workload —
+	// the same policies × loads grid replayed under another arrival
+	// process (srlb-bench's bursty sweep passes BurstyWorkload here).
+	// The workload's own Lambda0/Queries fields apply; cfg.Lambda0 still
+	// normalizes the reported axis and cfg.Queries is ignored.
+	Workload Workload
 }
 
 // DefaultRhos returns 24 evenly spaced loads in (0, 1): 0.04 … 0.96.
@@ -62,11 +68,16 @@ type Fig2Point struct {
 
 // Fig2Result holds the full sweep, indexed [policy][rhoIdx].
 type Fig2Result struct {
-	Lambda0  float64
-	Policies []PolicySpec
-	Rhos     []float64
-	Seeds    []uint64
-	Points   [][]Fig2Point
+	Lambda0 float64
+	// WorkloadLabel names the arrival process when it is not the default
+	// Poisson one (empty otherwise) — it only changes the TSV header;
+	// the row format is identical across workloads, so sweeps compare
+	// column for column.
+	WorkloadLabel string
+	Policies      []PolicySpec
+	Rhos          []float64
+	Seeds         []uint64
+	Points        [][]Fig2Point
 	// Cells are the raw sweep cells (Scenarios() order), including
 	// per-cell wall-clock.
 	Cells []CellResult
@@ -97,16 +108,24 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 		cfg.Policies = PaperPolicies()
 	}
 
+	workload := cfg.Workload
+	var workloadLabel string
+	if workload == nil {
+		workload = PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries}
+	} else {
+		workloadLabel = workload.Label()
+	}
 	sweep, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
 		Cluster:  cfg.Cluster,
 		Policies: cfg.Policies,
 		Loads:    cfg.Rhos,
 		Seeds:    cfg.Seeds,
-		Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+		Workload: workload,
 	})
 	agg := sweep.Aggregate()
 
-	res := Fig2Result{Lambda0: cfg.Lambda0, Policies: cfg.Policies, Rhos: cfg.Rhos,
+	res := Fig2Result{Lambda0: cfg.Lambda0, WorkloadLabel: workloadLabel,
+		Policies: cfg.Policies, Rhos: cfg.Rhos,
 		Seeds: sweep.Seeds, Cells: sweep.Cells, Stats: agg}
 	res.Points = make([][]Fig2Point, len(cfg.Policies))
 	for pi := range cfg.Policies {
@@ -139,7 +158,11 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 // adds a <policy>_ci95 half-width column next to every mean.
 func (r Fig2Result) WriteTSV(w io.Writer) error {
 	replicated := len(r.Seeds) > 1
-	if _, err := fmt.Fprintf(w, "# Figure 2: mean response time (s) vs normalized load; lambda0=%.1f q/s", r.Lambda0); err != nil {
+	title := "Figure 2"
+	if r.WorkloadLabel != "" {
+		title = r.WorkloadLabel + " sweep"
+	}
+	if _, err := fmt.Fprintf(w, "# %s: mean response time (s) vs normalized load; lambda0=%.1f q/s", title, r.Lambda0); err != nil {
 		return err
 	}
 	if replicated {

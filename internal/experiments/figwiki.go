@@ -163,7 +163,7 @@ func RunWikiCtx(ctx context.Context, cfg WikiConfig) WikiResult {
 // speed lives in day.Compression).
 func runWikiReplay(ctx context.Context, cluster ClusterConfig, spec PolicySpec, day wiki.Config, cost wiki.CostModel, binWidth time.Duration, entries []trace.Entry, speed float64) (WikiRun, error) {
 	cluster = cluster.withDefaults()
-	tbCfg := cluster.testbedConfig(spec)
+	top := cluster.topology(spec)
 	// The replicas compute demand from the URL and their cache state.
 	// Caches start prewarmed with the popular head (the paper's replicas
 	// are long-running MediaWiki installations, not cold starts) and are
@@ -171,12 +171,15 @@ func runWikiReplay(ctx context.Context, cluster ClusterConfig, spec PolicySpec, 
 	replicas := make([]*wiki.Replica, cluster.Servers)
 	model := cost.ScaledTo(day.CatalogPages())
 	model.Prewarm = true
-	tbCfg.Demand = func(i int) vrouter.DemandFn {
+	top.VIPs[0].Demand = func(i int) vrouter.DemandFn {
 		rep := wiki.NewReplica(cluster.Seed+uint64(i)*7919, model)
+		for len(replicas) <= i { // servers added by lifecycle events
+			replicas = append(replicas, nil)
+		}
 		replicas[i] = rep
 		return rep.Demand
 	}
-	tb := testbed.New(tbCfg)
+	tb := testbed.Build(top)
 
 	virtualHorizon := day.VirtualHorizon()
 	if n := len(entries); n > 0 {
@@ -249,7 +252,9 @@ func runWikiReplay(ctx context.Context, cluster ClusterConfig, spec PolicySpec, 
 		schedule()
 	}
 	err := runSim(ctx, tb.Sim, virtualHorizon+2*time.Minute)
-	run.Refused += tb.Gen.DrainPending()
+	// Drained queries report through OnResult above (!res.OK), so they
+	// are already in run.Refused — do not add the return count on top.
+	tb.Gen.DrainPending()
 	for _, rep := range replicas {
 		if rep != nil {
 			run.HitRates = append(run.HitRates, rep.HitRate())

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"srlb/internal/plot"
 	"srlb/internal/stats"
 )
 
@@ -17,10 +19,11 @@ import (
 // estimates equal the underlying cell's and every CI95 is zero
 // ("unknown", not "exact" — see the stats package documentation).
 type CellStats struct {
-	// Name, Policy, Workload, Load identify the logical cell.
+	// Name, Policy, Workload, Variant, Load identify the logical cell.
 	Name     string
 	Policy   string
 	Workload string
+	Variant  string
 	Load     float64
 	// Seeds lists the replicates that ran to completion. Cancelled
 	// replicates — skipped or interrupted mid-run — are dropped, so N()
@@ -29,10 +32,11 @@ type CellStats struct {
 	// Mean, Median, P95, P99 summarize the per-seed response-time
 	// statistics, projected to seconds.
 	Mean, Median, P95, P99 stats.Replicated[time.Duration]
-	// OKFraction and Refused summarize the per-seed completion
-	// accounting.
+	// OKFraction, Refused and Unfinished summarize the per-seed
+	// completion accounting.
 	OKFraction stats.Replicated[float64]
 	Refused    stats.Replicated[int]
+	Unfinished stats.Replicated[int]
 	// Wall is the summed host wall-clock over the replicates.
 	Wall time.Duration
 }
@@ -59,13 +63,14 @@ func durSeconds(d time.Duration) float64 { return d.Seconds() }
 // group yields a CellStats with N() == 0 and zero metrics.
 func newCellStats(cells []CellResult) CellStats {
 	var (
-		cs      CellStats
-		means   []time.Duration
-		medians []time.Duration
-		p95s    []time.Duration
-		p99s    []time.Duration
-		okFracs []float64
-		refused []int
+		cs         CellStats
+		means      []time.Duration
+		medians    []time.Duration
+		p95s       []time.Duration
+		p99s       []time.Duration
+		okFracs    []float64
+		refused    []int
+		unfinished []int
 	)
 	for _, c := range cells {
 		cs.Wall += c.Wall
@@ -76,7 +81,7 @@ func newCellStats(cells []CellResult) CellStats {
 			continue
 		}
 		if len(cs.Seeds) == 0 {
-			cs.Name, cs.Policy, cs.Workload, cs.Load = c.Name, c.Policy, c.Workload, c.Load
+			cs.Name, cs.Policy, cs.Workload, cs.Variant, cs.Load = c.Name, c.Policy, c.Workload, c.Variant, c.Load
 		}
 		cs.Seeds = append(cs.Seeds, c.Seed)
 		means = append(means, c.Outcome.RT.Mean())
@@ -85,13 +90,16 @@ func newCellStats(cells []CellResult) CellStats {
 		p99s = append(p99s, c.Outcome.RT.Quantile(0.99))
 		okFracs = append(okFracs, c.Outcome.OKFraction())
 		refused = append(refused, c.Outcome.Refused)
+		unfinished = append(unfinished, c.Outcome.Unfinished)
 	}
+	intVal := func(n int) float64 { return float64(n) }
 	cs.Mean = stats.NewReplicated(means, durSeconds)
 	cs.Median = stats.NewReplicated(medians, durSeconds)
 	cs.P95 = stats.NewReplicated(p95s, durSeconds)
 	cs.P99 = stats.NewReplicated(p99s, durSeconds)
 	cs.OKFraction = stats.NewReplicated(okFracs, func(f float64) float64 { return f })
-	cs.Refused = stats.NewReplicated(refused, func(n int) float64 { return float64(n) })
+	cs.Refused = stats.NewReplicated(refused, intVal)
+	cs.Unfinished = stats.NewReplicated(unfinished, intVal)
 	return cs
 }
 
@@ -113,22 +121,38 @@ func replicateScenarios(scenarios []Scenario, seeds []uint64) []Scenario {
 }
 
 // SweepStats is a SweepResult with the replication axis folded away:
-// one CellStats per (policy, load), each aggregating len(Seeds)
-// replicates.
+// one CellStats per (policy, variant, load), each aggregating
+// len(Seeds) replicates.
 type SweepStats struct {
 	Policies []PolicySpec
+	Variants []ClusterVariant
 	Loads    []float64
 	// Seeds is the sweep's replication axis (the requested seeds; a
 	// cell's own Seeds field lists the ones that completed).
 	Seeds []uint64
-	// Cells holds one aggregate per (policy, load), policy-major — the
-	// same order as SweepResult with the seed axis removed.
+	// Cells holds one aggregate per (policy, variant, load),
+	// policy-major — the same order as SweepResult with the seed axis
+	// removed.
 	Cells []CellStats
 }
 
-// Cell returns the aggregate at (policy pi, load li).
+// variants returns the variant-axis length (1 for pre-variant results).
+func (s SweepStats) variants() int {
+	if len(s.Variants) == 0 {
+		return 1
+	}
+	return len(s.Variants)
+}
+
+// Cell returns the aggregate at (policy pi, load li) of the first (for
+// variant-free sweeps, the only) topology variant.
 func (s SweepStats) Cell(pi, li int) CellStats {
-	return s.Cells[pi*len(s.Loads)+li]
+	return s.CellAt(pi, 0, li)
+}
+
+// CellAt returns the aggregate at (policy pi, variant vi, load li).
+func (s SweepStats) CellAt(pi, vi, li int) CellStats {
+	return s.Cells[(pi*s.variants()+vi)*len(s.Loads)+li]
 }
 
 // Aggregate folds the replication axis: every group of len(Seeds)
@@ -137,20 +161,57 @@ func (s SweepStats) Cell(pi, li int) CellStats {
 func (r SweepResult) Aggregate() SweepStats {
 	agg := SweepStats{
 		Policies: r.Policies,
+		Variants: r.Variants,
 		Loads:    r.Loads,
 		Seeds:    r.Seeds,
-		Cells:    make([]CellStats, 0, len(r.Policies)*len(r.Loads)),
+		Cells:    make([]CellStats, 0, len(r.Policies)*r.variants()*len(r.Loads)),
 	}
 	for pi := range r.Policies {
-		for li := range r.Loads {
-			group := make([]CellResult, 0, len(r.Seeds))
-			for si := range r.Seeds {
-				group = append(group, r.Cell(pi, li, si))
+		for vi := 0; vi < r.variants(); vi++ {
+			for li := range r.Loads {
+				group := make([]CellResult, 0, len(r.Seeds))
+				for si := range r.Seeds {
+					group = append(group, r.CellAt(pi, vi, li, si))
+				}
+				agg.Cells = append(agg.Cells, newCellStats(group))
 			}
-			agg.Cells = append(agg.Cells, newCellStats(group))
 		}
 	}
 	return agg
+}
+
+// PlotSeries renders the aggregate as mean-RT-vs-load lines — one
+// plot.Series per (policy, variant), y in seconds, with the per-point
+// Student-t 95% half-width as the error bar. Replicated sweeps thus
+// plot their CIs; single-seed sweeps degrade to plain lines (every
+// half-width is zero).
+func (s SweepStats) PlotSeries() []plot.Series {
+	out := make([]plot.Series, 0, len(s.Policies)*s.variants())
+	for pi, spec := range s.Policies {
+		for vi := 0; vi < s.variants(); vi++ {
+			name := spec.Name
+			if len(s.Variants) > vi && s.Variants[vi].Name != "" {
+				name = fmt.Sprintf("%s/%s", spec.Name, s.Variants[vi].Name)
+			}
+			ser := plot.Series{
+				Name: name,
+				X:    make([]float64, 0, len(s.Loads)),
+				Y:    make([]float64, 0, len(s.Loads)),
+				YErr: make([]float64, 0, len(s.Loads)),
+			}
+			for li, load := range s.Loads {
+				cs := s.CellAt(pi, vi, li)
+				if cs.N() == 0 {
+					continue
+				}
+				ser.X = append(ser.X, load)
+				ser.Y = append(ser.Y, cs.Mean.Dist.Mean)
+				ser.YErr = append(ser.YErr, cs.Mean.Dist.CI95)
+			}
+			out = append(out, ser)
+		}
+	}
+	return out
 }
 
 // RunSweepStats expands and executes the sweep, then aggregates the

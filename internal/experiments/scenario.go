@@ -16,6 +16,9 @@ type Scenario struct {
 	Cluster  ClusterConfig
 	Policy   PolicySpec
 	Workload Workload
+	// Variant labels the topology variant the Cluster was derived from
+	// (set by Sweep.Scenarios; empty for the identity variant).
+	Variant string
 	// Load is the workload intensity (default 1).
 	Load float64
 	// Seed, when nonzero, overrides Cluster.Seed — the replication axis.
@@ -42,6 +45,9 @@ func (sc Scenario) label() string {
 	if sc.Name != "" {
 		return sc.Name
 	}
+	if sc.Variant != "" {
+		return fmt.Sprintf("%s/%s %s load=%.2f", sc.Policy.Name, sc.Variant, sc.Workload.Label(), sc.load())
+	}
 	return fmt.Sprintf("%s %s load=%.2f", sc.Policy.Name, sc.Workload.Label(), sc.load())
 }
 
@@ -55,6 +61,7 @@ func (sc Scenario) Run(ctx context.Context) CellResult {
 		Name:     sc.label(),
 		Policy:   sc.Policy.Name,
 		Workload: sc.Workload.Label(),
+		Variant:  sc.Variant,
 		Load:     sc.load(),
 		Seed:     sc.Cluster.Seed,
 	}
@@ -68,10 +75,11 @@ func (sc Scenario) Run(ctx context.Context) CellResult {
 type CellResult struct {
 	// Index is the scenario's position in the Runner's input.
 	Index int
-	// Name, Policy, Workload, Load, Seed identify the cell.
+	// Name, Policy, Workload, Variant, Load, Seed identify the cell.
 	Name     string
 	Policy   string
 	Workload string
+	Variant  string
 	Load     float64
 	Seed     uint64
 	// Outcome is the workload's measurement (partial when Err != nil,

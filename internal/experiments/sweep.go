@@ -1,13 +1,29 @@
 package experiments
 
-// Sweep enumerates the cross product policies × loads × seeds over one
-// workload — "run policy set P over workload W on cluster C, swept over
-// load points, replicated over seeds" as a single value. Expand it with
-// Scenarios, or hand it to Runner.RunSweep.
+// ClusterVariant derives a topology variant from a sweep's base cluster
+// — the topology/event axis. Variants sweep what ClusterConfig alone
+// cannot express as a scalar: replica counts, miss-fallback schemes,
+// lifecycle-event schedules (see RunFailover and RunChurn).
+type ClusterVariant struct {
+	// Name labels the variant in cell names and artifacts. Empty names
+	// the identity variant.
+	Name string
+	// Apply derives the variant's cluster from the base (nil = identity).
+	Apply func(ClusterConfig) ClusterConfig
+}
+
+// Sweep enumerates the cross product policies × variants × loads × seeds
+// over one workload — "run policy set P over workload W on cluster C (and
+// its topology variants), swept over load points, replicated over seeds"
+// as a single value. Expand it with Scenarios, or hand it to
+// Runner.RunSweep.
 type Sweep struct {
 	Cluster ClusterConfig
 	// Policies defaults to PaperPolicies().
 	Policies []PolicySpec
+	// Variants is the topology/event axis (default: the identity
+	// variant alone).
+	Variants []ClusterVariant
 	// Loads are the workload intensities to sweep (default {1}).
 	Loads []float64
 	// Seeds is the replication axis (default {Cluster.Seed}).
@@ -19,6 +35,9 @@ type Sweep struct {
 func (s Sweep) withDefaults() Sweep {
 	if len(s.Policies) == 0 {
 		s.Policies = PaperPolicies()
+	}
+	if len(s.Variants) == 0 {
+		s.Variants = []ClusterVariant{{}}
 	}
 	if len(s.Loads) == 0 {
 		s.Loads = []float64{1}
@@ -32,25 +51,33 @@ func (s Sweep) withDefaults() Sweep {
 // Size returns the number of cells in the cross product.
 func (s Sweep) Size() int {
 	s = s.withDefaults()
-	return len(s.Policies) * len(s.Loads) * len(s.Seeds)
+	return len(s.Policies) * len(s.Variants) * len(s.Loads) * len(s.Seeds)
 }
 
 // Scenarios expands the cross product in deterministic order:
-// policy-major, then load, then seed. The scenario at (pi, li, si) has
-// index (pi×len(Loads)+li)×len(Seeds)+si — SweepResult.Cell inverts this.
+// policy-major, then variant, then load, then seed. The scenario at
+// (pi, vi, li, si) has index ((pi×V+vi)×L+li)×S+si —
+// SweepResult.CellAt inverts this.
 func (s Sweep) Scenarios() []Scenario {
 	s = s.withDefaults()
 	out := make([]Scenario, 0, s.Size())
 	for _, spec := range s.Policies {
-		for _, load := range s.Loads {
-			for _, seed := range s.Seeds {
-				out = append(out, Scenario{
-					Cluster:  s.Cluster,
-					Policy:   spec,
-					Workload: s.Workload,
-					Load:     load,
-					Seed:     seed,
-				})
+		for _, va := range s.Variants {
+			cluster := s.Cluster
+			if va.Apply != nil {
+				cluster = va.Apply(cluster)
+			}
+			for _, load := range s.Loads {
+				for _, seed := range s.Seeds {
+					out = append(out, Scenario{
+						Cluster:  cluster,
+						Policy:   spec,
+						Variant:  va.Name,
+						Workload: s.Workload,
+						Load:     load,
+						Seed:     seed,
+					})
+				}
 			}
 		}
 	}
@@ -75,13 +102,28 @@ func DeriveSeeds(base uint64, n int) []uint64 {
 // SweepResult indexes the runner's flat cell slice by the sweep's axes.
 type SweepResult struct {
 	Policies []PolicySpec
+	Variants []ClusterVariant
 	Loads    []float64
 	Seeds    []uint64
 	// Cells holds one result per scenario, in Scenarios() order.
 	Cells []CellResult
 }
 
-// Cell returns the result at (policy pi, load li, seed si).
+// variants returns the variant-axis length (1 for pre-variant results).
+func (r SweepResult) variants() int {
+	if len(r.Variants) == 0 {
+		return 1
+	}
+	return len(r.Variants)
+}
+
+// Cell returns the result at (policy pi, load li, seed si) of the first
+// (for variant-free sweeps, the only) topology variant.
 func (r SweepResult) Cell(pi, li, si int) CellResult {
-	return r.Cells[(pi*len(r.Loads)+li)*len(r.Seeds)+si]
+	return r.CellAt(pi, 0, li, si)
+}
+
+// CellAt returns the result at (policy pi, variant vi, load li, seed si).
+func (r SweepResult) CellAt(pi, vi, li, si int) CellResult {
+	return r.Cells[((pi*r.variants()+vi)*len(r.Loads)+li)*len(r.Seeds)+si]
 }

@@ -213,7 +213,7 @@ type arrivalStream interface {
 // horizon guard; rto enables client SYN retransmission.
 func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, arrivals arrivalStream, meanRate float64, queries int, rto time.Duration, hooks PoissonHooks) (CellOutcome, error) {
 	cluster = cluster.withDefaults()
-	tb := testbed.New(cluster.testbedConfig(spec))
+	tb := testbed.Build(cluster.topology(spec))
 	tb.Gen.RetransmitRTO = rto
 
 	out := CellOutcome{RT: metrics.NewRecorder(queries)}
@@ -259,7 +259,10 @@ func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, ar
 	}
 	tb.Sim.At(arrivals.Next(), launchNext)
 	err := runSim(ctx, tb.Sim, horizon)
-	out.Unfinished += tb.Gen.DrainPending()
+	// Drained queries report through OnResult above (OK and Refused both
+	// false), so they land in out.Unfinished there — do not add the
+	// return count on top.
+	tb.Gen.DrainPending()
 
 	stats := PoissonStats{
 		ServerCompleted: make([]uint64, len(tb.Servers)),

@@ -24,13 +24,20 @@ import (
 
 // Node is anything attached to the LAN. Handle is invoked once per
 // delivered packet; the node may synchronously send more packets.
+//
+// Ownership: the delivered packet belongs to the receiving node. It may
+// be mutated in place and re-sent (how the LB and the virtual routers
+// forward without cloning per hop); conversely, anything that must
+// outlive the Handle call has to be copied out (packet.Clone).
 type Node interface {
 	// Handle processes one delivered packet.
 	Handle(pkt *packet.Packet)
 }
 
 // Tap observes every delivered packet (after parse, before Handle).
-// Used by tests and the pcap-style logger.
+// Used by tests and the pcap-style logger. Taps run before ownership
+// passes to the node, so they see the packet as it arrived — but they
+// must not retain it beyond the call (the node may mutate it).
 type Tap func(at time.Duration, dst netip.Addr, pkt *packet.Packet)
 
 // Config tunes link behavior. The zero value gives an ideal lossless LAN
@@ -94,6 +101,19 @@ func (n *Network) Attach(node Node, addrs ...netip.Addr) {
 		}
 		n.nodes[a] = node
 	}
+}
+
+// Detach removes a unicast address binding previously installed by
+// Attach — a node failing or being decommissioned mid-run. Packets
+// already in flight toward addr become unroutable (and are counted),
+// exactly as on a real LAN when a host drops off. It reports whether
+// node owned addr.
+func (n *Network) Detach(node Node, addr netip.Addr) bool {
+	if cur, ok := n.nodes[addr]; ok && cur == node {
+		delete(n.nodes, addr)
+		return true
+	}
+	return false
 }
 
 // AttachAnycast adds node to the ECMP group of addr: packets to addr are

@@ -15,6 +15,17 @@ type Series struct {
 	Name string
 	// X and Y must have equal length.
 	X, Y []float64
+	// YErr, when non-nil, holds the per-point symmetric error half-width
+	// (e.g. a 95% CI): point i renders a vertical bar spanning
+	// Y[i] ± YErr[i], with the marker at the center. Must match Y's
+	// length; zero entries draw no bar.
+	YErr []float64
+}
+
+// SeriesErr builds a Series with error bars — the CI-aware form the
+// replicated-sweep plots use.
+func SeriesErr(name string, x, y, yerr []float64) Series {
+	return Series{Name: name, X: x, Y: y, YErr: yerr}
 }
 
 // markers label the lines in drawing order.
@@ -57,19 +68,26 @@ func Render(w io.Writer, cfg Config, series ...Series) error {
 		if len(s.X) != len(s.Y) {
 			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
 		}
+		if s.YErr != nil && len(s.YErr) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d y vs %d yerr", s.Name, len(s.Y), len(s.YErr))
+		}
 		for i := range s.X {
 			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
 				continue
 			}
+			lo, hi := s.Y[i], s.Y[i]
+			if e := s.err(i); e > 0 {
+				lo, hi = lo-e, hi+e
+			}
 			if first {
-				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				minX, maxX, minY, maxY = s.X[i], s.X[i], lo, hi
 				first = false
 				continue
 			}
 			minX = math.Min(minX, s.X[i])
 			maxX = math.Max(maxX, s.X[i])
-			minY = math.Min(minY, s.Y[i])
-			maxY = math.Max(maxY, s.Y[i])
+			minY = math.Min(minY, lo)
+			maxY = math.Max(maxY, hi)
 		}
 	}
 	if first {
@@ -86,6 +104,9 @@ func Render(w io.Writer, cfg Config, series ...Series) error {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
 	}
+	yRow := func(y float64) int {
+		return cfg.Height - 1 - int((y-minY)/(maxY-minY)*float64(cfg.Height-1))
+	}
 	for si, s := range series {
 		mark := markers[si%len(markers)]
 		for i := range s.X {
@@ -93,7 +114,16 @@ func Render(w io.Writer, cfg Config, series ...Series) error {
 				continue
 			}
 			col := int((s.X[i] - minX) / (maxX - minX) * float64(cfg.Width-1))
-			row := cfg.Height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(cfg.Height-1))
+			row := yRow(s.Y[i])
+			if e := s.err(i); e > 0 {
+				// The CI whisker: a vertical bar from y−err to y+err; the
+				// marker overprints the center.
+				for r := yRow(s.Y[i] + e); r <= yRow(s.Y[i]-e); r++ {
+					if grid[r][col] == ' ' {
+						grid[r][col] = '|'
+					}
+				}
+			}
 			grid[row][col] = mark
 		}
 	}
@@ -146,6 +176,14 @@ func Render(w io.Writer, cfg Config, series ...Series) error {
 	}
 	_, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
 	return err
+}
+
+// err returns the error half-width of point i (0 when absent or NaN).
+func (s Series) err(i int) float64 {
+	if s.YErr == nil || i >= len(s.YErr) || math.IsNaN(s.YErr[i]) {
+		return 0
+	}
+	return s.YErr[i]
 }
 
 func formatTick(v float64) string {

@@ -99,3 +99,54 @@ func TestFormatTick(t *testing.T) {
 		t.Fatalf("small tick = %q", formatTick(0.1234))
 	}
 }
+
+// Golden output for the CI-aware form: mean ± ci95 error bars, the
+// rendering srlb-bench uses for replicated SweepStats series. The
+// whisker spans y ± yerr with the series marker overprinting the center.
+func TestRenderErrorBarsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Title: "mean rt vs load (error bars = ci95)", Width: 40, Height: 12, XLabel: "rho", YLabel: "rt(s)"},
+		SeriesErr("RR", []float64{0.2, 0.5, 0.8}, []float64{0.12, 0.3, 1.0}, []float64{0.02, 0.08, 0.3}),
+		SeriesErr("SR 4", []float64{0.2, 0.5, 0.8}, []float64{0.11, 0.18, 0.42}, []float64{0.01, 0.03, 0.1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "mean rt vs load (error bars = ci95)\n" +
+		"   1.300 |                                       |\n" +
+		"         |                                       |\n" +
+		"         |                                       |\n" +
+		"         |                                       *\n" +
+		"         |                                       |\n" +
+		"         |                                       |\n" +
+		"   rt(s) |                                       |\n" +
+		"         |                                        \n" +
+		"         |                                       |\n" +
+		"         |                   |                   o\n" +
+		"         |                   *                    \n" +
+		"   0.100 |o                  o                    \n" +
+		"         +----------------------------------------\n" +
+		"          0.200             rho              0.800\n" +
+		"          * RR   o SR 4\n"
+	if got := buf.String(); got != golden {
+		t.Fatalf("error-bar rendering drifted from golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestRenderYErrValidation(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{}, Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1, 2}, YErr: []float64{0.1}})
+	if err == nil {
+		t.Fatal("mismatched YErr length accepted")
+	}
+	// The y-range must widen to include the whiskers: a flat line with
+	// errors still renders without a degenerate range.
+	if err := Render(&buf, Config{Width: 20, Height: 6},
+		SeriesErr("flat", []float64{0, 1}, []float64{1, 1}, []float64{0.5, 0.5})); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|") || !strings.Contains(out, "*") {
+		t.Fatalf("whiskers missing:\n%s", out)
+	}
+}

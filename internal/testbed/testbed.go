@@ -25,7 +25,6 @@ import (
 	"srlb/internal/metrics"
 	"srlb/internal/netsim"
 	"srlb/internal/packet"
-	"srlb/internal/rng"
 	"srlb/internal/selection"
 	"srlb/internal/tcpseg"
 	"srlb/internal/vrouter"
@@ -39,13 +38,37 @@ var (
 	LBAddr = ipv6.MustAddr("2001:db8:1b::1")
 )
 
+// Address tables for the common pool/client sizes, precomputed once so
+// that testbed construction — which Sweeps repeat per cell — does not
+// re-parse address strings. Indices beyond the tables fall back to
+// parsing.
+var (
+	serverAddrs [64]netip.Addr
+	clientAddrs [32]netip.Addr
+)
+
+func init() {
+	for i := range serverAddrs {
+		serverAddrs[i] = ipv6.MustAddr(fmt.Sprintf("2001:db8:5::%x", i+1))
+	}
+	for j := range clientAddrs {
+		clientAddrs[j] = ipv6.MustAddr(fmt.Sprintf("2001:db8:c::%x", j+1))
+	}
+}
+
 // ServerAddr returns the physical address of server i (0-based).
 func ServerAddr(i int) netip.Addr {
+	if i >= 0 && i < len(serverAddrs) {
+		return serverAddrs[i]
+	}
 	return ipv6.MustAddr(fmt.Sprintf("2001:db8:5::%x", i+1))
 }
 
 // ClientAddr returns the address of client source j (0-based).
 func ClientAddr(j int) netip.Addr {
+	if j >= 0 && j < len(clientAddrs) {
+		return clientAddrs[j]
+	}
 	return ipv6.MustAddr(fmt.Sprintf("2001:db8:c::%x", j+1))
 }
 
@@ -53,6 +76,9 @@ func ClientAddr(j int) netip.Addr {
 type Query struct {
 	// ID is a caller-chosen identifier, echoed in the Result.
 	ID uint64
+	// VIP, when valid, addresses the query to that service; the zero
+	// value targets the topology's first VIP (the legacy behavior).
+	VIP netip.Addr
 	// Demand is the request's CPU cost. When the per-server DemandFn is
 	// the default, this value is carried in the request bytes and used
 	// verbatim — so a query costs the same no matter which server wins
@@ -131,77 +157,46 @@ type Config struct {
 
 // Testbed is a fully wired cluster.
 type Testbed struct {
-	Sim     *des.Simulator
-	Net     *netsim.Network
-	LB      *core.LoadBalancer
+	Sim *des.Simulator
+	Net *netsim.Network
+	// LB is the first (for single-LB topologies, the only) replica; LBs
+	// holds all of them.
+	LB  *core.LoadBalancer
+	LBs []*core.LoadBalancer
+	// Routers and Servers list every pool member ever built, across all
+	// VIPs, in construction order (servers added by Events append).
 	Routers []*vrouter.Router
 	Servers []*appserver.Server
 	Gen     *Generator
+
+	vips     []*vipState
+	replicas []*replicaState
 }
 
-// New builds the cluster.
-func New(cfg Config) *Testbed {
-	if cfg.Servers <= 0 {
-		cfg.Servers = 12
+// Topology lifts the legacy single-LB/single-VIP configuration into the
+// declarative form: one VIP at the historical addresses, one replica, no
+// lifecycle events. Build(cfg.Topology()) is exactly the cluster New
+// always constructed, stream for stream.
+func (cfg Config) Topology() Topology {
+	return Topology{
+		Seed:    cfg.Seed,
+		Net:     cfg.Net,
+		Flows:   cfg.Flows,
+		Clients: cfg.Clients,
+		VIPs: []VIPSpec{{
+			Servers:        cfg.Servers,
+			Server:         cfg.Server,
+			ServerOverride: cfg.ServerOverride,
+			Policy:         cfg.Policy,
+			Scheme:         SchemeFn(cfg.Scheme),
+			Demand:         cfg.Demand,
+		}},
 	}
-	if cfg.Server.Workers == 0 {
-		cfg.Server = appserver.Default()
-	}
-	if cfg.Clients <= 0 {
-		cfg.Clients = 8
-	}
-	if cfg.Policy == nil {
-		cfg.Policy = func(int) agent.Policy { return agent.Always{} }
-	}
-	if cfg.Demand == nil {
-		cfg.Demand = func(int) vrouter.DemandFn { return DefaultDemand }
-	}
-	cfg.Net.Seed = cfg.Seed ^ 0x6e65740a // independent net stream
-
-	sim := des.New()
-	net := netsim.New(sim, cfg.Net)
-
-	serverAddrs := make([]netip.Addr, cfg.Servers)
-	for i := range serverAddrs {
-		serverAddrs[i] = ServerAddr(i)
-	}
-	selRng := rng.Split(cfg.Seed, 1)
-	var scheme selection.Scheme
-	if cfg.Scheme != nil {
-		scheme = cfg.Scheme(serverAddrs, selRng)
-	} else {
-		scheme = selection.NewRandom(serverAddrs, 2, selRng)
-	}
-
-	lb := core.New(sim, net, core.Config{
-		Addr:  LBAddr,
-		VIPs:  map[netip.Addr]selection.Scheme{VIP: scheme},
-		Flows: cfg.Flows,
-	})
-
-	tb := &Testbed{Sim: sim, Net: net, LB: lb}
-	for i := 0; i < cfg.Servers; i++ {
-		serverCfg := cfg.Server
-		if cfg.ServerOverride != nil {
-			if over := cfg.ServerOverride(i); over.Workers != 0 {
-				serverCfg = over
-			}
-		}
-		srv := appserver.New(sim, fmt.Sprintf("server-%d", i), serverCfg)
-		rt := vrouter.New(sim, net, vrouter.Config{
-			Addr:   serverAddrs[i],
-			VIPs:   []netip.Addr{VIP},
-			LB:     LBAddr,
-			Policy: cfg.Policy(i),
-			Server: srv,
-			Demand: cfg.Demand(i),
-		})
-		tb.Servers = append(tb.Servers, srv)
-		tb.Routers = append(tb.Routers, rt)
-	}
-	tb.Gen = newGenerator(sim, net, cfg.Clients)
-	return tb
 }
+
+// New builds the cluster: the one-line compatibility wrapper over the
+// Topology compiler.
+func New(cfg Config) *Testbed { return Build(cfg.Topology()) }
 
 // BusyCounts returns the current busy-worker count of every server — the
 // instantaneous load vector of figure 4.
@@ -230,6 +225,7 @@ func (tb *Testbed) SampleLoads(interval, until time.Duration, fn func(now time.D
 type Generator struct {
 	sim      *des.Simulator
 	net      *netsim.Network
+	vip      netip.Addr // default target (the topology's first VIP)
 	addrs    []netip.Addr
 	nextPort []uint32
 	pending  map[packet.FlowKey]*pendingQuery
@@ -261,13 +257,14 @@ type pendingQuery struct {
 	rto    *des.Timer
 }
 
-func newGenerator(sim *des.Simulator, net *netsim.Network, clients int) *Generator {
+func newGenerator(sim *des.Simulator, net *netsim.Network, clients int, vip netip.Addr) *Generator {
 	g := &Generator{
 		sim:      sim,
 		net:      net,
+		vip:      vip,
 		addrs:    make([]netip.Addr, clients),
 		nextPort: make([]uint32, clients),
-		pending:  make(map[packet.FlowKey]*pendingQuery),
+		pending:  make(map[packet.FlowKey]*pendingQuery, 256),
 		Counts:   metrics.NewCounter(),
 	}
 	for j := 0; j < clients; j++ {
@@ -287,7 +284,11 @@ func (g *Generator) Launch(q Query) {
 	g.nextSrc = (g.nextSrc + 1) % len(g.addrs)
 	port := uint16(g.nextPort[src]%64512 + 1024)
 	g.nextPort[src]++
-	flow := packet.FlowKey{Src: g.addrs[src], Dst: VIP, SrcPort: port, DstPort: 80}
+	dst := q.VIP
+	if !dst.IsValid() {
+		dst = g.vip
+	}
+	flow := packet.FlowKey{Src: g.addrs[src], Dst: dst, SrcPort: port, DstPort: 80}
 	if _, dup := g.pending[flow]; dup {
 		// Port-space wrap onto a still-pending flow: skip this port.
 		port = uint16(g.nextPort[src]%64512 + 1024)

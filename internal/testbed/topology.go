@@ -1,0 +1,574 @@
+// Topology is the declarative cluster-construction API: named VIPs, each
+// carrying its own selection scheme and server pool; N load-balancer
+// replicas joined to the VIPs through netsim's anycast/ECMP groups (the
+// Maglev/Ananta deployment model the paper's §II-B consistent-hashing
+// selection enables); and a schedule of lifecycle Events — server
+// drain/add/fail, replica fail/recover — applied at virtual times during
+// the run.
+//
+// Build compiles a Topology into wired nodes; the legacy Config is now a
+// one-line single-LB/single-VIP wrapper over it (Config.Topology), so
+// every existing experiment constructs exactly the cluster it always did.
+
+package testbed
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"sort"
+	"time"
+
+	"srlb/internal/agent"
+	"srlb/internal/appserver"
+	"srlb/internal/core"
+	"srlb/internal/des"
+	"srlb/internal/flowtable"
+	"srlb/internal/ipv6"
+	"srlb/internal/netsim"
+	"srlb/internal/packet"
+	"srlb/internal/rng"
+	"srlb/internal/selection"
+	"srlb/internal/vrouter"
+)
+
+// VIPAddr returns the service address of VIP v (0-based). VIP 0 is the
+// legacy testbed VIP.
+func VIPAddr(v int) netip.Addr {
+	if v == 0 {
+		return VIP
+	}
+	return ipv6.MustAddr(fmt.Sprintf("2001:db8:f00d::%x", v+1))
+}
+
+// PoolServerAddr returns the physical address of server i of VIP v's
+// pool. VIP 0 uses the legacy ServerAddr space; later VIPs get their own
+// /64 so pools never collide.
+func PoolServerAddr(v, i int) netip.Addr {
+	if v == 0 {
+		return ServerAddr(i)
+	}
+	return ipv6.MustAddr(fmt.Sprintf("2001:db8:5:%x::%x", v, i+1))
+}
+
+// SchemeFn builds a candidate-selection scheme over the current server
+// pool. When an Event changes the pool, the function is invoked again
+// with the new pool and the *same* rng, so the scheme's random stream
+// continues deterministically across churn.
+type SchemeFn func(servers []netip.Addr, r *rand.Rand) selection.Scheme
+
+// FallbackFn builds the miss-fallback scheme over the current pool — the
+// steering path for packets whose flow the replica never learned
+// (cross-replica ECMP, replica restart). It takes no rng: a fallback is
+// only useful when it is a deterministic function of the flow (consistent
+// hashing), so that every replica agrees without shared state.
+type FallbackFn func(servers []netip.Addr) selection.Scheme
+
+// VIPSpec declares one virtual service: its address, server pool, and
+// per-connection machinery. Zero fields take the paper's values (12
+// servers × appserver.Default, random-2 selection, Always policy,
+// demand-in-payload).
+type VIPSpec struct {
+	// Name labels the VIP in server names and diagnostics (default
+	// "vip<index>").
+	Name string
+	// Addr is the service address (default VIPAddr(index)).
+	Addr netip.Addr
+	// Servers is the initial pool size (default 12).
+	Servers int
+	// Server configures every pool member (default appserver.Default);
+	// ServerOverride, when non-nil, configures server i (zero Config
+	// falls back to Server). Servers added by Events use the same pair.
+	Server         appserver.Config
+	ServerOverride func(i int) appserver.Config
+	// Policy builds the acceptance policy of server i (default Always).
+	Policy func(i int) agent.Policy
+	// Scheme builds the VIP's candidate selection over the pool (default
+	// 2 uniform-random candidates, the paper's).
+	Scheme SchemeFn
+	// Fallback, when non-nil, builds the VIP's miss-fallback scheme.
+	Fallback FallbackFn
+	// Demand builds server i's demand function (default DefaultDemand).
+	Demand func(i int) vrouter.DemandFn
+}
+
+// Topology declares a full cluster. The zero value (plus one implicit
+// zero VIPSpec) is the paper's platform behind a single LB.
+type Topology struct {
+	Seed uint64
+	// Replicas is the number of LB replicas (default 1). With more than
+	// one, every replica joins the anycast/ECMP groups of each VIP and of
+	// the shared LB return address, exactly as ECMP routers would spread
+	// flows across Maglev instances.
+	Replicas int
+	// VIPs declares the services (default: one zero VIPSpec).
+	VIPs []VIPSpec
+	// Net, Flows, Clients as in Config.
+	Net     netsim.Config
+	Flows   flowtable.Config
+	Clients int
+	// Events is the lifecycle schedule, applied at virtual times during
+	// the run. Events at the same instant apply in slice order.
+	Events []Event
+}
+
+// EventKind enumerates topology lifecycle actions.
+type EventKind int
+
+// Lifecycle actions.
+const (
+	// EventServerAdd grows a VIP's pool by one freshly built server
+	// (scale-out): the server is attached and becomes selectable.
+	EventServerAdd EventKind = iota + 1
+	// EventServerDrain removes a server from candidate selection but
+	// keeps it attached: established flows complete (scale-in).
+	EventServerDrain
+	// EventServerFail is fail-stop: the server leaves selection, detaches
+	// from the LAN, and stops responding; its in-flight work is lost.
+	EventServerFail
+	// EventReplicaFail removes an LB replica from every anycast group;
+	// surviving replicas absorb all traffic (flows re-hash onto them).
+	EventReplicaFail
+	// EventReplicaRecover re-attaches a failed replica — stateless, its
+	// flow table cleared, as a restarted process would come back.
+	EventReplicaRecover
+)
+
+// Event is one scheduled lifecycle action. Use the constructors.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// VIP indexes Topology.VIPs (server events).
+	VIP int
+	// Server indexes the VIP's pool, including servers added by earlier
+	// events (drain/fail).
+	Server int
+	// Replica indexes the LB replicas (replica events).
+	Replica int
+}
+
+// AddServer returns an event growing VIP v's pool by one server at time
+// at. The new server gets the next free pool index.
+func AddServer(at time.Duration, v int) Event {
+	return Event{At: at, Kind: EventServerAdd, VIP: v}
+}
+
+// DrainServer returns an event removing server i of VIP v from candidate
+// selection at time at, leaving established flows to complete.
+func DrainServer(at time.Duration, v, i int) Event {
+	return Event{At: at, Kind: EventServerDrain, VIP: v, Server: i}
+}
+
+// FailServer returns a fail-stop event for server i of VIP v at time at.
+func FailServer(at time.Duration, v, i int) Event {
+	return Event{At: at, Kind: EventServerFail, VIP: v, Server: i}
+}
+
+// FailReplica returns an event failing LB replica r at time at.
+func FailReplica(at time.Duration, r int) Event {
+	return Event{At: at, Kind: EventReplicaFail, Replica: r}
+}
+
+// RecoverReplica returns an event re-attaching LB replica r (stateless)
+// at time at.
+func RecoverReplica(at time.Duration, r int) Event {
+	return Event{At: at, Kind: EventReplicaRecover, Replica: r}
+}
+
+func (t Topology) withDefaults() Topology {
+	if t.Replicas <= 0 {
+		t.Replicas = 1
+	}
+	if len(t.VIPs) == 0 {
+		t.VIPs = make([]VIPSpec, 1)
+	}
+	vips := make([]VIPSpec, len(t.VIPs))
+	for i, v := range t.VIPs {
+		if v.Name == "" {
+			v.Name = fmt.Sprintf("vip%d", i)
+		}
+		if !v.Addr.IsValid() {
+			v.Addr = VIPAddr(i)
+		}
+		if v.Servers <= 0 {
+			v.Servers = 12
+		}
+		if v.Server.Workers == 0 {
+			v.Server = appserver.Default()
+		}
+		if v.Policy == nil {
+			v.Policy = func(int) agent.Policy { return agent.Always{} }
+		}
+		if v.Scheme == nil {
+			v.Scheme = func(servers []netip.Addr, r *rand.Rand) selection.Scheme {
+				return selection.NewRandom(servers, 2, r)
+			}
+		}
+		if v.Demand == nil {
+			v.Demand = func(int) vrouter.DemandFn { return DefaultDemand }
+		}
+		vips[i] = v
+	}
+	t.VIPs = vips
+	if t.Clients <= 0 {
+		t.Clients = 8
+	}
+	return t
+}
+
+// validate statically replays the event schedule against the declared
+// pools so that a malformed schedule fails at Build, not mid-simulation:
+// out-of-range indices and pools drained empty are rejected here. One
+// class of error necessarily remains dynamic — a pool shrinking below a
+// custom scheme's candidate count (the scheme's k is opaque to the
+// topology); keep every pool at least as large as its scheme needs, or
+// the scheme's own constructor will panic at the event's virtual time.
+func (t Topology) validate() error {
+	// slots counts every index ever valid (drained slots keep theirs);
+	// live counts currently selectable servers.
+	slots := make([]int, len(t.VIPs))
+	live := make([]int, len(t.VIPs))
+	for v, spec := range t.VIPs {
+		slots[v] = spec.Servers
+		live[v] = spec.Servers
+	}
+	removed := make(map[[2]int]bool)
+	// Replay in time order (stable: same-instant events keep slice order,
+	// matching how the simulator will fire them).
+	order := make([]int, len(t.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return t.Events[order[a]].At < t.Events[order[b]].At })
+	for _, i := range order {
+		ev := t.Events[i]
+		switch ev.Kind {
+		case EventServerAdd, EventServerDrain, EventServerFail:
+			if ev.VIP < 0 || ev.VIP >= len(t.VIPs) {
+				return fmt.Errorf("event %d: VIP %d out of range", i, ev.VIP)
+			}
+			if ev.Kind == EventServerAdd {
+				slots[ev.VIP]++
+				live[ev.VIP]++
+				continue
+			}
+			if ev.Server < 0 || ev.Server >= slots[ev.VIP] {
+				return fmt.Errorf("event %d: server %d out of range for VIP %d (pool ≤ %d at t=%v)",
+					i, ev.Server, ev.VIP, slots[ev.VIP], ev.At)
+			}
+			if key := [2]int{ev.VIP, ev.Server}; !removed[key] {
+				removed[key] = true
+				live[ev.VIP]--
+				if live[ev.VIP] < 1 {
+					return fmt.Errorf("event %d: draining server %d empties VIP %d's pool at t=%v",
+						i, ev.Server, ev.VIP, ev.At)
+				}
+			}
+		case EventReplicaFail, EventReplicaRecover:
+			if ev.Replica < 0 || ev.Replica >= t.Replicas {
+				return fmt.Errorf("event %d: replica %d out of range (%d replicas)", i, ev.Replica, t.Replicas)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// serverSlot is one (ever-built) pool member of a VIP.
+type serverSlot struct {
+	addr    netip.Addr
+	router  *vrouter.Router
+	server  *appserver.Server
+	drained bool
+	failed  bool
+}
+
+// vipState is the runtime side of a VIPSpec: the live pool and the slots.
+type vipState struct {
+	spec VIPSpec
+	addr netip.Addr
+	pool []netip.Addr // currently selectable servers
+	all  []*serverSlot
+}
+
+func (vs *vipState) removeFromPool(addr netip.Addr) bool {
+	for i, a := range vs.pool {
+		if a == addr {
+			vs.pool = append(vs.pool[:i:i], vs.pool[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// replicaState is one LB replica with its per-VIP schemes.
+type replicaState struct {
+	lb        *core.LoadBalancer
+	down      bool
+	schemes   []*mutableScheme // per VIP
+	fallbacks []*mutableScheme // per VIP; nil when the VIP has no fallback
+	rngs      []*rand.Rand     // per VIP; persists across pool rebuilds
+}
+
+// mutableScheme delegates to the pool's current scheme; lifecycle events
+// swap the underlying scheme when the pool changes, so the LB's VIP map
+// never has to be rebuilt.
+type mutableScheme struct{ cur selection.Scheme }
+
+// Pick implements selection.Scheme.
+func (m *mutableScheme) Pick(flow packet.FlowKey) []netip.Addr { return m.cur.Pick(flow) }
+
+// Name implements selection.Scheme.
+func (m *mutableScheme) Name() string { return m.cur.Name() }
+
+// Build compiles the topology into wired nodes. It panics on malformed
+// topologies: cluster construction is static experiment setup, and an
+// invalid declaration is a programming error in the caller.
+//
+// Determinism: every random stream is derived from Topology.Seed (the
+// scheme of replica r over VIP v draws from stream 1 + r·len(VIPs) + v,
+// so the legacy single-LB/single-VIP cluster keeps its historical
+// stream), and events scheduled at Build time fire before any workload
+// event scheduled later at the same instant. A Topology value therefore
+// determines the run byte for byte, whatever worker count executes it.
+func Build(top Topology) *Testbed {
+	top = top.withDefaults()
+	if err := top.validate(); err != nil {
+		panic(fmt.Sprintf("testbed: invalid topology: %v", err))
+	}
+	top.Net.Seed = top.Seed ^ 0x6e65740a // independent net stream
+
+	sim := des.New()
+	net := netsim.New(sim, top.Net)
+	tb := &Testbed{Sim: sim, Net: net}
+
+	// Count scale-out events per VIP so pools and slot slices are
+	// allocated once, at final capacity.
+	adds := make([]int, len(top.VIPs))
+	for _, ev := range top.Events {
+		if ev.Kind == EventServerAdd {
+			adds[ev.VIP]++
+		}
+	}
+
+	tb.vips = make([]*vipState, len(top.VIPs))
+	total := 0
+	for v, spec := range top.VIPs {
+		vs := &vipState{spec: spec, addr: spec.Addr}
+		vs.pool = make([]netip.Addr, spec.Servers, spec.Servers+adds[v])
+		for i := range vs.pool {
+			vs.pool[i] = PoolServerAddr(v, i)
+		}
+		vs.all = make([]*serverSlot, 0, spec.Servers+adds[v])
+		tb.vips[v] = vs
+		total += spec.Servers + adds[v]
+	}
+
+	// LB replicas. A single replica attaches unicast (the legacy wiring);
+	// several join the per-address anycast/ECMP groups.
+	anycast := top.Replicas > 1
+	tb.replicas = make([]*replicaState, top.Replicas)
+	tb.LBs = make([]*core.LoadBalancer, top.Replicas)
+	for r := 0; r < top.Replicas; r++ {
+		rs := &replicaState{
+			schemes:   make([]*mutableScheme, len(top.VIPs)),
+			fallbacks: make([]*mutableScheme, len(top.VIPs)),
+			rngs:      make([]*rand.Rand, len(top.VIPs)),
+		}
+		vipSchemes := make(map[netip.Addr]selection.Scheme, len(top.VIPs))
+		var fallbacks map[netip.Addr]selection.Scheme
+		for v, vs := range tb.vips {
+			stream := uint64(1) + uint64(r)*uint64(len(top.VIPs)) + uint64(v)
+			selRng := rng.Split(top.Seed, stream)
+			rs.rngs[v] = selRng
+			ms := &mutableScheme{cur: vs.spec.Scheme(clonePool(vs.pool), selRng)}
+			rs.schemes[v] = ms
+			vipSchemes[vs.addr] = ms
+			if vs.spec.Fallback != nil {
+				fb := &mutableScheme{cur: vs.spec.Fallback(clonePool(vs.pool))}
+				rs.fallbacks[v] = fb
+				if fallbacks == nil {
+					fallbacks = make(map[netip.Addr]selection.Scheme, len(top.VIPs))
+				}
+				fallbacks[vs.addr] = fb
+			}
+		}
+		cfg := core.Config{Addr: LBAddr, VIPs: vipSchemes, Flows: top.Flows, MissFallbacks: fallbacks}
+		if anycast {
+			rs.lb = core.NewDetached(sim, net, cfg)
+			for _, vs := range tb.vips {
+				net.AttachAnycast(rs.lb, vs.addr)
+			}
+			net.AttachAnycast(rs.lb, LBAddr)
+		} else {
+			rs.lb = core.New(sim, net, cfg)
+		}
+		tb.replicas[r] = rs
+		tb.LBs[r] = rs.lb
+	}
+	tb.LB = tb.LBs[0]
+
+	// Servers.
+	tb.Servers = make([]*appserver.Server, 0, total)
+	tb.Routers = make([]*vrouter.Router, 0, total)
+	for v, vs := range tb.vips {
+		for i := 0; i < vs.spec.Servers; i++ {
+			tb.buildServer(v, i)
+		}
+	}
+	tb.Gen = newGenerator(sim, net, top.Clients, tb.vips[0].addr)
+
+	// Lifecycle schedule. Same-instant events fire in slice order, and
+	// before workload events scheduled later for the same instant.
+	for _, ev := range top.Events {
+		ev := ev
+		sim.At(ev.At, func() { tb.apply(ev) })
+	}
+	return tb
+}
+
+func clonePool(pool []netip.Addr) []netip.Addr {
+	return append(make([]netip.Addr, 0, len(pool)), pool...)
+}
+
+// buildServer wires pool member i of VIP v and registers it everywhere.
+func (tb *Testbed) buildServer(v, i int) *serverSlot {
+	vs := tb.vips[v]
+	spec := vs.spec
+	serverCfg := spec.Server
+	if spec.ServerOverride != nil {
+		if over := spec.ServerOverride(i); over.Workers != 0 {
+			serverCfg = over
+		}
+	}
+	name := fmt.Sprintf("server-%d", i)
+	if v > 0 {
+		name = fmt.Sprintf("%s-server-%d", spec.Name, i)
+	}
+	srv := appserver.New(tb.Sim, name, serverCfg)
+	rt := vrouter.New(tb.Sim, tb.Net, vrouter.Config{
+		Addr:   PoolServerAddr(v, i),
+		VIPs:   []netip.Addr{vs.addr},
+		LB:     LBAddr,
+		Policy: spec.Policy(i),
+		Server: srv,
+		Demand: spec.Demand(i),
+	})
+	tb.Servers = append(tb.Servers, srv)
+	tb.Routers = append(tb.Routers, rt)
+	slot := &serverSlot{addr: rt.Addr(), router: rt, server: srv}
+	vs.all = append(vs.all, slot)
+	return slot
+}
+
+// apply executes one lifecycle event at its scheduled instant.
+func (tb *Testbed) apply(ev Event) {
+	switch ev.Kind {
+	case EventServerAdd:
+		vs := tb.vips[ev.VIP]
+		slot := tb.buildServer(ev.VIP, len(vs.all))
+		vs.pool = append(vs.pool, slot.addr)
+		tb.rebuildSchemes(ev.VIP)
+
+	case EventServerDrain:
+		vs := tb.vips[ev.VIP]
+		slot := vs.all[ev.Server]
+		if slot.drained || slot.failed {
+			return
+		}
+		slot.drained = true
+		vs.removeFromPool(slot.addr)
+		tb.rebuildSchemes(ev.VIP)
+
+	case EventServerFail:
+		vs := tb.vips[ev.VIP]
+		slot := vs.all[ev.Server]
+		if slot.failed {
+			return
+		}
+		slot.failed = true
+		if !slot.drained {
+			slot.drained = true
+			vs.removeFromPool(slot.addr)
+			tb.rebuildSchemes(ev.VIP)
+		}
+		tb.Net.Detach(slot.router, slot.addr)
+		slot.router.SetDown(true)
+
+	case EventReplicaFail:
+		rs := tb.replicas[ev.Replica]
+		if rs.down {
+			return
+		}
+		rs.down = true
+		if len(tb.replicas) > 1 {
+			for _, vs := range tb.vips {
+				tb.Net.DetachAnycast(rs.lb, vs.addr)
+			}
+			tb.Net.DetachAnycast(rs.lb, LBAddr)
+		} else {
+			for _, vs := range tb.vips {
+				tb.Net.Detach(rs.lb, vs.addr)
+			}
+			tb.Net.Detach(rs.lb, LBAddr)
+		}
+
+	case EventReplicaRecover:
+		rs := tb.replicas[ev.Replica]
+		if !rs.down {
+			return
+		}
+		rs.down = false
+		// Stateless restart: flow state is gone, schemes resync to the
+		// pool as it is now (it may have churned while the replica was
+		// dark).
+		rs.lb.ResetFlows()
+		for v, vs := range tb.vips {
+			rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool), rs.rngs[v])
+			if rs.fallbacks[v] != nil {
+				rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(vs.pool))
+			}
+		}
+		if len(tb.replicas) > 1 {
+			for _, vs := range tb.vips {
+				tb.Net.AttachAnycast(rs.lb, vs.addr)
+			}
+			tb.Net.AttachAnycast(rs.lb, LBAddr)
+		} else {
+			for _, vs := range tb.vips {
+				tb.Net.Attach(rs.lb, vs.addr)
+			}
+			tb.Net.Attach(rs.lb, LBAddr)
+		}
+	}
+}
+
+// rebuildSchemes resyncs every replica's scheme (and fallback) for VIP v
+// to the current pool. Scheme construction consumes no random draws, so
+// rebuilds never perturb the selection streams.
+func (tb *Testbed) rebuildSchemes(v int) {
+	vs := tb.vips[v]
+	for _, rs := range tb.replicas {
+		rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool), rs.rngs[v])
+		if rs.fallbacks[v] != nil {
+			rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(vs.pool))
+		}
+	}
+}
+
+// PoolSize returns the number of currently selectable servers of VIP v.
+func (tb *Testbed) PoolSize(v int) int { return len(tb.vips[v].pool) }
+
+// VIPCount returns the number of declared VIPs.
+func (tb *Testbed) VIPCount() int { return len(tb.vips) }
+
+// VIPAddrOf returns the address of VIP v.
+func (tb *Testbed) VIPAddrOf(v int) netip.Addr { return tb.vips[v].addr }
+
+// ServerOf returns the application server behind pool slot i of VIP v
+// (including drained/failed/added servers).
+func (tb *Testbed) ServerOf(v, i int) *appserver.Server { return tb.vips[v].all[i].server }
+
+// RouterOf returns the virtual router of pool slot i of VIP v.
+func (tb *Testbed) RouterOf(v, i int) *vrouter.Router { return tb.vips[v].all[i].router }

@@ -1,0 +1,285 @@
+package testbed
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"srlb/internal/rng"
+	"srlb/internal/selection"
+)
+
+// chashScheme/chashFallback build the §II-B consistent-hash selection —
+// what lets stateless LB replicas agree on flow→server without talking.
+func chashScheme(t testing.TB) SchemeFn {
+	return func(servers []netip.Addr, _ *rand.Rand) selection.Scheme {
+		s, err := selection.NewConsistentHash(servers, 4099)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+func chashFallback(t testing.TB) FallbackFn {
+	return func(servers []netip.Addr) selection.Scheme {
+		s, err := selection.NewConsistentHash(servers, 4099)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+// launchEvery schedules n fixed-demand queries at a fixed spacing and
+// runs the simulation to completion.
+func launchEvery(tb *Testbed, n int, spacing, demand time.Duration) {
+	for i := 0; i < n; i++ {
+		q := Query{ID: uint64(i), Demand: demand}
+		tb.Sim.At(time.Duration(i)*spacing, func() { tb.Gen.Launch(q) })
+	}
+	tb.Sim.Run()
+	tb.Gen.DrainPending()
+}
+
+func okCount(tb *Testbed) int {
+	ok := 0
+	for _, r := range tb.Gen.Results() {
+		if r.OK {
+			ok++
+		}
+	}
+	return ok
+}
+
+// Promoted from the hand-wired core/multilb test: two LB replicas behind
+// anycast ECMP, no shared state. Client→VIP and server→LB directions
+// hash independently, so replicas must steer flows whose SYN-ACK they
+// never saw — via the consistent-hash fallback.
+func TestTopologyTwoReplicasAnycastECMP(t *testing.T) {
+	const n = 400
+	tb := Build(Topology{
+		Seed:     9,
+		Replicas: 2,
+		VIPs: []VIPSpec{{
+			Servers:  6,
+			Scheme:   chashScheme(t),
+			Fallback: chashFallback(t),
+		}},
+	})
+	launchEvery(tb, n, 2*time.Millisecond, 5*time.Millisecond)
+
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d queries completed across replicas", ok, n)
+	}
+	a := tb.LBs[0].Counts.Get("syn_rx")
+	b := tb.LBs[1].Counts.Get("syn_rx")
+	if a+b != n {
+		t.Fatalf("replicas saw %d+%d SYNs, want %d", a, b, n)
+	}
+	if a == 0 || b == 0 {
+		t.Fatalf("ECMP did not split SYNs: %d/%d", a, b)
+	}
+	// The directions hash independently, so some flows MUST have been
+	// steered by a replica that never learned them — via the fallback.
+	fallbacks := tb.LBs[0].Counts.Get("miss_fallback") + tb.LBs[1].Counts.Get("miss_fallback")
+	if fallbacks == 0 {
+		t.Fatal("no cross-replica steering exercised — ECMP split suspiciously aligned")
+	}
+	t.Logf("replica SYN split %d/%d, cross-replica fallbacks %d", a, b, fallbacks)
+}
+
+// Failover regression: a replica dies mid-flow (declared as a lifecycle
+// Event, not hand-wired detach calls); the Maglev miss-fallback keeps
+// completions at 100%.
+func TestTopologyReplicaFailoverMidFlow(t *testing.T) {
+	const n = 100
+	tb := Build(Topology{
+		Seed:     11,
+		Replicas: 2,
+		VIPs: []VIPSpec{{
+			Servers:  2,
+			Scheme:   chashScheme(t),
+			Fallback: chashFallback(t),
+		}},
+		Events: []Event{FailReplica(60*time.Millisecond, 0)},
+	})
+	launchEvery(tb, n, time.Millisecond, 50*time.Millisecond)
+
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d completed across replica failure", ok, n)
+	}
+	if tb.LBs[1].Counts.Get("syn_rx") == 0 {
+		t.Fatal("survivor saw no traffic — test vacuous")
+	}
+	// Traffic arriving after the kill must all land on the survivor.
+	if down := tb.LBs[0].Counts.Get("syn_rx"); down >= n {
+		t.Fatalf("dead replica kept receiving SYNs (%d)", down)
+	}
+}
+
+// Scale-out/scale-in events: the pool grows by a freshly built server
+// and drains another, with every query still served.
+func TestTopologyServerChurnEvents(t *testing.T) {
+	const n = 600
+	tb := Build(Topology{
+		Seed: 13,
+		VIPs: []VIPSpec{{Servers: 4}},
+		Events: []Event{
+			AddServer(100*time.Millisecond, 0),
+			DrainServer(300*time.Millisecond, 0, 0),
+		},
+	})
+	launchEvery(tb, n, time.Millisecond, 10*time.Millisecond)
+
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d completed across pool churn", ok, n)
+	}
+	if got := tb.PoolSize(0); got != 4 {
+		t.Fatalf("final pool size = %d, want 4 (4 + 1 added - 1 drained)", got)
+	}
+	if added := tb.ServerOf(0, 4).Stats().Completed; added == 0 {
+		t.Fatal("added server never served — scheme not rebuilt?")
+	}
+	// The drained server kept its established flows but left selection:
+	// it must have completed work from before the drain only.
+	if tb.ServerOf(0, 0).Stats().Completed == 0 {
+		t.Fatal("drained server served nothing at all — drain fired too early?")
+	}
+}
+
+// Fail-stop server: in-flight work on the dead server is lost (clients
+// time out at drain), but the cluster keeps serving and accounting
+// balances.
+func TestTopologyServerFailStop(t *testing.T) {
+	const n = 400
+	tb := Build(Topology{
+		Seed:   17,
+		VIPs:   []VIPSpec{{Servers: 4}},
+		Events: []Event{FailServer(100*time.Millisecond, 0, 1)},
+	})
+	launchEvery(tb, n, time.Millisecond, 20*time.Millisecond)
+
+	results := tb.Gen.Results()
+	if len(results) != n {
+		t.Fatalf("accounting: %d results for %d queries", len(results), n)
+	}
+	ok := okCount(tb)
+	if ok == n {
+		t.Fatal("no queries lost to the failed server — fail event inert?")
+	}
+	// The overwhelming majority must still complete: only flows bound to
+	// the dead server at its death are lost.
+	if ok < n*9/10 {
+		t.Fatalf("only %d/%d completed after one server failure", ok, n)
+	}
+	if tb.RouterOf(0, 1).Down() != true {
+		t.Fatal("failed router not marked down")
+	}
+}
+
+// Multi-VIP: two services with separate pools and schemes on one LB;
+// queries address either VIP and are served strictly by its own pool.
+func TestTopologyMultiVIP(t *testing.T) {
+	const n = 200
+	tb := Build(Topology{
+		Seed: 19,
+		VIPs: []VIPSpec{
+			{Servers: 3},
+			{Servers: 2},
+		},
+	})
+	for i := 0; i < n; i++ {
+		q := Query{ID: uint64(i), Demand: 5 * time.Millisecond}
+		if i%2 == 1 {
+			q.VIP = tb.VIPAddrOf(1)
+		}
+		tb.Sim.At(time.Duration(i)*time.Millisecond, func() { tb.Gen.Launch(q) })
+	}
+	tb.Sim.Run()
+	tb.Gen.DrainPending()
+
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d completed across two VIPs", ok, n)
+	}
+	var vip0, vip1 uint64
+	for i := 0; i < 3; i++ {
+		vip0 += tb.ServerOf(0, i).Stats().Completed
+	}
+	for i := 0; i < 2; i++ {
+		vip1 += tb.ServerOf(1, i).Stats().Completed
+	}
+	if vip0 != n/2 || vip1 != n/2 {
+		t.Fatalf("per-VIP completions = %d/%d, want %d each", vip0, vip1, n/2)
+	}
+}
+
+// The legacy Config wrapper must compile to the identical cluster as the
+// equivalent hand-written Topology — result for result.
+func TestConfigTopologyParity(t *testing.T) {
+	runOne := func(tb *Testbed) []Result {
+		r := rng.Split(23, 99)
+		p := rng.NewPoisson(r, 150, 0)
+		for i := 0; i < 800; i++ {
+			at := p.Next()
+			q := Query{ID: uint64(i), Demand: rng.Exp(r, 20*time.Millisecond)}
+			tb.Sim.At(at, func() { tb.Gen.Launch(q) })
+		}
+		tb.Sim.Run()
+		tb.Gen.DrainPending()
+		return tb.Gen.Results()
+	}
+	legacy := runOne(New(Config{Seed: 23, Servers: 4}))
+	declarative := runOne(Build(Topology{Seed: 23, VIPs: []VIPSpec{{Servers: 4}}}))
+	if len(legacy) != len(declarative) {
+		t.Fatalf("result counts differ: %d vs %d", len(legacy), len(declarative))
+	}
+	for i := range legacy {
+		if legacy[i] != declarative[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, legacy[i], declarative[i])
+		}
+	}
+}
+
+// Malformed topologies must fail loudly at Build, not mid-simulation.
+func TestTopologyValidation(t *testing.T) {
+	for name, top := range map[string]Topology{
+		"bad vip index":     {Events: []Event{AddServer(0, 3)}},
+		"bad server index":  {VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{DrainServer(0, 0, 5)}},
+		"bad replica index": {Replicas: 2, Events: []Event{FailReplica(0, 2)}},
+		"pool drained empty": {VIPs: []VIPSpec{{Servers: 1}},
+			Events: []Event{DrainServer(0, 0, 0)}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Build did not panic", name)
+				}
+			}()
+			Build(top)
+		}()
+	}
+	// An add event makes a later index valid: server 2 exists only after
+	// the AddServer fires, and validation replays in time order.
+	Build(Topology{
+		VIPs: []VIPSpec{{Servers: 2}},
+		Events: []Event{
+			AddServer(time.Second, 0),
+			DrainServer(2*time.Second, 0, 2),
+		},
+	})
+}
+
+var benchTB *Testbed
+
+// BenchmarkTestbedNew guards the construction cost of a paper-scale
+// cell: Sweep cells are rebuilt per scenario, so at replicated-sweep
+// scale (policies × loads × seeds) construction allocation pressure is
+// sweep overhead.
+func BenchmarkTestbedNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchTB = New(Config{Seed: uint64(i + 1), Servers: 12})
+	}
+}

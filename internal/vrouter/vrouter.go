@@ -81,6 +81,7 @@ type Router struct {
 	net    *netsim.Network
 	vips   map[netip.Addr]bool
 	conns  map[packet.FlowKey]*conn
+	down   bool
 	Counts *metrics.Counter
 }
 
@@ -120,8 +121,23 @@ func (r *Router) Policy() agent.Policy { return r.cfg.Policy }
 // OpenConns returns the number of tracked connections.
 func (r *Router) OpenConns() int { return len(r.conns) }
 
+// SetDown marks the server failed (true) or recovered (false) — the
+// fail-stop model of the topology lifecycle events. A down router
+// ignores all delivered traffic and suppresses responses for work its
+// application finishes while dark; connection state is retained, so a
+// recovered server silently absorbs (rather than RSTs) stragglers of
+// flows it accepted before going down.
+func (r *Router) SetDown(down bool) { r.down = down }
+
+// Down reports whether the router is failed.
+func (r *Router) Down() bool { return r.down }
+
 // Handle implements netsim.Node.
 func (r *Router) Handle(pkt *packet.Packet) {
+	if r.down {
+		r.Counts.Inc("down_rx")
+		return
+	}
 	if pkt.SRH != nil && pkt.IP.Dst == r.cfg.Addr {
 		r.handleSegment(pkt)
 		return
@@ -289,7 +305,7 @@ func (r *Router) deliverLocal(pkt *packet.Packet) {
 // payload landed, the response is held until deliverLocal releases it.
 func (r *Router) respond(c *conn) {
 	cur, live := r.conns[c.flow]
-	if !live || cur != c || c.closed {
+	if !live || cur != c || c.closed || r.down {
 		return
 	}
 	if !c.requested {
@@ -325,21 +341,22 @@ func (r *Router) emitResponse(c *conn) {
 }
 
 // forwardNext advances the SR list and forwards to the next segment.
+// The delivered packet is owned by this node (netsim.Node contract), so
+// it is advanced in place rather than cloned.
 func (r *Router) forwardNext(pkt *packet.Packet) {
-	out := pkt.Clone()
-	next, err := out.SRH.Advance()
+	next, err := pkt.SRH.Advance()
 	if err != nil {
 		r.Counts.Inc("srh_exhausted")
 		return
 	}
-	out.IP.Dst = next
-	out.IP.HopLimit--
-	if out.IP.HopLimit == 0 {
+	pkt.IP.Dst = next
+	pkt.IP.HopLimit--
+	if pkt.IP.HopLimit == 0 {
 		r.Counts.Inc("hoplimit_exceeded")
 		return
 	}
 	r.Counts.Inc("forwarded")
-	r.net.Send(out)
+	r.net.Send(pkt)
 }
 
 var _ netsim.Node = (*Router)(nil)

@@ -7,6 +7,7 @@ import (
 
 	"srlb/internal/experiments"
 	"srlb/internal/stats"
+	"srlb/internal/testbed"
 	"srlb/internal/trace"
 	"srlb/internal/wiki"
 )
@@ -33,6 +34,19 @@ type (
 	CellResult  = experiments.CellResult
 	CellOutcome = experiments.CellOutcome
 	SweepResult = experiments.SweepResult
+	// ClusterVariant is the Sweep's topology/event axis: each variant
+	// derives a cluster (replica count, miss-fallback, event schedule)
+	// from the sweep's base.
+	ClusterVariant = experiments.ClusterVariant
+
+	// The declarative topology layer: a Topology names VIPs (each with
+	// its own scheme and server pool), attaches N LB replicas over
+	// anycast/ECMP, and schedules lifecycle Events; testbed.Build
+	// compiles it to wired nodes. Cluster remains the one-line
+	// single-LB/single-VIP wrapper.
+	Topology = testbed.Topology
+	VIPSpec  = testbed.VIPSpec
+	Event    = testbed.Event
 
 	// The replication-statistics layer: a Sweep with several Seeds
 	// aggregates into per-cell mean ± 95% CI. Dist summarizes one
@@ -88,6 +102,30 @@ type (
 	// HeteroConfig/Result: the heterogeneous-cluster extension.
 	HeteroConfig = experiments.HeteroConfig
 	HeteroResult = experiments.HeteroResult
+	// FailoverConfig/Result: the LB-replica failover transient (kill a
+	// replica mid-run; Maglev fallback vs random selection).
+	FailoverConfig = experiments.FailoverConfig
+	FailoverResult = experiments.FailoverResult
+	// ChurnConfig/Result: the pool churn/autoscale study (drain and
+	// re-add servers under load).
+	ChurnConfig = experiments.ChurnConfig
+	ChurnResult = experiments.ChurnResult
+)
+
+// Lifecycle-event constructors for Topology.Events / Cluster.Events.
+var (
+	// AddServer grows a VIP's pool by one freshly built server.
+	AddServer = testbed.AddServer
+	// DrainServer removes a server from selection, letting established
+	// flows complete.
+	DrainServer = testbed.DrainServer
+	// FailServer is fail-stop: selection, attachment and responses all
+	// cease.
+	FailServer = testbed.FailServer
+	// FailReplica removes an LB replica from the anycast groups.
+	FailReplica = testbed.FailReplica
+	// RecoverReplica re-attaches a failed replica, stateless.
+	RecoverReplica = testbed.RecoverReplica
 )
 
 // Policy constructors.
@@ -188,6 +226,22 @@ func RunRetransmitAblation(cfg RetransmitConfig) RetransmitResult {
 // RunHetero runs RR/SR4/SRdyn on a cluster with mixed core counts — the
 // capacity-shedding extension the local-threshold design enables.
 func RunHetero(cfg HeteroConfig) HeteroResult { return experiments.RunHetero(cfg) }
+
+// RunFailover kills an LB replica mid-run and measures the RT/refusal
+// transient, comparing consistent-hash selection + miss-fallback against
+// random selection — the stateless-failover story of §II-B, measured.
+func RunFailover(cfg FailoverConfig) FailoverResult { return experiments.RunFailover(cfg) }
+
+// RunChurn drains and re-adds part of the server pool under load,
+// comparing how much of the capacity squeeze each policy passes through
+// to clients, steady vs churning, with CIs across seeds.
+func RunChurn(cfg ChurnConfig) ChurnResult { return experiments.RunChurn(cfg) }
+
+// BuildTopology compiles a declarative Topology into a wired cluster —
+// the low-level entry point for hand-built multi-LB / multi-VIP
+// scenarios; experiments usually go through Cluster or a Sweep's
+// ClusterVariant axis instead.
+func BuildTopology(top Topology) *testbed.Testbed { return testbed.Build(top) }
 
 // SynthesizeWikiTrace writes a synthetic Wikipedia day to w in the trace
 // format (cmd/srlb-trace wraps this).
