@@ -1,24 +1,27 @@
 // Command srlb-bench regenerates every evaluation artifact of the SRLB
 // paper (figures 2–8), the §V-A λ0 calibration, the ablation studies,
 // and the topology extensions (bursty arrivals, LB-replica failover,
-// pool churn), writing one TSV per artifact plus a human-readable
-// summary to stdout.
+// pool churn, the concurrent multi-service mix), writing one TSV per
+// artifact plus a human-readable summary to stdout.
 //
 // Usage:
 //
 //	srlb-bench -experiment all -out results/
 //	srlb-bench -experiment fig2 -queries 20000 -seeds 5
-//	srlb-bench -experiment wiki -compress 24   # 24h replayed as 1 sim-hour
-//	srlb-bench -experiment failover -seeds 5   # kill an LB replica mid-run
-//	srlb-bench -experiment churn               # drain+re-add servers under load
-//	srlb-bench -experiment bursty              # fig2 grid under on/off MMPP arrivals
+//	srlb-bench -experiment wiki -compress 24     # 24h replayed as 1 sim-hour
+//	srlb-bench -experiment failover -seeds 5     # kill an LB replica mid-run
+//	srlb-bench -experiment churn                 # drain+re-add servers under load
+//	srlb-bench -experiment bursty                # fig2 grid under on/off MMPP arrivals
+//	srlb-bench -experiment multiservice -seeds 5 # web+wiki+batch VIPs sharing the LB
 //
 // With -seeds N > 1 every Poisson-family experiment (calibrate, figures
-// 2–5, ablations, hetero, bursty, failover, churn) replicates its cells
-// across N derived seeds and reports mean ± 95% CI; BENCH_sweep.json
-// (schema v3, see docs/RESULTS_SCHEMA.md) carries the per-cell
-// aggregates. The wiki replay (figures 6–8) stays single-seed —
-// replicate it through the Sweep API as in examples/wikipedia.
+// 2–5, ablations, hetero, bursty, failover, churn, multiservice)
+// replicates its cells across N derived seeds and reports mean ± 95% CI;
+// BENCH_sweep.json (schema v4, see docs/RESULTS_SCHEMA.md) carries the
+// per-cell aggregates — for multiservice, with one per-VIP row per
+// service inside each cell. The wiki replay (figures 6–8) stays
+// single-seed — replicate it through the Sweep API as in
+// examples/wikipedia.
 package main
 
 import (
@@ -69,7 +72,24 @@ type sweepCellJSON struct {
 	P99MS      distJSON `json:"p99_ms"`
 	OKFraction distJSON `json:"ok_fraction"`
 	Refused    distJSON `json:"refused"`
-	WallMS     float64  `json:"wall_ms"`
+	// VIPs is the per-service breakdown of a multi-VIP cell (schema v4);
+	// absent for single-VIP sweeps.
+	VIPs   []vipCellJSON `json:"vips,omitempty"`
+	WallMS float64       `json:"wall_ms"`
+}
+
+// vipCellJSON is one service's share of a multi-VIP cell.
+type vipCellJSON struct {
+	Name       string   `json:"name"`
+	Workload   string   `json:"workload"`
+	Offered    distJSON `json:"offered"`
+	MeanMS     distJSON `json:"mean_ms"`
+	P50MS      distJSON `json:"p50_ms"`
+	P95MS      distJSON `json:"p95_ms"`
+	P99MS      distJSON `json:"p99_ms"`
+	OKFraction distJSON `json:"ok_fraction"`
+	Refused    distJSON `json:"refused"`
+	Unfinished distJSON `json:"unfinished"`
 }
 
 type sweepJSON struct {
@@ -92,7 +112,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|all (wiki covers figures 6-8)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|all (wiki covers figures 6-8)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -109,11 +129,11 @@ func main() {
 		flag.PrintDefaults()
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
-machine-readable summary of the figure-2 sweep (schema v3: n, mean,
-ci95, p50, p99 per cell, plus the topology-variant label; documented
-field-by-field in docs/RESULTS_SCHEMA.md). The topology experiments
-(failover, churn) and the bursty sweep are described in
-docs/TOPOLOGY.md.`)
+machine-readable summary of the fig2/multiservice sweeps (schema v4:
+n, mean, ci95, p50, p99 per cell, the topology-variant label, and
+per-VIP rows for multi-service cells; documented field-by-field in
+docs/RESULTS_SCHEMA.md). The topology experiments (failover, churn,
+multiservice) and the bursty sweep are described in docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
 	// The replication axis, shared by every Poisson-family experiment
@@ -202,7 +222,7 @@ docs/TOPOLOGY.md.`)
 			if len(seeds) > 1 {
 				fmt.Printf("   replicated over %d seeds; cells report mean ± 95%% CI\n", len(seeds))
 			}
-			if err := writeSweepJSON(*out, lambda0, *workers, sweepWall, res.Stats); err != nil {
+			if err := writeSweepJSON(*out, "BENCH_sweep.json", lambda0, *workers, sweepWall, res.Stats); err != nil {
 				return err
 			}
 			fmt.Printf("   wrote %s\n", filepath.Join(*out, "BENCH_sweep.json"))
@@ -387,6 +407,57 @@ docs/TOPOLOGY.md.`)
 		})
 	}
 
+	if want("multiservice") {
+		needLambda0()
+		run("extension: concurrent multi-service mix (web+wiki+batch)", func() error {
+			// The wiki service defaults to a faster replay than the
+			// single-service figures (the experiment's own 288× default);
+			// an explicit -compress overrides it.
+			msCompress := 0.0
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "compress" {
+					msCompress = *compress
+				}
+			})
+			start := time.Now()
+			res := srlb.RunMultiService(srlb.MultiServiceConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Compression: msCompress,
+				Seeds:       seeds, Workers: *workers, Progress: progress,
+			})
+			for _, svc := range res.Services {
+				if imp, err := res.Improvement("SR 4", svc, 0.85); err == nil {
+					fmt.Printf("   SR4 vs RR mean RT, %-5s service at rho=0.85: %.2fx\n", svc, imp)
+				}
+			}
+			// Standalone runs own BENCH_sweep.json; under -experiment all
+			// the figure-2 sweep owns that name (it is the cross-commit
+			// tracking artifact), so the multi-service cells go to a
+			// sibling file instead of clobbering it.
+			jsonName := "BENCH_sweep.json"
+			if *experiment == "all" {
+				jsonName = "BENCH_multiservice.json"
+			}
+			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s (schema v4: per-VIP rows)\n", filepath.Join(*out, jsonName))
+			if *asciiPlot {
+				facets := make([]plot.Facet, 0, len(res.Services))
+				for _, svc := range res.Services {
+					facets = append(facets, plot.Facet{
+						Title:  fmt.Sprintf("Multi-service: %s mean response time (s) vs load", svc),
+						Series: res.PlotSeries(svc),
+					})
+				}
+				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "rho", YLabel: "rt(s)"}, facets...); err != nil {
+					return err
+				}
+			}
+			return writeFile("extension_multiservice.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
 	if want("churn") {
 		needLambda0()
 		run("extension: pool churn/autoscale under load", func() error {
@@ -421,13 +492,13 @@ func burstyRhos(points int) []float64 {
 	return out
 }
 
-// writeSweepJSON renders the figure-2 sweep aggregates as
-// BENCH_sweep.json (schema v2, documented in docs/RESULTS_SCHEMA.md):
-// one entry per logical (policy, load) cell, each carrying the n/mean/
-// ci95 aggregates of its replicates.
-func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
+// writeSweepJSON renders sweep aggregates as BENCH_sweep.json (schema
+// v4, documented in docs/RESULTS_SCHEMA.md): one entry per logical
+// (policy, variant, load) cell, each carrying the n/mean/ci95 aggregates
+// of its replicates, plus the per-service breakdown for multi-VIP cells.
+func writeSweepJSON(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
 	doc := sweepJSON{
-		SchemaVersion: 3,
+		SchemaVersion: 4,
 		Lambda0:       lambda0,
 		Workers:       workers,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -438,7 +509,7 @@ func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duratio
 		if c.N() == 0 {
 			continue
 		}
-		doc.Cells = append(doc.Cells, sweepCellJSON{
+		cell := sweepCellJSON{
 			Policy:     c.Policy,
 			Workload:   c.Workload,
 			Variant:    c.Variant,
@@ -452,11 +523,26 @@ func writeSweepJSON(dir string, lambda0 float64, workers int, total time.Duratio
 			OKFraction: dist(c.OKFraction.Dist),
 			Refused:    dist(c.Refused.Dist),
 			WallMS:     float64(c.Wall.Microseconds()) / 1e3,
-		})
+		}
+		for _, v := range c.VIPs {
+			cell.VIPs = append(cell.VIPs, vipCellJSON{
+				Name:       v.Name,
+				Workload:   v.Workload,
+				Offered:    dist(v.Offered.Dist),
+				MeanMS:     distMS(v.Mean.Dist),
+				P50MS:      distMS(v.Median.Dist),
+				P95MS:      distMS(v.P95.Dist),
+				P99MS:      distMS(v.P99.Dist),
+				OKFraction: dist(v.OKFraction.Dist),
+				Refused:    dist(v.Refused.Dist),
+				Unfinished: dist(v.Unfinished.Dist),
+			})
+		}
+		doc.Cells = append(doc.Cells, cell)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "BENCH_sweep.json"), append(buf, '\n'), 0o644)
+	return os.WriteFile(filepath.Join(dir, name), append(buf, '\n'), 0o644)
 }

@@ -73,12 +73,52 @@
 // cluster, crossed with policies × loads × seeds, deterministic at any
 // worker count.
 //
-// Two first-class experiments ride on this: RunFailover kills an LB
+// Three first-class experiments ride on this: RunFailover kills an LB
 // replica mid-run and measures the client-observed transient (with the
 // consistent-hash fallback, completions hold at 100% through the kill;
 // with random selection, multi-replica operation is structurally
-// broken), and RunChurn drains and re-adds servers under load,
-// reporting each policy's churn penalty with CIs.
+// broken), RunChurn drains and re-adds servers under load, reporting
+// each policy's churn penalty with CIs, and RunMultiService drives
+// heterogeneous services concurrently through the shared balancer
+// (below).
+//
+// Event times compose with load sweeps by being declared rate-relative:
+// Event.AtFraction(f) schedules the event at fraction f of the run's
+// arrival span, and every workload resolves the fractions per load
+// point (ResolveEvents), so a single drain/add schedule means the same
+// thing at every ρ. RunChurn's steady-vs-churn variant pair sweeps all
+// of its loads this way.
+//
+// # Multi-service workloads: several VIPs, one run
+//
+// MultiServiceWorkload interleaves one arrival stream per VIP — any mix
+// of PoissonService, BurstyService and WikiService — into a single
+// deterministic open loop against a multi-VIP cluster sharing the LB
+// replicas, the many-services regime in which the power-of-choices
+// argument compounds. Each query is tagged with its VIP and the outcome
+// is reported both aggregate and per service, with conservation per VIP
+// (offered == completed + refused + unfinished):
+//
+//	cal := srlb.CalibrateCached(srlb.Calibration{Cluster: cluster})
+//	agg, _ := srlb.Runner{}.RunSweepStats(ctx, srlb.Sweep{
+//		Cluster:  cluster,
+//		Policies: []srlb.Policy{srlb.RR(), srlb.SRStatic(4)},
+//		Loads:    []float64{0.6, 0.85},
+//		Seeds:    srlb.DeriveSeeds(1, 5),
+//		Workload: srlb.MultiServiceWorkload{Services: []srlb.ServiceSpec{
+//			{Name: "web", Workload: srlb.PoissonService{Lambda0: cal.Lambda0}},
+//			{Name: "wiki", Workload: srlb.WikiService{Day: srlb.WikiDay{Compression: 288}}},
+//			{Name: "batch", Workload: srlb.BurstyService{Lambda0: cal.Lambda0 / 2, PeakFactor: 4}, Servers: 6},
+//		}},
+//	})
+//	web := agg.Cell(1, 1).VIPs[0] // SR4 × ρ=0.85: web service, mean ± ci95
+//	fmt.Printf("web: %.0f ms ± %.0f\n", web.Mean.Dist.Mean*1e3, web.Mean.Dist.CI95*1e3)
+//
+// RunMultiService packages the canonical three-service mix (web Poisson
+// + Wikipedia replay + bursty batch) as `srlb-bench -experiment
+// multiservice`, emitting per-policy per-service rows
+// (extension_multiservice.tsv) and schema-v4 BENCH_sweep.json cells
+// with per-VIP breakdowns.
 //
 // # Interpreting results: seeds, CI width, choosing Sweep.Seeds
 //

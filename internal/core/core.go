@@ -70,6 +70,10 @@ type LoadBalancer struct {
 	flows     *flowtable.Table
 	lastSweep time.Duration
 	Counts    *metrics.Counter
+	// vipSYNKey maps each advertised VIP to its precomputed per-VIP
+	// counter key ("syn_rx[vip]"), so multi-service accounting costs one
+	// map lookup on the SYN path and no allocation.
+	vipSYNKey map[netip.Addr]string
 }
 
 // New builds the LB and attaches it to the network under its own address
@@ -103,17 +107,34 @@ func NewDetached(sim *des.Simulator, net *netsim.Network, cfg Config) *LoadBalan
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = time.Second
 	}
+	vipSYNKey := make(map[netip.Addr]string, len(cfg.VIPs))
+	for vip := range cfg.VIPs {
+		vipSYNKey[vip] = "syn_rx[" + vip.String() + "]"
+	}
 	return &LoadBalancer{
-		cfg:    cfg,
-		sim:    sim,
-		net:    net,
-		flows:  flowtable.New(cfg.Flows),
-		Counts: metrics.NewCounter(),
+		cfg:       cfg,
+		sim:       sim,
+		net:       net,
+		flows:     flowtable.New(cfg.Flows),
+		Counts:    metrics.NewCounter(),
+		vipSYNKey: vipSYNKey,
 	}
 }
 
 // Addr returns the LB's address.
 func (lb *LoadBalancer) Addr() netip.Addr { return lb.cfg.Addr }
+
+// VIPSYNs returns the number of client SYNs this replica received for
+// the given VIP — the per-service demand split of a multi-VIP cluster.
+// Summed across replicas it equals the queries offered to the VIP (each
+// query sends one SYN unless client retransmission is enabled).
+func (lb *LoadBalancer) VIPSYNs(vip netip.Addr) uint64 {
+	key, ok := lb.vipSYNKey[vip]
+	if !ok {
+		return 0
+	}
+	return lb.Counts.Get(key)
+}
 
 // FlowCount returns the number of tracked flows.
 func (lb *LoadBalancer) FlowCount() int { return lb.flows.Len() }
@@ -168,6 +189,7 @@ func (lb *LoadBalancer) Handle(pkt *packet.Packet) {
 		return
 	}
 	if pkt.IsSYN() {
+		lb.Counts.Inc(lb.vipSYNKey[pkt.IP.Dst])
 		lb.handleSYN(pkt, scheme)
 		return
 	}

@@ -99,42 +99,30 @@ func RunChurnCtx(ctx context.Context, cfg ChurnConfig) ChurnResult {
 	}
 
 	res := ChurnResult{Lambda0: cfg.Lambda0, ChurnBy: cfg.ChurnBy}
-	// Event times scale with the arrival span, which depends on the
-	// rate: each load point is its own (small) sweep with its own
-	// schedule, all of them sharing the policies × variants × seeds grid.
-	for _, rho := range cfg.Rhos {
-		rate := rho * cfg.Lambda0
-		span := time.Duration(float64(cfg.Queries) / rate * float64(time.Second))
-		stagger := span / 100
-		events := make([]testbed.Event, 0, 2*cfg.ChurnBy)
-		for g := 0; g < cfg.ChurnBy; g++ {
-			at := time.Duration(cfg.DrainFrac*float64(span)) + time.Duration(g)*stagger
-			events = append(events, testbed.DrainServer(at, 0, g))
-		}
-		for g := 0; g < cfg.ChurnBy; g++ {
-			at := time.Duration(cfg.GrowFrac*float64(span)) + time.Duration(g)*stagger
-			events = append(events, testbed.AddServer(at, 0))
-		}
-		agg, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweepStats(ctx, Sweep{
-			Cluster:  cfg.Cluster,
-			Policies: cfg.Policies,
-			Variants: []ClusterVariant{
-				{Name: "steady"},
-				{Name: "churn", Apply: func(c ClusterConfig) ClusterConfig {
-					c.Events = events
-					return c
-				}},
-			},
-			Loads:    []float64{rho},
-			Seeds:    cfg.Seeds,
-			Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
-		})
-		if len(res.Seeds) == 0 {
-			res.Seeds = agg.Seeds
-		}
+	// The schedule is rate-relative: each phase is a fraction of the
+	// arrival span, staggered by 1% per server, so the same two variants
+	// serve every load point of one sweep — each cell resolves the
+	// fractions against its own span (historically this ran one sweep
+	// per rho with hand-resolved absolute times).
+	agg, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweepStats(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Variants: []ClusterVariant{
+			{Name: "steady"},
+			{Name: "churn", Apply: func(c ClusterConfig) ClusterConfig {
+				c.Events = churnEvents(cfg.ChurnBy, cfg.DrainFrac, cfg.GrowFrac)
+				return c
+			}},
+		},
+		Loads:    cfg.Rhos,
+		Seeds:    cfg.Seeds,
+		Workload: PoissonWorkload{Lambda0: cfg.Lambda0, Queries: cfg.Queries},
+	})
+	res.Seeds = agg.Seeds
+	for li, rho := range cfg.Rhos {
 		for pi, spec := range cfg.Policies {
 			for vi, mode := range []string{"steady", "churn"} {
-				cs := agg.CellAt(pi, vi, 0)
+				cs := agg.CellAt(pi, vi, li)
 				if cs.N() == 0 {
 					continue
 				}
@@ -150,6 +138,29 @@ func RunChurnCtx(ctx context.Context, cfg ChurnConfig) ChurnResult {
 		}
 	}
 	return res
+}
+
+// churnEvents builds the rate-relative drain + re-add schedule: churnBy
+// drains starting at drainFrac of the arrival span, churnBy adds at
+// growFrac, each phase staggered by 1% of the span per server. Fractions
+// clamp to 1 so large pools (or late phases) stay valid schedules — the
+// tail of a long stagger lands at span end, where the absolute-time
+// schedule used to fire it after the last arrival.
+func churnEvents(churnBy int, drainFrac, growFrac float64) []testbed.Event {
+	frac := func(f float64) float64 {
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	events := make([]testbed.Event, 0, 2*churnBy)
+	for g := 0; g < churnBy; g++ {
+		events = append(events, testbed.DrainServer(0, 0, g).AtFraction(frac(drainFrac+float64(g)*0.01)))
+	}
+	for g := 0; g < churnBy; g++ {
+		events = append(events, testbed.AddServer(0, 0).AtFraction(frac(growFrac+float64(g)*0.01)))
+	}
+	return events
 }
 
 // WriteTSV renders the grid: one row per (rho, policy, mode).

@@ -130,13 +130,11 @@ func (c ClusterConfig) TheoreticalCapacity() float64 {
 	return float64(c.Servers) * c.Server.Cores / MeanDemand.Seconds()
 }
 
-// topology lowers the cluster + policy pair into the declarative
-// testbed.Topology — the one place the legacy knobs (ConsistentHash,
-// Replicas, MissFallback, Events) map onto VIPSpec fields. A default
-// ClusterConfig compiles to the identical single-LB/single-VIP cluster
-// the pre-Topology testbed built.
-func (c ClusterConfig) topology(spec PolicySpec) testbed.Topology {
-	c = c.withDefaults()
+// vipSpec lowers the cluster + policy pair into one testbed.VIPSpec —
+// the place the legacy selection knobs (ConsistentHash, MissFallback)
+// map onto VIPSpec fields. Multi-service workloads build one such spec
+// per service, overriding pool size and demand model per VIP.
+func (c ClusterConfig) vipSpec(spec PolicySpec) testbed.VIPSpec {
 	vip := testbed.VIPSpec{
 		Servers:        c.Servers,
 		Server:         c.Server,
@@ -166,11 +164,19 @@ func (c ClusterConfig) topology(spec PolicySpec) testbed.Topology {
 	if c.MissFallback {
 		vip.Fallback = chash
 	}
+	return vip
+}
+
+// topology lowers the cluster + policy pair into the declarative
+// testbed.Topology. A default ClusterConfig compiles to the identical
+// single-LB/single-VIP cluster the pre-Topology testbed built.
+func (c ClusterConfig) topology(spec PolicySpec) testbed.Topology {
+	c = c.withDefaults()
 	return testbed.Topology{
 		Seed:     c.Seed,
 		Replicas: c.Replicas,
 		Clients:  c.Clients,
-		VIPs:     []testbed.VIPSpec{vip},
+		VIPs:     []testbed.VIPSpec{c.vipSpec(spec)},
 		Events:   c.Events,
 	}
 }

@@ -179,13 +179,15 @@ func runWikiReplay(ctx context.Context, cluster ClusterConfig, spec PolicySpec, 
 		replicas[i] = rep
 		return rep.Demand
 	}
-	tb := testbed.Build(top)
 
 	virtualHorizon := day.VirtualHorizon()
 	if n := len(entries); n > 0 {
 		// A recorded trace defines its own horizon.
 		virtualHorizon = time.Duration(float64(entries[n-1].At) / speed)
 	}
+	// Rate-relative events resolve against the replay's own span.
+	top.Events = testbed.ResolveEvents(top.Events, virtualHorizon)
+	tb := testbed.Build(top)
 	// Bin width in virtual time: compression shrinks the synthetic clock,
 	// and recorded entries are additionally rescaled by speed.
 	comp := day.RealTime(time.Second).Seconds() // = Compression factor

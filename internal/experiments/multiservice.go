@@ -1,0 +1,608 @@
+// Multi-service workloads: several independent arrival streams — one per
+// VIP — interleaved into a single deterministic open loop against one
+// multi-VIP topology. This is the regime the paper's power-of-choices
+// argument is really about: heterogeneous services sharing LB replicas,
+// where an imbalance created by one service's bursts is invisible to a
+// per-service random spray but steerable by Service Hunting.
+//
+// The building blocks:
+//
+//   - ServiceWorkload — one VIP's arrival process (Poisson, bursty MMPP,
+//     Wikipedia-day replay), opened per run with a per-VIP seed.
+//   - ServiceSpec — the service: a name, its workload, its pool sizing.
+//   - MultiServiceWorkload — the Workload that builds the joint topology,
+//     merges the streams, and reports the outcome both aggregate and per
+//     VIP (CellOutcome.PerVIP).
+//   - RunMultiService — the canonical three-service experiment behind
+//     `srlb-bench -experiment multiservice`.
+
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/netip"
+	"strings"
+	"time"
+
+	"srlb/internal/appserver"
+	"srlb/internal/metrics"
+	"srlb/internal/plot"
+	"srlb/internal/rng"
+	"srlb/internal/testbed"
+	"srlb/internal/vrouter"
+	"srlb/internal/wiki"
+)
+
+// ServiceStream yields one VIP's queries in arrival order. Next returns
+// the next query and its absolute arrival time; ok=false ends the stream.
+type ServiceStream interface {
+	Next() (at time.Duration, q testbed.Query, ok bool)
+}
+
+// ServiceWorkload is one VIP's arrival process inside a
+// MultiServiceWorkload — the per-service analogue of Workload. All
+// randomness must derive from the seed passed to Open, so a multi-service
+// cell stays a pure function of its scenario value.
+type ServiceWorkload interface {
+	// Label names the arrival process in artifacts.
+	Label() string
+	// Span estimates the stream's arrival span at the given load — the
+	// horizon guard and the base rate-relative events resolve against.
+	Span(load float64) time.Duration
+	// Open builds the run's stream. spec is the service's VIPSpec,
+	// mutable until Build — workloads with per-server demand models (the
+	// Wikipedia replay) install them here. seed is already split per VIP.
+	Open(spec *testbed.VIPSpec, seed uint64, load float64) ServiceStream
+}
+
+// PoissonService is the §V open-loop Poisson arrival process as one
+// service of a multi-service workload: Exp(MeanDemand) demands at rate
+// load × Lambda0, for Queries arrivals.
+type PoissonService struct {
+	// Lambda0 converts the load point to an absolute rate in queries/sec.
+	Lambda0 float64
+	// Queries per run (default 20000).
+	Queries int
+}
+
+func (s PoissonService) queries() int {
+	if s.Queries == 0 {
+		return 20000
+	}
+	return s.Queries
+}
+
+// Label implements ServiceWorkload.
+func (s PoissonService) Label() string { return fmt.Sprintf("poisson(%dq)", s.queries()) }
+
+// Span implements ServiceWorkload.
+func (s PoissonService) Span(load float64) time.Duration {
+	return time.Duration(float64(s.queries()) / (load * s.Lambda0) * float64(time.Second))
+}
+
+// Open implements ServiceWorkload.
+func (s PoissonService) Open(_ *testbed.VIPSpec, seed uint64, load float64) ServiceStream {
+	return &demandStream{
+		arrivals:  rng.NewPoisson(rng.Split(seed, 0xa221), load*s.Lambda0, 0),
+		demands:   rng.Split(seed, 0xde3a),
+		remaining: s.queries(),
+	}
+}
+
+// BurstyService is the on/off MMPP arrival process (BurstyWorkload) as
+// one service: bursts at PeakFactor times the long-run mean alternate
+// with quiet periods while the mean stays load × Lambda0.
+type BurstyService struct {
+	Lambda0 float64
+	// Queries per run (default 20000).
+	Queries int
+	// MeanOn/MeanOff are the mean burst and quiet durations (defaults 2s
+	// and 6s); PeakFactor the ON-state rate relative to the mean
+	// (default 3). Same semantics as BurstyWorkload.
+	MeanOn, MeanOff time.Duration
+	PeakFactor      float64
+}
+
+func (s BurstyService) bursty() BurstyWorkload {
+	return BurstyWorkload{
+		Lambda0: s.Lambda0, Queries: s.Queries,
+		MeanOn: s.MeanOn, MeanOff: s.MeanOff, PeakFactor: s.PeakFactor,
+	}.withDefaults()
+}
+
+// Label implements ServiceWorkload.
+func (s BurstyService) Label() string { return s.bursty().Label() }
+
+// Span implements ServiceWorkload.
+func (s BurstyService) Span(load float64) time.Duration {
+	w := s.bursty()
+	return time.Duration(float64(w.Queries) / (load * w.Lambda0) * float64(time.Second))
+}
+
+// Open implements ServiceWorkload.
+func (s BurstyService) Open(_ *testbed.VIPSpec, seed uint64, load float64) ServiceStream {
+	w := s.bursty()
+	return &demandStream{
+		arrivals:  w.newMMPP(seed, load),
+		demands:   rng.Split(seed, 0xde3a),
+		remaining: w.Queries,
+	}
+}
+
+// demandStream adapts an arrivalStream plus Exp(MeanDemand) demands into
+// a bounded ServiceStream — the engine behind PoissonService and
+// BurstyService.
+type demandStream struct {
+	arrivals  arrivalStream
+	demands   *rand.Rand
+	remaining int
+}
+
+func (s *demandStream) Next() (time.Duration, testbed.Query, bool) {
+	if s.remaining == 0 {
+		return 0, testbed.Query{}, false
+	}
+	s.remaining--
+	return s.arrivals.Next(), testbed.Query{Demand: rng.Exp(s.demands, MeanDemand)}, true
+}
+
+// WikiService replays the §VI synthetic Wikipedia day as one service:
+// diurnal NHPP arrivals, Zipf page popularity, and a per-server memcached
+// demand model installed on the service's pool. The load point is a
+// replay speed-up (load 2 replays twice as fast), exactly as in
+// TraceWorkload, so the service sweeps intensity coherently with its
+// Poisson neighbors.
+type WikiService struct {
+	// Day parameterizes the synthetic trace. Day.Seed 0 derives the
+	// stream from the scenario seed (so replicates vary the day);
+	// setting it pins the trace across seeds.
+	Day wiki.Config
+	// Cost is the per-server service-cost model (zero = defaults).
+	Cost wiki.CostModel
+}
+
+// Label implements ServiceWorkload.
+func (s WikiService) Label() string {
+	return fmt.Sprintf("wiki-day(compress=%.0fx)", s.Day.Compression)
+}
+
+// Span implements ServiceWorkload.
+func (s WikiService) Span(load float64) time.Duration {
+	return time.Duration(float64(s.Day.VirtualHorizon()) / load)
+}
+
+// Open implements ServiceWorkload.
+func (s WikiService) Open(spec *testbed.VIPSpec, seed uint64, load float64) ServiceStream {
+	day := s.Day
+	if day.Seed == 0 {
+		day.Seed = seed
+	}
+	// Per-server Wikipedia replicas: prewarmed caches scaled to the
+	// day's catalog, as in the single-service replay (§VI).
+	model := s.Cost.ScaledTo(day.CatalogPages())
+	model.Prewarm = true
+	spec.Demand = func(i int) vrouter.DemandFn {
+		return wiki.NewReplica(seed+uint64(i)*7919, model).Demand
+	}
+	return &wikiServiceStream{stream: wiki.NewStream(day), speed: load}
+}
+
+// wikiServiceStream adapts the synthetic day's entry stream, rescaling
+// arrival times by the replay speed.
+type wikiServiceStream struct {
+	stream *wiki.Stream
+	speed  float64
+}
+
+func (s *wikiServiceStream) Next() (time.Duration, testbed.Query, bool) {
+	e, isWiki, done := s.stream.Next()
+	if done {
+		return 0, testbed.Query{}, false
+	}
+	q := testbed.Query{URL: e.URL}
+	if isWiki {
+		q.Class = classWiki
+	}
+	return time.Duration(float64(e.At) / s.speed), q, true
+}
+
+// ServiceSpec declares one service of a MultiServiceWorkload: its name,
+// arrival process, and pool sizing. Zero pool fields inherit the
+// cluster's (ClusterConfig.Servers / .Server).
+type ServiceSpec struct {
+	// Name labels the VIP in artifacts and per-VIP rows (default
+	// "svc<i>").
+	Name string
+	// Workload is the service's arrival process (required).
+	Workload ServiceWorkload
+	// Servers overrides the service's pool size; Server its per-server
+	// configuration.
+	Servers int
+	Server  appserver.Config
+}
+
+func (s ServiceSpec) name(i int) string {
+	if s.Name == "" {
+		return fmt.Sprintf("svc%d", i)
+	}
+	return s.Name
+}
+
+// MultiServiceWorkload interleaves the arrival streams of several
+// services — each targeting its own VIP with its own server pool — into
+// one deterministic open loop against a single multi-VIP cluster sharing
+// the LB replicas. The policy under test applies to every VIP (the
+// policy axis is what the experiment compares); the load point scales
+// every service's intensity together.
+//
+// The outcome is reported both aggregate (the usual CellOutcome fields,
+// covering all VIPs) and per service (CellOutcome.PerVIP, one VIPOutcome
+// per ServiceSpec in order), and the per-VIP breakdown survives
+// replication: CellStats.VIPs aggregates each service across seeds.
+type MultiServiceWorkload struct {
+	Services []ServiceSpec
+}
+
+// Label implements Workload.
+func (w MultiServiceWorkload) Label() string {
+	parts := make([]string, len(w.Services))
+	for i, svc := range w.Services {
+		parts[i] = svc.name(i) + ":" + svc.Workload.Label()
+	}
+	return "multi(" + strings.Join(parts, " ") + ")"
+}
+
+// Run implements Workload.
+func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error) {
+	if len(w.Services) == 0 {
+		panic("experiments: MultiServiceWorkload needs at least one service")
+	}
+	cluster = cluster.withDefaults()
+
+	// One VIPSpec per service, all sharing the policy under test; each
+	// service's workload may install its demand model before Build.
+	specs := make([]testbed.VIPSpec, len(w.Services))
+	streams := make([]ServiceStream, len(w.Services))
+	svcSeeds := DeriveSeeds(cluster.Seed^0x5eb51ce5, len(w.Services))
+	var span time.Duration
+	for i, svc := range w.Services {
+		if svc.Workload == nil {
+			panic(fmt.Sprintf("experiments: service %d has no workload", i))
+		}
+		vs := cluster.vipSpec(spec)
+		vs.Name = svc.name(i)
+		if svc.Servers > 0 {
+			vs.Servers = svc.Servers
+			vs.ServerOverride = nil
+		}
+		if svc.Server.Workers != 0 {
+			vs.Server = svc.Server
+		}
+		specs[i] = vs
+		if sp := svc.Workload.Span(load); sp > span {
+			span = sp
+		}
+	}
+	for i, svc := range w.Services {
+		streams[i] = svc.Workload.Open(&specs[i], svcSeeds[i], load)
+	}
+	top := testbed.Topology{
+		Seed:     cluster.Seed,
+		Replicas: cluster.Replicas,
+		Clients:  cluster.Clients,
+		VIPs:     specs,
+		Events:   testbed.ResolveEvents(cluster.Events, span),
+	}
+	tb := testbed.Build(top)
+
+	// Aggregate and per-VIP accounting, demultiplexed by Result.VIP.
+	out := CellOutcome{
+		RT:     metrics.NewRecorder(4096),
+		PerVIP: make([]VIPOutcome, len(w.Services)),
+	}
+	byAddr := make(map[netip.Addr]*VIPOutcome, len(w.Services))
+	for i := range out.PerVIP {
+		out.PerVIP[i] = VIPOutcome{
+			Name:     specs[i].Name,
+			Workload: w.Services[i].Workload.Label(),
+			RT:       metrics.NewRecorder(1024),
+		}
+		byAddr[tb.VIPAddrOf(i)] = &out.PerVIP[i]
+	}
+	tb.Gen.DiscardResults = true
+	tb.Gen.OnResult = func(res testbed.Result) {
+		vo := byAddr[res.VIP]
+		switch {
+		case res.OK:
+			out.RT.Add(res.RT)
+			vo.RT.Add(res.RT)
+		case res.Refused:
+			out.Refused++
+			vo.Refused++
+		default:
+			out.Unfinished++
+			vo.Unfinished++
+		}
+	}
+
+	// Interleave: every stream schedules itself one arrival ahead; the
+	// DES merges them in time order (ties by scheduling order, which is
+	// itself deterministic). Query IDs are global across services.
+	var id uint64
+	for v := range streams {
+		vo := &out.PerVIP[v]
+		vip := tb.VIPAddrOf(v)
+		stream := streams[v]
+		var step func(q testbed.Query)
+		schedule := func() {
+			if at, q, ok := stream.Next(); ok {
+				tb.Sim.At(at, func() { step(q) })
+			}
+		}
+		step = func(q testbed.Query) {
+			q.ID = id
+			id++
+			q.VIP = vip
+			vo.Offered++
+			tb.Gen.Launch(q)
+			schedule()
+		}
+		schedule()
+	}
+	err := runSim(ctx, tb.Sim, span+2*time.Minute)
+	// Drained queries report through OnResult (OK and Refused both
+	// false), landing in the Unfinished columns.
+	tb.Gen.DrainPending()
+	return out, err
+}
+
+// MultiServiceConfig is the canonical multi-service experiment: three
+// heterogeneous services — an interactive web VIP under Poisson arrivals,
+// a Wikipedia-day replay VIP, and a smaller batch VIP under bursty MMPP
+// arrivals — sharing the LB replica(s), swept over load under each
+// policy. The measurement is per-service: how much of each service's
+// latency and completion budget does each policy preserve when the
+// services contend through one balancer.
+type MultiServiceConfig struct {
+	Cluster ClusterConfig
+	// Lambda0 is the web VIP's calibrated capacity rate (0 ⇒ measured
+	// via CalibrateCached on the base cluster); the batch VIP's rate
+	// scales with its pool share.
+	Lambda0 float64
+	// Rhos are the normalized loads to sweep (default {0.6, 0.85}).
+	Rhos []float64
+	// Queries is the web VIP's arrivals per cell (default 20000); the
+	// batch VIP offers half that.
+	Queries int
+	// Compression is the wiki day's replay compression (default 288 —
+	// the 24-hour day in 5 simulated minutes).
+	Compression float64
+	// BatchPeak is the batch VIP's ON-state burst factor (default 4).
+	BatchPeak float64
+	// Policies defaults to {RR, SR4, SRdyn}.
+	Policies []PolicySpec
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds    []uint64
+	Workers  int
+	Progress func(string)
+}
+
+// MultiServiceRow is one (rho, policy, service) outcome aggregated across
+// the replication axis; Service "all" is the aggregate over services.
+type MultiServiceRow struct {
+	Rho     float64
+	Policy  string
+	Service string
+	// N counts completed replicates.
+	N                        int
+	Mean, MeanCI95, P50, P99 time.Duration
+	OKFrac, OKFracCI95       float64
+	// Offered, Refused and Unfinished are across-seed mean counts.
+	Offered, Refused, Unfinished float64
+}
+
+// MultiServiceResult holds the full grid.
+type MultiServiceResult struct {
+	Lambda0 float64
+	// Services lists the service names, in ServiceSpec order.
+	Services []string
+	Rhos     []float64
+	Seeds    []uint64
+	// Stats is the underlying replicated sweep — per-VIP aggregates
+	// included (CellStats.VIPs) — the machine-readable artifact's source.
+	Stats SweepStats
+	Rows  []MultiServiceRow
+}
+
+// RunMultiService executes the experiment.
+func RunMultiService(cfg MultiServiceConfig) MultiServiceResult {
+	return RunMultiServiceCtx(context.Background(), cfg)
+}
+
+// RunMultiServiceCtx is RunMultiService with cancellation; cancelled
+// cells are dropped from the aggregates.
+func RunMultiServiceCtx(ctx context.Context, cfg MultiServiceConfig) MultiServiceResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if len(cfg.Rhos) == 0 {
+		cfg.Rhos = []float64{0.6, 0.85}
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.Compression == 0 {
+		cfg.Compression = 288
+	}
+	if cfg.BatchPeak == 0 {
+		cfg.BatchPeak = 4
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{RR(), SRc(4), SRdyn()}
+	}
+	if cfg.Lambda0 == 0 {
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+
+	// The batch pool is half the web pool; its offered rate scales with
+	// its pool share so every service sweeps the same normalized load.
+	batchServers := cfg.Cluster.Servers / 2
+	if batchServers < 2 {
+		batchServers = 2
+	}
+	batchShare := float64(batchServers) / float64(cfg.Cluster.Servers)
+	workload := MultiServiceWorkload{Services: []ServiceSpec{
+		{Name: "web", Workload: PoissonService{Lambda0: cfg.Lambda0, Queries: cfg.Queries}},
+		{Name: "wiki", Workload: WikiService{Day: wiki.Config{Compression: cfg.Compression}}},
+		{Name: "batch", Workload: BurstyService{
+			Lambda0: cfg.Lambda0 * batchShare, Queries: cfg.Queries / 2, PeakFactor: cfg.BatchPeak,
+		}, Servers: batchServers},
+	}}
+
+	agg, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweepStats(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Loads:    cfg.Rhos,
+		Seeds:    cfg.Seeds,
+		Workload: workload,
+	})
+
+	res := MultiServiceResult{
+		Lambda0: cfg.Lambda0,
+		Rhos:    cfg.Rhos,
+		Seeds:   agg.Seeds,
+		Stats:   agg,
+	}
+	for _, svc := range workload.Services {
+		res.Services = append(res.Services, svc.Name)
+	}
+	for li, rho := range cfg.Rhos {
+		for pi, spec := range cfg.Policies {
+			cs := agg.CellAt(pi, 0, li)
+			if cs.N() == 0 {
+				continue
+			}
+			var offered float64
+			for _, vs := range cs.VIPs {
+				offered += vs.Offered.Dist.Mean
+			}
+			res.Rows = append(res.Rows, MultiServiceRow{
+				Rho: rho, Policy: spec.Name, Service: "all", N: cs.N(),
+				Offered:  offered,
+				Mean:     secDur(cs.Mean.Dist.Mean),
+				MeanCI95: secDur(cs.Mean.Dist.CI95),
+				P50:      secDur(cs.Median.Dist.Mean),
+				P99:      secDur(cs.P99.Dist.Mean),
+				OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+				Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
+			})
+			for _, vs := range cs.VIPs {
+				res.Rows = append(res.Rows, MultiServiceRow{
+					Rho: rho, Policy: spec.Name, Service: vs.Name, N: cs.N(),
+					Mean:     secDur(vs.Mean.Dist.Mean),
+					MeanCI95: secDur(vs.Mean.Dist.CI95),
+					P50:      secDur(vs.Median.Dist.Mean),
+					P99:      secDur(vs.P99.Dist.Mean),
+					OKFrac:   vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.CI95,
+					Offered: vs.Offered.Dist.Mean,
+					Refused: vs.Refused.Dist.Mean, Unfinished: vs.Unfinished.Dist.Mean,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Row returns the row for (policy, service) at the rho closest to the
+// requested load.
+func (r MultiServiceResult) Row(policy, service string, rho float64) (MultiServiceRow, error) {
+	var best MultiServiceRow
+	bestDiff := -1.0
+	for _, row := range r.Rows {
+		if row.Policy != policy || row.Service != service {
+			continue
+		}
+		d := row.Rho - rho
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			bestDiff = d
+			best = row
+		}
+	}
+	if bestDiff < 0 {
+		return MultiServiceRow{}, fmt.Errorf("multiservice: no row for (%q, %q)", policy, service)
+	}
+	return best, nil
+}
+
+// Improvement returns the RR-vs-policy mean-RT ratio for one service at
+// the rho closest to the requested load — "how much faster is this
+// service under the policy than under the random spray".
+func (r MultiServiceResult) Improvement(policy, service string, rho float64) (float64, error) {
+	rr, err := r.Row("RR", service, rho)
+	if err != nil {
+		return 0, err
+	}
+	row, err := r.Row(policy, service, rho)
+	if err != nil {
+		return 0, err
+	}
+	if row.Mean == 0 {
+		return 0, fmt.Errorf("multiservice: zero mean for (%q, %q)", policy, service)
+	}
+	return float64(rr.Mean) / float64(row.Mean), nil
+}
+
+// PlotSeries renders one service's mean-RT-vs-load lines, one series per
+// policy, with across-seed ci95 error bars.
+func (r MultiServiceResult) PlotSeries(service string) []plot.Series {
+	byPolicy := make(map[string]*plot.Series)
+	var order []string
+	for _, row := range r.Rows {
+		if row.Service != service {
+			continue
+		}
+		ser, ok := byPolicy[row.Policy]
+		if !ok {
+			ser = &plot.Series{Name: row.Policy}
+			byPolicy[row.Policy] = ser
+			order = append(order, row.Policy)
+		}
+		ser.X = append(ser.X, row.Rho)
+		ser.Y = append(ser.Y, row.Mean.Seconds())
+		ser.YErr = append(ser.YErr, row.MeanCI95.Seconds())
+	}
+	out := make([]plot.Series, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byPolicy[name])
+	}
+	return out
+}
+
+// WriteTSV renders the grid: one row per (rho, policy, service), the
+// aggregate first.
+func (r MultiServiceResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Multi-service run: %s sharing the LB; lambda0=%.1f q/s (web VIP)\n",
+		strings.Join(r.Services, "+"), r.Lambda0); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "rho\tpolicy\tservice\toffered\tmean_s\tmean_ci95_s\tp50_s\tp99_s\tok_frac\tok_ci95\trefused\tunfinished\tn"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%.2f\t%s\t%s\t%.0f\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.0f\t%.0f\t%d\n",
+			row.Rho, row.Policy, row.Service, row.Offered,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.MeanCI95),
+			metrics.FormatDuration(row.P50),
+			metrics.FormatDuration(row.P99),
+			row.OKFrac, row.OKFracCI95, row.Refused, row.Unfinished, row.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -37,8 +37,29 @@ type CellStats struct {
 	OKFraction stats.Replicated[float64]
 	Refused    stats.Replicated[int]
 	Unfinished stats.Replicated[int]
+	// VIPs breaks the aggregates down by service for multi-VIP cells
+	// (one VIPStats per service, aligned with CellOutcome.PerVIP); nil
+	// for single-VIP workloads.
+	VIPs []VIPStats
 	// Wall is the summed host wall-clock over the replicates.
 	Wall time.Duration
+}
+
+// VIPStats is one service's share of a CellStats: the same per-metric
+// mean ± CI aggregation, restricted to queries addressed to that VIP.
+type VIPStats struct {
+	// Name is the service name; Workload labels its arrival process.
+	Name     string
+	Workload string
+	// Mean, Median, P95, P99 summarize the per-seed response-time
+	// statistics of this VIP's completed queries.
+	Mean, Median, P95, P99 stats.Replicated[time.Duration]
+	// OKFraction, Offered, Refused, Unfinished summarize the per-seed
+	// completion accounting of this VIP.
+	OKFraction stats.Replicated[float64]
+	Offered    stats.Replicated[int]
+	Refused    stats.Replicated[int]
+	Unfinished stats.Replicated[int]
 }
 
 // N returns the number of completed replicates.
@@ -100,7 +121,59 @@ func newCellStats(cells []CellResult) CellStats {
 	cs.OKFraction = stats.NewReplicated(okFracs, func(f float64) float64 { return f })
 	cs.Refused = stats.NewReplicated(refused, intVal)
 	cs.Unfinished = stats.NewReplicated(unfinished, intVal)
+	cs.VIPs = newVIPStats(cells)
 	return cs
+}
+
+// newVIPStats folds the per-VIP breakdowns of the completed replicates —
+// a multi-VIP workload produces the same services in the same order in
+// every replicate, so VIP i aligns across cells. Single-VIP cells (no
+// PerVIP) yield nil.
+func newVIPStats(cells []CellResult) []VIPStats {
+	var completed []CellResult
+	for _, c := range cells {
+		if c.Err == nil && len(c.Outcome.PerVIP) > 0 {
+			completed = append(completed, c)
+		}
+	}
+	if len(completed) == 0 {
+		return nil
+	}
+	intVal := func(n int) float64 { return float64(n) }
+	nVIPs := len(completed[0].Outcome.PerVIP)
+	out := make([]VIPStats, nVIPs)
+	for vi := range out {
+		var (
+			means, medians, p95s, p99s   []time.Duration
+			okFracs                      []float64
+			offered, refused, unfinished []int
+		)
+		for _, c := range completed {
+			vo := c.Outcome.PerVIP[vi]
+			means = append(means, vo.RT.Mean())
+			medians = append(medians, vo.RT.Median())
+			p95s = append(p95s, vo.RT.Quantile(0.95))
+			p99s = append(p99s, vo.RT.Quantile(0.99))
+			okFracs = append(okFracs, vo.OKFraction())
+			offered = append(offered, vo.Offered)
+			refused = append(refused, vo.Refused)
+			unfinished = append(unfinished, vo.Unfinished)
+		}
+		first := completed[0].Outcome.PerVIP[vi]
+		out[vi] = VIPStats{
+			Name:       first.Name,
+			Workload:   first.Workload,
+			Mean:       stats.NewReplicated(means, durSeconds),
+			Median:     stats.NewReplicated(medians, durSeconds),
+			P95:        stats.NewReplicated(p95s, durSeconds),
+			P99:        stats.NewReplicated(p99s, durSeconds),
+			OKFraction: stats.NewReplicated(okFracs, func(f float64) float64 { return f }),
+			Offered:    stats.NewReplicated(offered, intVal),
+			Refused:    stats.NewReplicated(refused, intVal),
+			Unfinished: stats.NewReplicated(unfinished, intVal),
+		}
+	}
+	return out
 }
 
 // replicateScenarios expands each scenario across the seeds,

@@ -36,10 +36,39 @@ type CellOutcome struct {
 	// still pending (or timed out client-side) at horizon end.
 	Refused    int
 	Unfinished int
+	// PerVIP breaks the outcome down by service for multi-VIP workloads
+	// (MultiServiceWorkload), in the workload's service order; nil for
+	// single-VIP workloads. The aggregate fields above always cover all
+	// VIPs: summing a VIPOutcome column reproduces them.
+	PerVIP []VIPOutcome
 	// Extra carries workload-specific payloads: PoissonStats for the
 	// Poisson-family workloads, WikiRun for WikiWorkload, the sampled
 	// timeline for figure 4's workload.
 	Extra any
+}
+
+// VIPOutcome is one service's share of a multi-VIP cell: the same
+// accounting as CellOutcome, restricted to queries addressed to that VIP.
+type VIPOutcome struct {
+	// Name is the service name; Workload labels its arrival process.
+	Name     string
+	Workload string
+	// Offered counts queries launched at this VIP — the conservation
+	// anchor: Offered == RT.Count() + Refused + Unfinished at run end.
+	Offered int
+	// RT holds the response times of this VIP's successful queries.
+	RT *metrics.Recorder
+	// Refused and Unfinished count this VIP's failed queries.
+	Refused    int
+	Unfinished int
+}
+
+// OKFraction returns the completed fraction of the VIP's offered queries.
+func (o VIPOutcome) OKFraction() float64 {
+	if o.RT == nil || o.Offered == 0 {
+		return 0
+	}
+	return float64(o.RT.Count()) / float64(o.Offered)
 }
 
 // OKFraction returns the completed fraction of all observed queries
@@ -148,6 +177,14 @@ func (w BurstyWorkload) Label() string {
 // Run implements Workload.
 func (w BurstyWorkload) Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error) {
 	w = w.withDefaults()
+	return runOpenLoop(ctx, cluster, spec, w.newMMPP(cluster.Seed, load), load*w.Lambda0, w.Queries, 0, PoissonHooks{})
+}
+
+// newMMPP builds the workload's arrival process at the given load from
+// the given seed — shared by BurstyWorkload and BurstyService so the two
+// forms generate the identical on/off stream. w must already carry its
+// defaults.
+func (w BurstyWorkload) newMMPP(seed uint64, load float64) *mmpp {
 	mean := load * w.Lambda0
 	onFrac := w.MeanOn.Seconds() / (w.MeanOn + w.MeanOff).Seconds()
 	rateOn := w.PeakFactor * mean
@@ -156,7 +193,7 @@ func (w BurstyWorkload) Run(ctx context.Context, cluster ClusterConfig, spec Pol
 		rateOff = 0
 	}
 	arrivals := &mmpp{
-		r:       rng.Split(cluster.Seed, 0xb124),
+		r:       rng.Split(seed, 0xb124),
 		rateOn:  rateOn,
 		rateOff: rateOff,
 		meanOn:  w.MeanOn,
@@ -164,7 +201,7 @@ func (w BurstyWorkload) Run(ctx context.Context, cluster ClusterConfig, spec Pol
 	}
 	// Start in the OFF state with a fresh dwell time.
 	arrivals.switchAt = rng.Exp(arrivals.r, arrivals.meanOff)
-	return runOpenLoop(ctx, cluster, spec, arrivals, mean, w.Queries, 0, PoissonHooks{})
+	return arrivals
 }
 
 // mmpp generates arrivals of a two-state Markov-modulated Poisson process.
@@ -213,7 +250,12 @@ type arrivalStream interface {
 // horizon guard; rto enables client SYN retransmission.
 func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, arrivals arrivalStream, meanRate float64, queries int, rto time.Duration, hooks PoissonHooks) (CellOutcome, error) {
 	cluster = cluster.withDefaults()
-	tb := testbed.Build(cluster.topology(spec))
+	// The expected arrival span at this rate — what rate-relative events
+	// resolve against, so one schedule means the same thing at every ρ.
+	span := time.Duration(float64(queries) / meanRate * float64(time.Second))
+	top := cluster.topology(spec)
+	top.Events = testbed.ResolveEvents(top.Events, span)
+	tb := testbed.Build(top)
 	tb.Gen.RetransmitRTO = rto
 
 	out := CellOutcome{RT: metrics.NewRecorder(queries)}
@@ -233,7 +275,7 @@ func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, ar
 	}
 
 	demands := rng.Split(cluster.Seed, 0xde3a)
-	horizon := time.Duration(float64(queries)/meanRate*float64(time.Second)) + 2*time.Minute
+	horizon := span + 2*time.Minute
 	if rto > 0 {
 		horizon += 3 * time.Minute // leave room for the backoff ladder
 	}

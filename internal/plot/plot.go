@@ -28,6 +28,31 @@ func SeriesErr(name string, x, y, yerr []float64) Series {
 	return Series{Name: name, X: x, Y: y, YErr: yerr}
 }
 
+// Facet is one titled chart of a multi-chart rendering.
+type Facet struct {
+	Title  string
+	Series []Series
+}
+
+// RenderFacets draws several charts sharing one Config — e.g. the
+// per-service breakdown of a multi-VIP sweep, one facet per service.
+// Each facet's Title overrides cfg.Title; a blank line separates charts.
+func RenderFacets(w io.Writer, cfg Config, facets ...Facet) error {
+	for i, f := range facets {
+		c := cfg
+		c.Title = f.Title
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := Render(w, c, f.Series...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // markers label the lines in drawing order.
 var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
 

@@ -150,3 +150,30 @@ func TestRenderYErrValidation(t *testing.T) {
 		t.Fatalf("whiskers missing:\n%s", out)
 	}
 }
+
+func TestRenderFacets(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "RR", X: []float64{0, 1}, Y: []float64{1, 2}}
+	err := RenderFacets(&buf, Config{Width: 24, Height: 6, XLabel: "rho"},
+		Facet{Title: "web", Series: []Series{s}},
+		Facet{Title: "batch", Series: []Series{s}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, title := range []string{"web", "batch"} {
+		if !strings.Contains(out, title) {
+			t.Fatalf("facet title %q missing:\n%s", title, out)
+		}
+	}
+	// Facets are separated by a blank line (two consecutive newlines).
+	if !strings.Contains(out, "\n\n") {
+		t.Fatalf("no separator between facets:\n%s", out)
+	}
+	// A facet that fails to render propagates its error.
+	bad := Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}
+	if err := RenderFacets(&buf, Config{}, Facet{Title: "x", Series: []Series{bad}}); err == nil {
+		t.Fatal("facet rendering error not propagated")
+	}
+}

@@ -93,8 +93,11 @@ type Query struct {
 
 // Result reports the fate of a query.
 type Result struct {
-	ID       uint64
-	Class    uint8
+	ID    uint64
+	Class uint8
+	// VIP is the service address the query targeted — the per-service
+	// demultiplexing key of multi-VIP workloads.
+	VIP      netip.Addr
 	IssuedAt time.Duration
 	// RT is the client-observed response time (SYN → response payload).
 	RT time.Duration
@@ -390,6 +393,7 @@ func (g *Generator) Handle(pkt *packet.Packet) {
 }
 
 func (g *Generator) finish(pq *pendingQuery, res Result) {
+	res.VIP = pq.flow.Dst
 	delete(g.pending, pq.flow)
 	if pq.rto != nil {
 		g.sim.Cancel(pq.rto)
@@ -415,7 +419,7 @@ func (g *Generator) Results() []Result { return g.results }
 func (g *Generator) DrainPending() int {
 	n := len(g.pending)
 	for _, pq := range g.pending {
-		res := Result{ID: pq.q.ID, Class: pq.q.Class, IssuedAt: pq.sentAt, OK: false}
+		res := Result{ID: pq.q.ID, Class: pq.q.Class, VIP: pq.flow.Dst, IssuedAt: pq.sentAt, OK: false}
 		if !g.DiscardResults {
 			g.results = append(g.results, res)
 		}

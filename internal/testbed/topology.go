@@ -135,6 +135,14 @@ const (
 )
 
 // Event is one scheduled lifecycle action. Use the constructors.
+//
+// An event's time is either absolute (At, the historical form) or
+// rate-relative: AtFraction marks it as a fraction of the run's arrival
+// span, to be resolved to an absolute time by ResolveEvents once the
+// workload knows the span at its load point. Rate-relative schedules are
+// what let one event schedule serve a whole load sweep — "drain a third
+// of the pool 30% into the run" means the same thing at every ρ, while
+// an absolute time only fits one arrival rate.
 type Event struct {
 	At   time.Duration
 	Kind EventKind
@@ -145,6 +153,55 @@ type Event struct {
 	Server int
 	// Replica indexes the LB replicas (replica events).
 	Replica int
+	// Frac is the rate-relative time in [0, 1] (fraction of the arrival
+	// span); meaningful only when Relative is set.
+	Frac float64
+	// Relative marks the event as rate-relative: it must be resolved via
+	// ResolveEvents before Build.
+	Relative bool
+}
+
+// AtFraction returns a copy of ev scheduled at fraction f of the run's
+// arrival span instead of at an absolute time. The workload resolves it
+// (ResolveEvents) when it knows the span for its load point; Build
+// rejects topologies whose relative events were never resolved.
+func (ev Event) AtFraction(f float64) Event {
+	ev.At = 0
+	ev.Frac = f
+	ev.Relative = true
+	return ev
+}
+
+// ResolveEvents resolves every rate-relative event against the given
+// arrival span, returning a new slice with all times absolute; absolute
+// events pass through untouched. Workloads call this once per run, after
+// computing their span from the load point. Malformed relative events —
+// fractions outside [0, 1], or an event carrying both an absolute time
+// and a fraction — panic here with the same diagnostics Validate gives,
+// since resolution (not Build) is where the workload path sees them
+// last: a fraction resolved unchecked would surface as a bewildering
+// negative-time scheduling panic, or as an event silently landing past
+// the horizon.
+func ResolveEvents(events []Event, span time.Duration) []Event {
+	if len(events) == 0 {
+		return events
+	}
+	out := make([]Event, len(events))
+	for i, ev := range events {
+		if ev.Relative {
+			if ev.Frac < 0 || ev.Frac > 1 {
+				panic(fmt.Sprintf("testbed: event %d: fraction %v outside [0, 1]", i, ev.Frac))
+			}
+			if ev.At != 0 {
+				panic(fmt.Sprintf("testbed: event %d: both absolute time %v and fraction %v set", i, ev.At, ev.Frac))
+			}
+			ev.At = time.Duration(ev.Frac * float64(span))
+			ev.Frac = 0
+			ev.Relative = false
+		}
+		out[i] = ev
+	}
+	return out
 }
 
 // AddServer returns an event growing VIP v's pool by one server at time
@@ -216,14 +273,44 @@ func (t Topology) withDefaults() Topology {
 	return t
 }
 
+// Validate statically checks the topology and replays its event schedule
+// against the declared pools, so that a malformed declaration fails before
+// the run, not mid-simulation. Build calls it (and panics on error);
+// exported for callers that construct schedules programmatically and want
+// the error instead of the panic.
+func (t Topology) Validate() error { return t.withDefaults().validate() }
+
 // validate statically replays the event schedule against the declared
 // pools so that a malformed schedule fails at Build, not mid-simulation:
-// out-of-range indices and pools drained empty are rejected here. One
-// class of error necessarily remains dynamic — a pool shrinking below a
-// custom scheme's candidate count (the scheme's k is opaque to the
-// topology); keep every pool at least as large as its scheme needs, or
-// the scheme's own constructor will panic at the event's virtual time.
+// out-of-range indices, malformed rate-relative times and pools drained
+// empty are rejected here. One class of error necessarily remains
+// dynamic — a pool shrinking below a custom scheme's candidate count
+// (the scheme's k is opaque to the topology); keep every pool at least
+// as large as its scheme needs, or the scheme's own constructor will
+// panic at the event's virtual time.
 func (t Topology) validate() error {
+	// Rate-relative sanity first: a fraction outside [0, 1], or an event
+	// carrying both an absolute time and a fraction, is malformed however
+	// the schedule is later resolved. Mixing absolute and relative events
+	// in one schedule is also rejected — without the span the two time
+	// bases cannot be ordered against each other.
+	relative, absolute := 0, 0
+	for i, ev := range t.Events {
+		if !ev.Relative {
+			absolute++
+			continue
+		}
+		relative++
+		if ev.Frac < 0 || ev.Frac > 1 {
+			return fmt.Errorf("event %d: fraction %v outside [0, 1]", i, ev.Frac)
+		}
+		if ev.At != 0 {
+			return fmt.Errorf("event %d: both absolute time %v and fraction %v set", i, ev.At, ev.Frac)
+		}
+	}
+	if relative > 0 && absolute > 0 {
+		return fmt.Errorf("schedule mixes %d absolute and %d rate-relative events; resolve the fractions first (ResolveEvents)", absolute, relative)
+	}
 	// slots counts every index ever valid (drained slots keep theirs);
 	// live counts currently selectable servers.
 	slots := make([]int, len(t.VIPs))
@@ -234,12 +321,20 @@ func (t Topology) validate() error {
 	}
 	removed := make(map[[2]int]bool)
 	// Replay in time order (stable: same-instant events keep slice order,
-	// matching how the simulator will fire them).
+	// matching how the simulator will fire them). An all-relative
+	// schedule replays in fraction order — the order it will fire in
+	// once resolved, whatever the span.
+	key := func(ev Event) float64 {
+		if ev.Relative {
+			return ev.Frac
+		}
+		return float64(ev.At)
+	}
 	order := make([]int, len(t.Events))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return t.Events[order[a]].At < t.Events[order[b]].At })
+	sort.SliceStable(order, func(a, b int) bool { return key(t.Events[order[a]]) < key(t.Events[order[b]]) })
 	for _, i := range order {
 		ev := t.Events[i]
 		switch ev.Kind {
@@ -336,6 +431,11 @@ func Build(top Topology) *Testbed {
 	top = top.withDefaults()
 	if err := top.validate(); err != nil {
 		panic(fmt.Sprintf("testbed: invalid topology: %v", err))
+	}
+	for _, ev := range top.Events {
+		if ev.Relative {
+			panic("testbed: rate-relative events unresolved — call ResolveEvents with the arrival span before Build (workloads do this per load point)")
+		}
 	}
 	top.Net.Seed = top.Seed ^ 0x6e65740a // independent net stream
 

@@ -3,6 +3,7 @@ package testbed
 import (
 	"math/rand/v2"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -213,6 +214,16 @@ func TestTopologyMultiVIP(t *testing.T) {
 	if vip0 != n/2 || vip1 != n/2 {
 		t.Fatalf("per-VIP completions = %d/%d, want %d each", vip0, vip1, n/2)
 	}
+	// The LB's own per-VIP accounting agrees: one SYN per query, split
+	// evenly across the two services.
+	for v := 0; v < 2; v++ {
+		if got := tb.LB.VIPSYNs(tb.VIPAddrOf(v)); got != n/2 {
+			t.Fatalf("LB counted %d SYNs for VIP %d, want %d", got, v, n/2)
+		}
+	}
+	if got := tb.LB.VIPSYNs(netip.MustParseAddr("2001:db8::dead")); got != 0 {
+		t.Fatalf("unknown VIP counted %d SYNs, want 0", got)
+	}
 }
 
 // The legacy Config wrapper must compile to the identical cluster as the
@@ -240,6 +251,158 @@ func TestConfigTopologyParity(t *testing.T) {
 			t.Fatalf("result %d differs: %+v vs %+v", i, legacy[i], declarative[i])
 		}
 	}
+}
+
+// Validate must reject every class of malformed schedule with a
+// diagnosable error — table-driven over the error paths, including the
+// rate-relative ones (Build panics on the same errors; the exported
+// Validate returns them).
+func TestTopologyValidateErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		top  Topology
+		want string
+	}{
+		"vip out of range": {
+			Topology{Events: []Event{AddServer(0, 3)}},
+			"VIP 3 out of range",
+		},
+		"drain unknown server": {
+			Topology{VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{DrainServer(0, 0, 5)}},
+			"server 5 out of range",
+		},
+		"fail unknown server": {
+			Topology{VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{FailServer(time.Second, 0, 2)}},
+			"server 2 out of range",
+		},
+		"replica out of range": {
+			Topology{Replicas: 2, Events: []Event{FailReplica(0, 2)}},
+			"replica 2 out of range",
+		},
+		"recover unknown replica": {
+			Topology{Events: []Event{RecoverReplica(0, -1)}},
+			"replica -1 out of range",
+		},
+		"pool drained empty": {
+			Topology{VIPs: []VIPSpec{{Servers: 1}}, Events: []Event{DrainServer(0, 0, 0)}},
+			"empties VIP 0's pool",
+		},
+		"unknown event kind": {
+			Topology{Events: []Event{{At: time.Second, Kind: EventKind(99)}}},
+			"unknown kind",
+		},
+		"negative fraction": {
+			Topology{VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{DrainServer(0, 0, 0).AtFraction(-0.1)}},
+			"outside [0, 1]",
+		},
+		"fraction beyond span": {
+			Topology{VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{DrainServer(0, 0, 0).AtFraction(1.5)}},
+			"outside [0, 1]",
+		},
+		"absolute and fraction overlap": {
+			Topology{VIPs: []VIPSpec{{Servers: 2}},
+				Events: []Event{{At: time.Second, Kind: EventServerDrain, Frac: 0.5, Relative: true}}},
+			"both absolute time",
+		},
+		"mixed absolute and relative schedule": {
+			Topology{VIPs: []VIPSpec{{Servers: 3}}, Events: []Event{
+				DrainServer(time.Second, 0, 0),
+				DrainServer(0, 0, 1).AtFraction(0.5),
+			}},
+			"mixes",
+		},
+		"relative drain before its add": {
+			// Fraction order is replay order: the drain of slot 2 at 0.2
+			// precedes the add at 0.8, so slot 2 does not exist yet.
+			Topology{VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{
+				AddServer(0, 0).AtFraction(0.8),
+				DrainServer(0, 0, 2).AtFraction(0.2),
+			}},
+			"server 2 out of range",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			err := tc.top.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted malformed topology %+v", tc.top)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Well-formed schedules — absolute and all-relative — pass.
+	for name, top := range map[string]Topology{
+		"absolute": {VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{
+			AddServer(time.Second, 0),
+			DrainServer(2*time.Second, 0, 2),
+		}},
+		"relative": {VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{
+			AddServer(0, 0).AtFraction(0.3),
+			DrainServer(0, 0, 2).AtFraction(0.6),
+		}},
+	} {
+		if err := top.Validate(); err != nil {
+			t.Fatalf("%s: Validate rejected well-formed topology: %v", name, err)
+		}
+	}
+}
+
+// ResolveEvents turns fractions into absolute times against the span and
+// leaves absolute events untouched; Build refuses unresolved fractions.
+func TestResolveEvents(t *testing.T) {
+	span := 200 * time.Second
+	resolved := ResolveEvents([]Event{
+		DrainServer(0, 0, 1).AtFraction(0.25),
+		AddServer(0, 0).AtFraction(0.75),
+	}, span)
+	if got, want := resolved[0].At, 50*time.Second; got != want {
+		t.Fatalf("resolved[0].At = %v, want %v", got, want)
+	}
+	if got, want := resolved[1].At, 150*time.Second; got != want {
+		t.Fatalf("resolved[1].At = %v, want %v", got, want)
+	}
+	for i, ev := range resolved {
+		if ev.Relative || ev.Frac != 0 {
+			t.Fatalf("resolved[%d] still marked relative: %+v", i, ev)
+		}
+	}
+	// Absolute events pass through bit for bit, and the input slice is
+	// not mutated (topologies are shared values).
+	orig := []Event{DrainServer(7*time.Second, 0, 0).AtFraction(0.5)}
+	out := ResolveEvents(append([]Event{FailReplica(3*time.Second, 0)}, orig[0]), span)
+	if out[0] != FailReplica(3*time.Second, 0) {
+		t.Fatalf("absolute event changed: %+v", out[0])
+	}
+	if !orig[0].Relative {
+		t.Fatal("ResolveEvents mutated its input slice")
+	}
+
+	// Malformed fractions must fail at resolution — the workload path
+	// resolves before Build, so this is where they are last seen.
+	for name, bad := range map[string][]Event{
+		"negative fraction": {DrainServer(0, 0, 0).AtFraction(-0.1)},
+		"fraction above 1":  {DrainServer(0, 0, 0).AtFraction(1.5)},
+		"absolute and fraction both set": {
+			{At: time.Second, Kind: EventServerDrain, Frac: 0.5, Relative: true},
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: ResolveEvents did not panic", name)
+				}
+			}()
+			ResolveEvents(bad, span)
+		}()
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build accepted unresolved rate-relative events")
+		}
+	}()
+	Build(Topology{VIPs: []VIPSpec{{Servers: 2}},
+		Events: []Event{DrainServer(0, 0, 0).AtFraction(0.5)}})
 }
 
 // Malformed topologies must fail loudly at Build, not mid-simulation.

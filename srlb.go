@@ -69,6 +69,21 @@ type (
 	// PoissonStats is the Extra payload of the Poisson-family workloads.
 	PoissonStats = experiments.PoissonStats
 
+	// The multi-service layer: a MultiServiceWorkload interleaves one
+	// arrival stream per VIP (each a ServiceWorkload named by a
+	// ServiceSpec) into a single deterministic run against a multi-VIP
+	// cluster, reporting the outcome both aggregate and per service
+	// (VIPOutcome per cell, VIPStats per aggregate).
+	MultiServiceWorkload = experiments.MultiServiceWorkload
+	ServiceSpec          = experiments.ServiceSpec
+	ServiceWorkload      = experiments.ServiceWorkload
+	ServiceStream        = experiments.ServiceStream
+	PoissonService       = experiments.PoissonService
+	BurstyService        = experiments.BurstyService
+	WikiService          = experiments.WikiService
+	VIPOutcome           = experiments.VIPOutcome
+	VIPStats             = experiments.VIPStats
+
 	// Calibration measures λ0, the §V-A drop-onset rate.
 	Calibration       = experiments.CalibrationConfig
 	CalibrationResult = experiments.CalibrationResult
@@ -110,6 +125,12 @@ type (
 	// re-add servers under load).
 	ChurnConfig = experiments.ChurnConfig
 	ChurnResult = experiments.ChurnResult
+	// MultiServiceConfig/Result: the concurrent multi-service study
+	// (web Poisson + wiki replay + batch bursty sharing the LB, per-VIP
+	// per-policy outcomes).
+	MultiServiceConfig = experiments.MultiServiceConfig
+	MultiServiceResult = experiments.MultiServiceResult
+	MultiServiceRow    = experiments.MultiServiceRow
 )
 
 // Lifecycle-event constructors for Topology.Events / Cluster.Events.
@@ -126,6 +147,11 @@ var (
 	FailReplica = testbed.FailReplica
 	// RecoverReplica re-attaches a failed replica, stateless.
 	RecoverReplica = testbed.RecoverReplica
+	// ResolveEvents resolves rate-relative event times (Event.AtFraction)
+	// against an arrival span. Workloads resolve their cluster's events
+	// automatically per load point; call this only when handing a
+	// relative schedule straight to BuildTopology.
+	ResolveEvents = testbed.ResolveEvents
 )
 
 // Policy constructors.
@@ -234,8 +260,17 @@ func RunFailover(cfg FailoverConfig) FailoverResult { return experiments.RunFail
 
 // RunChurn drains and re-adds part of the server pool under load,
 // comparing how much of the capacity squeeze each policy passes through
-// to clients, steady vs churning, with CIs across seeds.
+// to clients, steady vs churning, with CIs across seeds. The schedule is
+// rate-relative: one pair of variants serves the whole load sweep.
 func RunChurn(cfg ChurnConfig) ChurnResult { return experiments.RunChurn(cfg) }
+
+// RunMultiService drives three heterogeneous services — web Poisson,
+// Wikipedia-day replay, bursty batch — concurrently through the shared
+// LB, sweeping load under each policy and reporting per-service
+// response-time and completion rows (with CIs across seeds).
+func RunMultiService(cfg MultiServiceConfig) MultiServiceResult {
+	return experiments.RunMultiService(cfg)
+}
 
 // BuildTopology compiles a declarative Topology into a wired cluster —
 // the low-level entry point for hand-built multi-LB / multi-VIP
