@@ -13,15 +13,16 @@
 //	srlb-bench -experiment churn                 # drain+re-add servers under load
 //	srlb-bench -experiment bursty                # fig2 grid under on/off MMPP arrivals
 //	srlb-bench -experiment multiservice -seeds 5 # web+wiki+batch VIPs sharing the LB
+//	srlb-bench -experiment interference -seeds 5 # web+batch contending on ONE shared pool
 //
 // With -seeds N > 1 every Poisson-family experiment (calibrate, figures
-// 2–5, ablations, hetero, bursty, failover, churn, multiservice)
-// replicates its cells across N derived seeds and reports mean ± 95% CI;
-// BENCH_sweep.json (schema v4, see docs/RESULTS_SCHEMA.md) carries the
-// per-cell aggregates — for multiservice, with one per-VIP row per
-// service inside each cell. The wiki replay (figures 6–8) stays
-// single-seed — replicate it through the Sweep API as in
-// examples/wikipedia.
+// 2–5, ablations, hetero, bursty, failover, churn, multiservice,
+// interference) replicates its cells across N derived seeds and reports
+// mean ± 95% CI; BENCH_sweep.json (schema v5, see docs/RESULTS_SCHEMA.md)
+// carries the per-cell aggregates — for multi-VIP cells, with one per-VIP
+// row per service inside each cell, each carrying that service's own
+// resolved load. The wiki replay (figures 6–8) stays single-seed —
+// replicate it through the Sweep API as in examples/wikipedia.
 package main
 
 import (
@@ -72,7 +73,7 @@ type sweepCellJSON struct {
 	P99MS      distJSON `json:"p99_ms"`
 	OKFraction distJSON `json:"ok_fraction"`
 	Refused    distJSON `json:"refused"`
-	// VIPs is the per-service breakdown of a multi-VIP cell (schema v4);
+	// VIPs is the per-service breakdown of a multi-VIP cell (schema v4+);
 	// absent for single-VIP sweeps.
 	VIPs   []vipCellJSON `json:"vips,omitempty"`
 	WallMS float64       `json:"wall_ms"`
@@ -80,8 +81,12 @@ type sweepCellJSON struct {
 
 // vipCellJSON is one service's share of a multi-VIP cell.
 type vipCellJSON struct {
-	Name       string   `json:"name"`
-	Workload   string   `json:"workload"`
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	// Load is the service's own resolved load point (schema v5): it
+	// differs from the cell's load when the workload carries per-service
+	// load axes (a pinned victim against a swept aggressor).
+	Load       float64  `json:"load"`
 	Offered    distJSON `json:"offered"`
 	MeanMS     distJSON `json:"mean_ms"`
 	P50MS      distJSON `json:"p50_ms"`
@@ -112,7 +117,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|all (wiki covers figures 6-8)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|all (wiki covers figures 6-8)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -129,11 +134,13 @@ func main() {
 		flag.PrintDefaults()
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
-machine-readable summary of the fig2/multiservice sweeps (schema v4:
-n, mean, ci95, p50, p99 per cell, the topology-variant label, and
-per-VIP rows for multi-service cells; documented field-by-field in
+machine-readable summary of the fig2/multiservice/interference sweeps
+(schema v5: n, mean, ci95, p50, p99 per cell, the topology-variant
+label, and per-VIP rows — each with its service's own resolved load —
+for multi-service cells; documented field-by-field in
 docs/RESULTS_SCHEMA.md). The topology experiments (failover, churn,
-multiservice) and the bursty sweep are described in docs/TOPOLOGY.md.`)
+multiservice, interference) and the bursty sweep are described in
+docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
 	// The replication axis, shared by every Poisson-family experiment
@@ -441,7 +448,7 @@ multiservice) and the bursty sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v4: per-VIP rows)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v5: per-VIP rows)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				facets := make([]plot.Facet, 0, len(res.Services))
 				for _, svc := range res.Services {
@@ -455,6 +462,42 @@ multiservice) and the bursty sweep are described in docs/TOPOLOGY.md.`)
 				}
 			}
 			return writeFile("extension_multiservice.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("interference") {
+		needLambda0()
+		run("extension: cross-service interference on one shared pool (web vs batch surge)", func() error {
+			start := time.Now()
+			res := srlb.RunInterference(srlb.InterferenceConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Seeds: seeds, Workers: *workers, Progress: progress,
+			})
+			heavy := res.BatchRhos[len(res.BatchRhos)-1]
+			for _, name := range []string{"RR", "SR 4", "SR dyn"} {
+				deg, err := res.VictimDegradation(name)
+				row, rowErr := res.Row(name, "web", heavy)
+				if err == nil && rowErr == nil {
+					fmt.Printf("   web p99 under %-7s at batch rho=%.2f: %.3fs (%.2fx its light-batch baseline)\n",
+						name, heavy, row.P99.Seconds(), deg)
+				}
+			}
+			// As with multiservice: standalone runs own BENCH_sweep.json;
+			// under -experiment all the figure-2 sweep keeps that name.
+			jsonName := "BENCH_sweep.json"
+			if *experiment == "all" {
+				jsonName = "BENCH_interference.json"
+			}
+			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s (schema v5: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
+			if *asciiPlot {
+				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "batch rho", YLabel: "p99(s)"}, res.PlotFacets()...); err != nil {
+					return err
+				}
+			}
+			return writeFile("extension_interference.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
 	}
 
@@ -493,12 +536,13 @@ func burstyRhos(points int) []float64 {
 }
 
 // writeSweepJSON renders sweep aggregates as BENCH_sweep.json (schema
-// v4, documented in docs/RESULTS_SCHEMA.md): one entry per logical
+// v5, documented in docs/RESULTS_SCHEMA.md): one entry per logical
 // (policy, variant, load) cell, each carrying the n/mean/ci95 aggregates
-// of its replicates, plus the per-service breakdown for multi-VIP cells.
+// of its replicates, plus the per-service breakdown (with per-service
+// resolved loads) for multi-VIP cells.
 func writeSweepJSON(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
 	doc := sweepJSON{
-		SchemaVersion: 4,
+		SchemaVersion: 5,
 		Lambda0:       lambda0,
 		Workers:       workers,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -528,6 +572,7 @@ func writeSweepJSON(dir, name string, lambda0 float64, workers int, total time.D
 			cell.VIPs = append(cell.VIPs, vipCellJSON{
 				Name:       v.Name,
 				Workload:   v.Workload,
+				Load:       v.Load,
 				Offered:    dist(v.Offered.Dist),
 				MeanMS:     distMS(v.Mean.Dist),
 				P50MS:      distMS(v.Median.Dist),

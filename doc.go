@@ -62,16 +62,19 @@
 //
 // Cluster construction is declarative (docs/TOPOLOGY.md): a Topology
 // names VIPs — each with its own selection scheme, miss-fallback and
-// server pool — attaches N LB replicas through anycast/ECMP (the
-// Maglev/Ananta deployment model that §II-B's consistent-hash selection
-// enables), and schedules lifecycle Events (AddServer, DrainServer,
-// FailServer, FailReplica, RecoverReplica) at virtual times during the
-// run. BuildTopology compiles the value to wired nodes; Cluster remains
-// the one-line single-LB/single-VIP wrapper, so existing figures are
-// untouched. Sweeps gain the matching axis: Sweep.Variants derives
-// topology variants (replica counts, event schedules) from the base
-// cluster, crossed with policies × loads × seeds, deterministic at any
-// worker count.
+// demand model — declares server pools (implicit per VIP, or named
+// PoolSpecs that several VIPs share, contending for the same workers),
+// attaches N LB replicas through anycast/ECMP (the Maglev/Ananta
+// deployment model that §II-B's consistent-hash selection enables), and
+// schedules lifecycle Events (AddServer, DrainServer, FailServer and
+// their pool-targeted forms AddPoolServer/DrainPoolServer/
+// FailPoolServer, FailReplica, RecoverReplica) at virtual times during
+// the run. BuildTopology compiles the value to wired nodes; Cluster
+// remains the one-line single-LB/single-VIP wrapper, so existing
+// figures are untouched. Sweeps gain the matching axis: Sweep.Variants
+// derives topology variants (replica counts, event schedules) from the
+// base cluster, crossed with policies × loads × seeds, deterministic at
+// any worker count.
 //
 // Three first-class experiments ride on this: RunFailover kills an LB
 // replica mid-run and measures the client-observed transient (with the
@@ -117,8 +120,20 @@
 // RunMultiService packages the canonical three-service mix (web Poisson
 // + Wikipedia replay + bursty batch) as `srlb-bench -experiment
 // multiservice`, emitting per-policy per-service rows
-// (extension_multiservice.tsv) and schema-v4 BENCH_sweep.json cells
+// (extension_multiservice.tsv) and schema-v5 BENCH_sweep.json cells
 // with per-VIP breakdowns.
+//
+// The contention regime layers on top: ServiceSpec.Pool +
+// MultiServiceWorkload.Pools put several services on ONE shared server
+// pool, and MultiServiceWorkload.ServiceLoads gives each service its
+// own load axis (a ServiceLoad pins a victim's ρ or scales the sweep's
+// knob), so a batch surge ρ_b can sweep against a steady web ρ_w over
+// the same workers. RunInterference packages that measurement as
+// `srlb-bench -experiment interference`: per-victim p99/completion
+// degradation per policy as the aggressor ramps
+// (extension_interference.tsv). WikiService.Pinned replays one recorded
+// day across policies × seeds, cutting across-seed variance of the wiki
+// rows to the cluster's own randomness.
 //
 // # Interpreting results: seeds, CI width, choosing Sweep.Seeds
 //

@@ -169,14 +169,19 @@ func RunFailoverCtx(ctx context.Context, cfg FailoverConfig) FailoverResult {
 		cfg.Lambda0 = cal.Lambda0
 	}
 
+	// The schedule is rate-relative: kill (and recovery) are fractions of
+	// the arrival span, resolved per load point by the workload — so the
+	// same variant pair would serve a whole load sweep, exactly as
+	// RunChurn's schedule does (historically the kill time was computed
+	// absolutely here, which pinned the experiment to one rho).
 	rate := cfg.Rho * cfg.Lambda0
 	span := time.Duration(float64(cfg.Queries) / rate * float64(time.Second))
 	killAt := time.Duration(cfg.KillFrac * float64(span))
 	var recoverAt time.Duration
-	events := []testbed.Event{testbed.FailReplica(killAt, 0)}
+	events := []testbed.Event{testbed.FailReplica(0, 0).AtFraction(cfg.KillFrac)}
 	if cfg.RecoverFrac > 0 {
 		recoverAt = time.Duration(cfg.RecoverFrac * float64(span))
-		events = append(events, testbed.RecoverReplica(recoverAt, 0))
+		events = append(events, testbed.RecoverReplica(0, 0).AtFraction(cfg.RecoverFrac))
 	}
 	// Each mode pins the selection knobs explicitly — the base cluster's
 	// own ConsistentHash/MissFallback settings must not leak into the

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"srlb/internal/agent"
 	"srlb/internal/testbed"
 )
 
@@ -141,6 +142,59 @@ func TestFailoverMaglevVsRandom(t *testing.T) {
 	}
 	if got := strings.Count(buf.String(), "# mode:"); got != 2 {
 		t.Fatalf("TSV has %d mode blocks, want 2", got)
+	}
+}
+
+// Regression for the failover rate-relative migration: the kill/recover
+// schedule used to be computed absolutely from the (single) rho's
+// arrival span. The migrated schedule declares the same instants as
+// fractions (AtFraction) and lets the workload resolve them per load
+// point — so at a fixed rho the two forms must produce byte-identical
+// cells.
+func TestFailoverRelativeMatchesAbsolute(t *testing.T) {
+	const (
+		lambda0               = 80.0
+		queries               = 1500
+		rho                   = 0.7
+		killFrac, recoverFrac = 0.5, 0.8
+	)
+	// The absolute schedule exactly as the pre-migration code computed it.
+	rate := rho * lambda0
+	span := time.Duration(float64(queries) / rate * float64(time.Second))
+	absolute := []testbed.Event{
+		testbed.FailReplica(time.Duration(killFrac*float64(span)), 0),
+		testbed.RecoverReplica(time.Duration(recoverFrac*float64(span)), 0),
+	}
+	relative := []testbed.Event{
+		testbed.FailReplica(0, 0).AtFraction(killFrac),
+		testbed.RecoverReplica(0, 0).AtFraction(recoverFrac),
+	}
+	run := func(events []testbed.Event) []CellResult {
+		res, err := Runner{Workers: 2}.RunSweep(context.Background(), Sweep{
+			Cluster: ClusterConfig{Seed: 83, Servers: 4},
+			Policies: []PolicySpec{{
+				Name:       "first-accept",
+				Candidates: 2,
+				NewAgent:   func() agent.Policy { return agent.Always{} },
+			}},
+			Variants: []ClusterVariant{{Name: "lb-fail", Apply: func(c ClusterConfig) ClusterConfig {
+				c.Replicas = 2
+				c.ConsistentHash = true
+				c.MissFallback = true
+				c.Events = events
+				return c
+			}}},
+			Loads:    []float64{rho},
+			Seeds:    DeriveSeeds(83, 2),
+			Workload: failoverWorkload{lambda0: lambda0, queries: queries, bins: 20},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripWall(res.Cells)
+	}
+	if !reflect.DeepEqual(run(absolute), run(relative)) {
+		t.Fatal("rate-relative failover schedule diverges from the absolute-time schedule at fixed rho")
 	}
 }
 

@@ -1,0 +1,311 @@
+// Cross-service interference over a shared server pool: a steady
+// interactive web service (the victim) and a bursty batch service (the
+// aggressor) select over the *same* servers, and the batch load is swept
+// while the web load stays pinned — the ρ-matrix regime shared-backend
+// deployments (Maglev-style pools, mixed-tenant clusters) operate in.
+// The measurement is per-victim degradation: how much of the batch
+// surge's queueing does each policy let bleed into the web service's
+// tail latency and completion rate. A connection-aware policy (Service
+// Hunting) steers web connections around workers the surge has already
+// queued on; a random spray cannot see the surge at all.
+//
+// RunInterference is the canonical instance behind
+// `srlb-bench -experiment interference`.
+
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/metrics"
+	"srlb/internal/plot"
+	"srlb/internal/testbed"
+)
+
+// InterferenceConfig parameterizes the experiment.
+type InterferenceConfig struct {
+	Cluster ClusterConfig
+	// Lambda0 is the shared pool's calibrated capacity rate (0 ⇒
+	// measured via CalibrateCached on the base cluster).
+	Lambda0 float64
+	// WebRho is the victim's pinned load as a fraction of the shared
+	// pool's capacity (default 0.55 — busy but unsaturated on its own).
+	WebRho float64
+	// BatchRhos is the aggressor axis: each value is the batch service's
+	// own load fraction of the same pool, so total utilization is
+	// WebRho + ρ_b (default {0.05, 0.2, 0.35, 0.5} — up to overload).
+	BatchRhos []float64
+	// Queries is the web VIP's arrivals per cell (default 20000). The
+	// batch stream is time-bounded to the web span, so its offered count
+	// scales with ρ_b.
+	Queries int
+	// BatchPeak is the batch service's ON-state burst factor (default 4).
+	BatchPeak float64
+	// Policies defaults to {RR, SR4, SRdyn}.
+	Policies []PolicySpec
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds    []uint64
+	Workers  int
+	Progress func(string)
+}
+
+// InterferenceRow is one (batch-load, policy, service) outcome
+// aggregated across the replication axis; Service "all" is the aggregate
+// over both services.
+type InterferenceRow struct {
+	// BatchRho is the aggressor's load (the sweep knob); Load is this
+	// row's service's own resolved load (WebRho for the victim, BatchRho
+	// for the aggressor, BatchRho for the aggregate).
+	BatchRho float64
+	Policy   string
+	Service  string
+	Load     float64
+	// N counts completed replicates.
+	N                            int
+	Mean, MeanCI95, P99, P99CI95 time.Duration
+	OKFrac, OKFracCI95           float64
+	// Offered, Refused and Unfinished are across-seed mean counts.
+	Offered, Refused, Unfinished float64
+	// P99Degradation is this row's p99 over the same (policy, service)
+	// p99 at the lowest batch load — the interference multiple the
+	// service suffers as the aggressor ramps. 1 at the baseline itself.
+	P99Degradation float64
+	// OKDrop is the completion-rate degradation vs the same baseline
+	// (baseline OKFrac − this OKFrac; 0 at the baseline).
+	OKDrop float64
+}
+
+// InterferenceResult holds the full ρ-matrix grid.
+type InterferenceResult struct {
+	Lambda0 float64
+	WebRho  float64
+	// BatchRhos is the swept aggressor axis; BatchRhos[0] is the
+	// degradation baseline.
+	BatchRhos []float64
+	Seeds     []uint64
+	// Services lists the service names in spec order (web, batch).
+	Services []string
+	// Stats is the underlying replicated sweep — per-VIP aggregates with
+	// per-service loads included — the machine-readable artifact's source.
+	Stats SweepStats
+	Rows  []InterferenceRow
+}
+
+// RunInterference executes the experiment.
+func RunInterference(cfg InterferenceConfig) InterferenceResult {
+	return RunInterferenceCtx(context.Background(), cfg)
+}
+
+// RunInterferenceCtx is RunInterference with cancellation; cancelled
+// cells are dropped from the aggregates.
+func RunInterferenceCtx(ctx context.Context, cfg InterferenceConfig) InterferenceResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.WebRho == 0 {
+		cfg.WebRho = 0.55
+	}
+	if len(cfg.BatchRhos) == 0 {
+		cfg.BatchRhos = []float64{0.05, 0.2, 0.35, 0.5}
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.BatchPeak == 0 {
+		cfg.BatchPeak = 4
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{RR(), SRc(4), SRdyn()}
+	}
+	if cfg.Lambda0 == 0 {
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+
+	// The victim's span fixes the cell's window; the aggressor is
+	// time-bounded to it, so every batch load offers over the same
+	// interval and only the intensity varies.
+	span := time.Duration(float64(cfg.Queries) / (cfg.WebRho * cfg.Lambda0) * float64(time.Second))
+	workload := MultiServiceWorkload{
+		Services: []ServiceSpec{
+			{Name: "web", Pool: "shared", Workload: PoissonService{Lambda0: cfg.Lambda0, Queries: cfg.Queries}},
+			{Name: "batch", Pool: "shared", Workload: BurstyService{
+				Lambda0: cfg.Lambda0, Horizon: span, PeakFactor: cfg.BatchPeak,
+			}},
+		},
+		ServiceLoads: []ServiceLoad{{Fixed: cfg.WebRho}, {}},
+		Pools:        []testbed.PoolSpec{{Name: "shared"}},
+	}
+
+	agg, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweepStats(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Loads:    cfg.BatchRhos,
+		Seeds:    cfg.Seeds,
+		Workload: workload,
+	})
+
+	res := InterferenceResult{
+		Lambda0:   cfg.Lambda0,
+		WebRho:    cfg.WebRho,
+		BatchRhos: cfg.BatchRhos,
+		Seeds:     agg.Seeds,
+		Stats:     agg,
+	}
+	for _, svc := range workload.Services {
+		res.Services = append(res.Services, svc.Name)
+	}
+	// Baselines (lowest batch load) per (policy, service) for the
+	// degradation columns.
+	type key struct{ policy, service string }
+	baseP99 := make(map[key]float64)
+	baseOK := make(map[key]float64)
+	for li, rho := range cfg.BatchRhos {
+		for pi, spec := range cfg.Policies {
+			cs := agg.CellAt(pi, 0, li)
+			if cs.N() == 0 {
+				continue
+			}
+			var offered float64
+			for _, vs := range cs.VIPs {
+				offered += vs.Offered.Dist.Mean
+			}
+			rows := []InterferenceRow{{
+				BatchRho: rho, Policy: spec.Name, Service: "all", Load: rho, N: cs.N(),
+				Mean: secDur(cs.Mean.Dist.Mean), MeanCI95: secDur(cs.Mean.Dist.CI95),
+				P99: secDur(cs.P99.Dist.Mean), P99CI95: secDur(cs.P99.Dist.CI95),
+				OKFrac: cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+				Offered: offered,
+				Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
+			}}
+			for _, vs := range cs.VIPs {
+				rows = append(rows, InterferenceRow{
+					BatchRho: rho, Policy: spec.Name, Service: vs.Name, Load: vs.Load, N: cs.N(),
+					Mean: secDur(vs.Mean.Dist.Mean), MeanCI95: secDur(vs.Mean.Dist.CI95),
+					P99: secDur(vs.P99.Dist.Mean), P99CI95: secDur(vs.P99.Dist.CI95),
+					OKFrac: vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.CI95,
+					Offered: vs.Offered.Dist.Mean,
+					Refused: vs.Refused.Dist.Mean, Unfinished: vs.Unfinished.Dist.Mean,
+				})
+			}
+			for _, row := range rows {
+				k := key{row.Policy, row.Service}
+				if li == 0 {
+					baseP99[k] = row.P99.Seconds()
+					baseOK[k] = row.OKFrac
+				}
+				if b := baseP99[k]; b > 0 {
+					row.P99Degradation = row.P99.Seconds() / b
+				}
+				// Degradation columns stay zero when the baseline cell
+				// never completed (cancelled mid-sweep).
+				if base, ok := baseOK[k]; ok {
+					row.OKDrop = base - row.OKFrac
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res
+}
+
+// Row returns the row for (policy, service) at the batch load closest to
+// the requested one.
+func (r InterferenceResult) Row(policy, service string, batchRho float64) (InterferenceRow, error) {
+	var best InterferenceRow
+	bestDiff := -1.0
+	for _, row := range r.Rows {
+		if row.Policy != policy || row.Service != service {
+			continue
+		}
+		d := row.BatchRho - batchRho
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			bestDiff = d
+			best = row
+		}
+	}
+	if bestDiff < 0 {
+		return InterferenceRow{}, fmt.Errorf("interference: no row for (%q, %q)", policy, service)
+	}
+	return best, nil
+}
+
+// VictimDegradation returns the web service's p99 interference multiple
+// under the given policy at the heaviest batch load — the experiment's
+// headline number.
+func (r InterferenceResult) VictimDegradation(policy string) (float64, error) {
+	if len(r.BatchRhos) == 0 {
+		return 0, fmt.Errorf("interference: empty batch axis")
+	}
+	row, err := r.Row(policy, "web", r.BatchRhos[len(r.BatchRhos)-1])
+	if err != nil {
+		return 0, err
+	}
+	if row.P99Degradation == 0 {
+		return 0, fmt.Errorf("interference: no baseline p99 for %q", policy)
+	}
+	return row.P99Degradation, nil
+}
+
+// PlotFacets renders the victim view: one facet per service, p99 vs
+// batch load, one series per policy with across-seed ci95 whiskers —
+// the heatmap-style companion to the TSV's ρ-matrix rows.
+func (r InterferenceResult) PlotFacets() []plot.Facet {
+	facets := make([]plot.Facet, 0, len(r.Services))
+	for _, svc := range r.Services {
+		byPolicy := make(map[string]*plot.Series)
+		var order []string
+		for _, row := range r.Rows {
+			if row.Service != svc {
+				continue
+			}
+			ser, ok := byPolicy[row.Policy]
+			if !ok {
+				ser = &plot.Series{Name: row.Policy}
+				byPolicy[row.Policy] = ser
+				order = append(order, row.Policy)
+			}
+			ser.X = append(ser.X, row.BatchRho)
+			ser.Y = append(ser.Y, row.P99.Seconds())
+			ser.YErr = append(ser.YErr, row.P99CI95.Seconds())
+		}
+		series := make([]plot.Series, 0, len(order))
+		for _, name := range order {
+			series = append(series, *byPolicy[name])
+		}
+		facets = append(facets, plot.Facet{
+			Title:  fmt.Sprintf("Interference: %s p99 (s) vs batch load (web pinned at rho=%.2f)", svc, r.WebRho),
+			Series: series,
+		})
+	}
+	return facets
+}
+
+// WriteTSV renders the grid: one row per (batch_rho, policy, service),
+// the aggregate first.
+func (r InterferenceResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Cross-service interference on one shared pool: web pinned at rho=%.2f, batch swept; lambda0=%.1f q/s\n",
+		r.WebRho, r.Lambda0); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "batch_rho\tpolicy\tservice\trho_svc\toffered\tmean_s\tmean_ci95_s\tp99_s\tp99_ci95_s\tok_frac\tok_ci95\tp99_degradation\tok_drop\trefused\tunfinished\tn"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%.2f\t%s\t%s\t%.2f\t%.0f\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.2f\t%.4f\t%.0f\t%.0f\t%d\n",
+			row.BatchRho, row.Policy, row.Service, row.Load, row.Offered,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.MeanCI95),
+			metrics.FormatDuration(row.P99),
+			metrics.FormatDuration(row.P99CI95),
+			row.OKFrac, row.OKFracCI95, row.P99Degradation, row.OKDrop,
+			row.Refused, row.Unfinished, row.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"srlb/internal/agent"
 	"srlb/internal/appserver"
 	"srlb/internal/metrics"
 	"srlb/internal/plot"
@@ -60,12 +61,18 @@ type ServiceWorkload interface {
 
 // PoissonService is the §V open-loop Poisson arrival process as one
 // service of a multi-service workload: Exp(MeanDemand) demands at rate
-// load × Lambda0, for Queries arrivals.
+// load × Lambda0, for Queries arrivals (or until Horizon).
 type PoissonService struct {
 	// Lambda0 converts the load point to an absolute rate in queries/sec.
 	Lambda0 float64
-	// Queries per run (default 20000).
+	// Queries per run (default 20000). Ignored when Horizon is set.
 	Queries int
+	// Horizon, when nonzero, bounds the stream by time instead of count:
+	// arrivals flow at rate load × Lambda0 until Horizon, so the offered
+	// count scales with the load point while the span stays fixed — the
+	// shape an interference aggressor needs when swept against a
+	// fixed-span victim.
+	Horizon time.Duration
 }
 
 func (s PoissonService) queries() int {
@@ -76,19 +83,32 @@ func (s PoissonService) queries() int {
 }
 
 // Label implements ServiceWorkload.
-func (s PoissonService) Label() string { return fmt.Sprintf("poisson(%dq)", s.queries()) }
+func (s PoissonService) Label() string {
+	if s.Horizon > 0 {
+		return fmt.Sprintf("poisson(%.0fs)", s.Horizon.Seconds())
+	}
+	return fmt.Sprintf("poisson(%dq)", s.queries())
+}
 
 // Span implements ServiceWorkload.
 func (s PoissonService) Span(load float64) time.Duration {
+	if s.Horizon > 0 {
+		return s.Horizon
+	}
 	return time.Duration(float64(s.queries()) / (load * s.Lambda0) * float64(time.Second))
 }
 
 // Open implements ServiceWorkload.
 func (s PoissonService) Open(_ *testbed.VIPSpec, seed uint64, load float64) ServiceStream {
+	remaining := s.queries()
+	if s.Horizon > 0 {
+		remaining = -1
+	}
 	return &demandStream{
 		arrivals:  rng.NewPoisson(rng.Split(seed, 0xa221), load*s.Lambda0, 0),
 		demands:   rng.Split(seed, 0xde3a),
-		remaining: s.queries(),
+		remaining: remaining,
+		horizon:   s.Horizon,
 	}
 }
 
@@ -97,8 +117,11 @@ func (s PoissonService) Open(_ *testbed.VIPSpec, seed uint64, load float64) Serv
 // with quiet periods while the mean stays load × Lambda0.
 type BurstyService struct {
 	Lambda0 float64
-	// Queries per run (default 20000).
+	// Queries per run (default 20000). Ignored when Horizon is set.
 	Queries int
+	// Horizon, when nonzero, bounds the stream by time instead of count
+	// (see PoissonService.Horizon).
+	Horizon time.Duration
 	// MeanOn/MeanOff are the mean burst and quiet durations (defaults 2s
 	// and 6s); PeakFactor the ON-state rate relative to the mean
 	// (default 3). Same semantics as BurstyWorkload.
@@ -114,10 +137,19 @@ func (s BurstyService) bursty() BurstyWorkload {
 }
 
 // Label implements ServiceWorkload.
-func (s BurstyService) Label() string { return s.bursty().Label() }
+func (s BurstyService) Label() string {
+	if s.Horizon > 0 {
+		w := s.bursty()
+		return fmt.Sprintf("bursty(%.0fs,peak=%.1fx)", s.Horizon.Seconds(), w.PeakFactor)
+	}
+	return s.bursty().Label()
+}
 
 // Span implements ServiceWorkload.
 func (s BurstyService) Span(load float64) time.Duration {
+	if s.Horizon > 0 {
+		return s.Horizon
+	}
 	w := s.bursty()
 	return time.Duration(float64(w.Queries) / (load * w.Lambda0) * float64(time.Second))
 }
@@ -125,28 +157,42 @@ func (s BurstyService) Span(load float64) time.Duration {
 // Open implements ServiceWorkload.
 func (s BurstyService) Open(_ *testbed.VIPSpec, seed uint64, load float64) ServiceStream {
 	w := s.bursty()
+	remaining := w.Queries
+	if s.Horizon > 0 {
+		remaining = -1
+	}
 	return &demandStream{
 		arrivals:  w.newMMPP(seed, load),
 		demands:   rng.Split(seed, 0xde3a),
-		remaining: w.Queries,
+		remaining: remaining,
+		horizon:   s.Horizon,
 	}
 }
 
 // demandStream adapts an arrivalStream plus Exp(MeanDemand) demands into
 // a bounded ServiceStream — the engine behind PoissonService and
-// BurstyService.
+// BurstyService. The bound is either a count (remaining > 0) or a time
+// horizon (remaining < 0, horizon set).
 type demandStream struct {
 	arrivals  arrivalStream
 	demands   *rand.Rand
 	remaining int
+	horizon   time.Duration
 }
 
 func (s *demandStream) Next() (time.Duration, testbed.Query, bool) {
 	if s.remaining == 0 {
 		return 0, testbed.Query{}, false
 	}
-	s.remaining--
-	return s.arrivals.Next(), testbed.Query{Demand: rng.Exp(s.demands, MeanDemand)}, true
+	at := s.arrivals.Next()
+	if s.horizon > 0 && at > s.horizon {
+		s.remaining = 0
+		return 0, testbed.Query{}, false
+	}
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	return at, testbed.Query{Demand: rng.Exp(s.demands, MeanDemand)}, true
 }
 
 // WikiService replays the §VI synthetic Wikipedia day as one service:
@@ -162,10 +208,22 @@ type WikiService struct {
 	Day wiki.Config
 	// Cost is the per-server service-cost model (zero = defaults).
 	Cost wiki.CostModel
+	// Pinned is the recorded-day replay mode: one fixed day — its
+	// arrival stream, page sequence, AND the per-server cache cost
+	// streams — replayed identically across policies × seeds, all
+	// derived from Day.Seed (default 1 when zero) instead of the
+	// scenario seed. Replicates then differ only in the cluster's own
+	// randomness (candidate selection, cross-service interleaving), so
+	// across-seed variance of the wiki rows collapses to the part the
+	// policy comparison actually cares about.
+	Pinned bool
 }
 
 // Label implements ServiceWorkload.
 func (s WikiService) Label() string {
+	if s.Pinned {
+		return fmt.Sprintf("wiki-day(pinned,compress=%.0fx)", s.Day.Compression)
+	}
 	return fmt.Sprintf("wiki-day(compress=%.0fx)", s.Day.Compression)
 }
 
@@ -179,13 +237,21 @@ func (s WikiService) Open(spec *testbed.VIPSpec, seed uint64, load float64) Serv
 	day := s.Day
 	if day.Seed == 0 {
 		day.Seed = seed
+		if s.Pinned {
+			day.Seed = 1
+		}
 	}
 	// Per-server Wikipedia replicas: prewarmed caches scaled to the
-	// day's catalog, as in the single-service replay (§VI).
+	// day's catalog, as in the single-service replay (§VI). Pinned mode
+	// freezes the replica cost streams with the day.
+	repSeed := seed
+	if s.Pinned {
+		repSeed = day.Seed
+	}
 	model := s.Cost.ScaledTo(day.CatalogPages())
 	model.Prewarm = true
 	spec.Demand = func(i int) vrouter.DemandFn {
-		return wiki.NewReplica(seed+uint64(i)*7919, model).Demand
+		return wiki.NewReplica(repSeed+uint64(i)*7919, model).Demand
 	}
 	return &wikiServiceStream{stream: wiki.NewStream(day), speed: load}
 }
@@ -218,6 +284,11 @@ type ServiceSpec struct {
 	Name string
 	// Workload is the service's arrival process (required).
 	Workload ServiceWorkload
+	// Pool, when set, references a MultiServiceWorkload.Pools entry by
+	// name: services naming the same pool select over the *same*
+	// servers and contend for the same workers. Servers/Server are then
+	// ignored — the pool carries the sizing.
+	Pool string
 	// Servers overrides the service's pool size; Server its per-server
 	// configuration.
 	Servers int
@@ -231,19 +302,69 @@ func (s ServiceSpec) name(i int) string {
 	return s.Name
 }
 
+// ServiceLoad maps the sweep's scalar load point onto one service's own
+// intensity — the per-service load axis. The zero value tracks the sweep
+// load unchanged; Fixed pins a constant (the steady victim of an
+// interference study); Scale multiplies the sweep's knob (a proportional
+// aggressor). Together with Sweep.Loads this spans a ρ-matrix: e.g.
+// batch surge ρ_b (Scale 1, swept) against steady web ρ_w (Fixed).
+type ServiceLoad struct {
+	// Fixed, when nonzero, pins the service's load at this value
+	// whatever the sweep's load point.
+	Fixed float64
+	// Scale multiplies the sweep's load point (0 means 1). Ignored when
+	// Fixed is set.
+	Scale float64
+}
+
+// Resolve returns the service's effective load at the sweep's load point.
+func (sl ServiceLoad) Resolve(load float64) float64 {
+	if sl.Fixed != 0 {
+		return sl.Fixed
+	}
+	if sl.Scale != 0 {
+		return sl.Scale * load
+	}
+	return load
+}
+
 // MultiServiceWorkload interleaves the arrival streams of several
-// services — each targeting its own VIP with its own server pool — into
-// one deterministic open loop against a single multi-VIP cluster sharing
-// the LB replicas. The policy under test applies to every VIP (the
-// policy axis is what the experiment compares); the load point scales
-// every service's intensity together.
+// services — each targeting its own VIP, with its own server pool or a
+// shared one — into one deterministic open loop against a single
+// multi-VIP cluster sharing the LB replicas. The policy under test
+// applies to every VIP (the policy axis is what the experiment
+// compares); the load point scales every service's intensity together
+// unless ServiceLoads gives a service its own axis.
 //
 // The outcome is reported both aggregate (the usual CellOutcome fields,
 // covering all VIPs) and per service (CellOutcome.PerVIP, one VIPOutcome
-// per ServiceSpec in order), and the per-VIP breakdown survives
-// replication: CellStats.VIPs aggregates each service across seeds.
+// per ServiceSpec in order, each carrying its resolved Load), and the
+// per-VIP breakdown survives replication: CellStats.VIPs aggregates each
+// service across seeds.
 type MultiServiceWorkload struct {
 	Services []ServiceSpec
+	// ServiceLoads, when non-nil, gives service i its own load axis
+	// (must be parallel to Services): the cell's scalar load resolves
+	// through ServiceLoads[i] before reaching the service's workload.
+	ServiceLoads []ServiceLoad
+	// Pools declares named server pools that services reference via
+	// ServiceSpec.Pool — the shared-backend regime. Zero sizing fields
+	// inherit the cluster's; a nil Policy takes the PolicySpec under
+	// test (one agent per physical server, shared by every service).
+	Pools []testbed.PoolSpec
+}
+
+// ResolveLoads returns the per-service loads at the sweep's load point,
+// in service order.
+func (w MultiServiceWorkload) ResolveLoads(load float64) []float64 {
+	out := make([]float64, len(w.Services))
+	for i := range out {
+		out[i] = load
+		if w.ServiceLoads != nil {
+			out[i] = w.ServiceLoads[i].Resolve(load)
+		}
+	}
+	return out
 }
 
 // Label implements Workload.
@@ -251,6 +372,12 @@ func (w MultiServiceWorkload) Label() string {
 	parts := make([]string, len(w.Services))
 	for i, svc := range w.Services {
 		parts[i] = svc.name(i) + ":" + svc.Workload.Label()
+		if svc.Pool != "" {
+			parts[i] += "→" + svc.Pool
+		}
+		if w.ServiceLoads != nil && i < len(w.ServiceLoads) && w.ServiceLoads[i].Fixed != 0 {
+			parts[i] += fmt.Sprintf("@rho=%.2f", w.ServiceLoads[i].Fixed)
+		}
 	}
 	return "multi(" + strings.Join(parts, " ") + ")"
 }
@@ -260,7 +387,31 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 	if len(w.Services) == 0 {
 		panic("experiments: MultiServiceWorkload needs at least one service")
 	}
+	if w.ServiceLoads != nil && len(w.ServiceLoads) != len(w.Services) {
+		panic(fmt.Sprintf("experiments: %d ServiceLoads for %d services", len(w.ServiceLoads), len(w.Services)))
+	}
 	cluster = cluster.withDefaults()
+	loads := w.ResolveLoads(load)
+
+	// Shared pools: zero sizing inherits the cluster's, a nil Policy
+	// takes the policy under test — one agent per physical server,
+	// whichever service's query lands on it.
+	pools := make([]testbed.PoolSpec, len(w.Pools))
+	for i, ps := range w.Pools {
+		if ps.Servers == 0 {
+			ps.Servers = cluster.Servers
+		}
+		if ps.Server.Workers == 0 {
+			ps.Server = cluster.Server
+		}
+		if ps.ServerOverride == nil {
+			ps.ServerOverride = cluster.ServerOverride
+		}
+		if ps.Policy == nil {
+			ps.Policy = func(int) agent.Policy { return spec.NewAgent() }
+		}
+		pools[i] = ps
+	}
 
 	// One VIPSpec per service, all sharing the policy under test; each
 	// service's workload may install its demand model before Build.
@@ -274,25 +425,37 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 		}
 		vs := cluster.vipSpec(spec)
 		vs.Name = svc.name(i)
-		if svc.Servers > 0 {
-			vs.Servers = svc.Servers
+		if svc.Pool != "" {
+			// The referenced pool carries sizing and policy; the VIPSpec
+			// keeps only the per-service machinery (scheme, fallback,
+			// demand).
+			vs.Pool = svc.Pool
+			vs.Servers = 0
+			vs.Server = appserver.Config{}
 			vs.ServerOverride = nil
-		}
-		if svc.Server.Workers != 0 {
-			vs.Server = svc.Server
+			vs.Policy = nil
+		} else {
+			if svc.Servers > 0 {
+				vs.Servers = svc.Servers
+				vs.ServerOverride = nil
+			}
+			if svc.Server.Workers != 0 {
+				vs.Server = svc.Server
+			}
 		}
 		specs[i] = vs
-		if sp := svc.Workload.Span(load); sp > span {
+		if sp := svc.Workload.Span(loads[i]); sp > span {
 			span = sp
 		}
 	}
 	for i, svc := range w.Services {
-		streams[i] = svc.Workload.Open(&specs[i], svcSeeds[i], load)
+		streams[i] = svc.Workload.Open(&specs[i], svcSeeds[i], loads[i])
 	}
 	top := testbed.Topology{
 		Seed:     cluster.Seed,
 		Replicas: cluster.Replicas,
 		Clients:  cluster.Clients,
+		Pools:    pools,
 		VIPs:     specs,
 		Events:   testbed.ResolveEvents(cluster.Events, span),
 	}
@@ -308,6 +471,7 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 		out.PerVIP[i] = VIPOutcome{
 			Name:     specs[i].Name,
 			Workload: w.Services[i].Workload.Label(),
+			Load:     loads[i],
 			RT:       metrics.NewRecorder(1024),
 		}
 		byAddr[tb.VIPAddrOf(i)] = &out.PerVIP[i]

@@ -51,6 +51,9 @@ type VIPStats struct {
 	// Name is the service name; Workload labels its arrival process.
 	Name     string
 	Workload string
+	// Load is the service's own resolved load point (identical across
+	// replicates — the per-service load axis of schema v5).
+	Load float64
 	// Mean, Median, P95, P99 summarize the per-seed response-time
 	// statistics of this VIP's completed queries.
 	Mean, Median, P95, P99 stats.Replicated[time.Duration]
@@ -163,6 +166,7 @@ func newVIPStats(cells []CellResult) []VIPStats {
 		out[vi] = VIPStats{
 			Name:       first.Name,
 			Workload:   first.Workload,
+			Load:       first.Load,
 			Mean:       stats.NewReplicated(means, durSeconds),
 			Median:     stats.NewReplicated(medians, durSeconds),
 			P95:        stats.NewReplicated(p95s, durSeconds),

@@ -53,6 +53,11 @@ type VIPOutcome struct {
 	// Name is the service name; Workload labels its arrival process.
 	Name     string
 	Workload string
+	// Load is the service's own resolved load point. It equals the
+	// cell's load unless the workload carries per-service load axes
+	// (MultiServiceWorkload.ServiceLoads) — a fixed victim keeps its
+	// pinned ρ while the sweep's knob drives the aggressor.
+	Load float64
 	// Offered counts queries launched at this VIP — the conservation
 	// anchor: Offered == RT.Count() + Refused + Unfinished at run end.
 	Offered int

@@ -1,0 +1,171 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"srlb/internal/packet"
+	"srlb/internal/vrouter"
+)
+
+// sharedPoolTopology is two services selecting over one named pool — the
+// contention regime: every worker serves both VIPs.
+func sharedPoolTopology(seed uint64, servers int, events ...Event) Topology {
+	return Topology{
+		Seed:  seed,
+		Pools: []PoolSpec{{Name: "shared", Servers: servers}},
+		VIPs: []VIPSpec{
+			{Name: "web", Pool: "shared"},
+			{Name: "batch", Pool: "shared"},
+		},
+		Events: events,
+	}
+}
+
+// Two VIPs over one pool: the compiled slots are the *same* servers, both
+// services complete, and every response is attributable to exactly one
+// VIP — the per-server VIPResponses ledger sums to the responses_tx
+// total, slot by slot.
+func TestSharedPoolTwoVIPsOneLedger(t *testing.T) {
+	const n = 400
+	tb := Build(sharedPoolTopology(43, 4))
+	if got := len(tb.Servers); got != 4 {
+		t.Fatalf("built %d servers, want 4 — the pool was duplicated per VIP", got)
+	}
+	for i := 0; i < 4; i++ {
+		if tb.ServerOf(0, i) != tb.ServerOf(1, i) {
+			t.Fatalf("slot %d differs between the two VIPs — pool not shared", i)
+		}
+	}
+	if tb.PoolSize(0) != 4 || tb.PoolSize(1) != 4 || tb.PoolSizeByName("shared") != 4 {
+		t.Fatalf("pool sizes disagree: %d/%d/%d", tb.PoolSize(0), tb.PoolSize(1), tb.PoolSizeByName("shared"))
+	}
+	if tb.PoolNameOf(0) != "shared" || tb.PoolNameOf(1) != "shared" {
+		t.Fatalf("pool names = %q/%q, want shared", tb.PoolNameOf(0), tb.PoolNameOf(1))
+	}
+	for i := 0; i < n; i++ {
+		q := Query{ID: uint64(i), Demand: 5 * time.Millisecond}
+		if i%2 == 1 {
+			q.VIP = tb.VIPAddrOf(1)
+		}
+		tb.Sim.At(time.Duration(i)*time.Millisecond, func() { tb.Gen.Launch(q) })
+	}
+	tb.Sim.Run()
+	tb.Gen.DrainPending()
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d completed over the shared pool", ok, n)
+	}
+	// Attribution: per slot, the per-VIP response counts sum exactly to
+	// the router's total — no response double-counted, none unattributed.
+	var perVIP [2]uint64
+	for i := 0; i < 4; i++ {
+		rt := tb.RouterOf(0, i)
+		a := rt.VIPResponses(tb.VIPAddrOf(0))
+		b := rt.VIPResponses(tb.VIPAddrOf(1))
+		if total := rt.Counts.Get("responses_tx"); a+b != total {
+			t.Fatalf("slot %d: %d+%d VIP responses != %d total", i, a, b, total)
+		}
+		perVIP[0] += a
+		perVIP[1] += b
+	}
+	if perVIP[0] != n/2 || perVIP[1] != n/2 {
+		t.Fatalf("per-VIP responses = %d/%d, want %d each", perVIP[0], perVIP[1], n/2)
+	}
+	// The LB demultiplexes the same way: one SYN per query per VIP.
+	for v := 0; v < 2; v++ {
+		if got := tb.LB.VIPSYNs(tb.VIPAddrOf(v)); got != n/2 {
+			t.Fatalf("LB counted %d SYNs for VIP %d, want %d", got, v, n/2)
+		}
+	}
+}
+
+// Pool-targeted lifecycle events drive the shared pool once for every
+// service: a drain removes the server from both VIPs' candidate sets, an
+// add makes the new server selectable by both.
+func TestSharedPoolEvents(t *testing.T) {
+	const n = 600
+	tb := Build(sharedPoolTopology(47, 3,
+		AddPoolServer(100*time.Millisecond, "shared"),
+		DrainPoolServer(300*time.Millisecond, "shared", 0),
+	))
+	for i := 0; i < n; i++ {
+		q := Query{ID: uint64(i), Demand: 10 * time.Millisecond}
+		if i%2 == 1 {
+			q.VIP = tb.VIPAddrOf(1)
+		}
+		tb.Sim.At(time.Duration(i)*time.Millisecond, func() { tb.Gen.Launch(q) })
+	}
+	tb.Sim.Run()
+	tb.Gen.DrainPending()
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d completed across shared-pool churn", ok, n)
+	}
+	if got := tb.PoolSizeByName("shared"); got != 3 {
+		t.Fatalf("final pool size = %d, want 3 (3 + 1 added - 1 drained)", got)
+	}
+	added := tb.RouterOf(0, 3)
+	if added.VIPResponses(tb.VIPAddrOf(0)) == 0 || added.VIPResponses(tb.VIPAddrOf(1)) == 0 {
+		t.Fatalf("added server responses per VIP = %d/%d — not selectable by both services",
+			added.VIPResponses(tb.VIPAddrOf(0)), added.VIPResponses(tb.VIPAddrOf(1)))
+	}
+}
+
+// A shared server dispatches each request to the demand model of the VIP
+// it arrived for: per-VIP demand functions see only their own flows.
+func TestSharedPoolPerVIPDemand(t *testing.T) {
+	const n = 200
+	var webCalls, batchCalls int
+	top := sharedPoolTopology(53, 3)
+	top.VIPs[0].Demand = func(int) vrouter.DemandFn {
+		return func(flow packet.FlowKey, payload []byte) time.Duration {
+			webCalls++
+			return DefaultDemand(flow, payload)
+		}
+	}
+	top.VIPs[1].Demand = func(int) vrouter.DemandFn {
+		return func(packet.FlowKey, []byte) time.Duration {
+			batchCalls++
+			return 25 * time.Millisecond // fixed, payload ignored
+		}
+	}
+	tb := Build(top)
+	webAddr, batchAddr := tb.VIPAddrOf(0), tb.VIPAddrOf(1)
+	for i := 0; i < n; i++ {
+		q := Query{ID: uint64(i), Demand: 2 * time.Millisecond}
+		if i%2 == 1 {
+			q.VIP = batchAddr
+		}
+		tb.Sim.At(time.Duration(i)*2*time.Millisecond, func() { tb.Gen.Launch(q) })
+	}
+	tb.Sim.Run()
+	tb.Gen.DrainPending()
+	if ok := okCount(tb); ok != n {
+		t.Fatalf("only %d/%d completed", ok, n)
+	}
+	if webCalls != n/2 || batchCalls != n/2 {
+		t.Fatalf("demand calls web=%d batch=%d, want %d each — per-VIP dispatch leaked", webCalls, batchCalls, n/2)
+	}
+	// The batch demand model ignores the encoded 2 ms and charges 25 ms:
+	// batch responses must be visibly slower than web's.
+	var webRT, batchRT time.Duration
+	var webN, batchN int
+	for _, res := range tb.Gen.Results() {
+		if !res.OK {
+			continue
+		}
+		if res.VIP == webAddr {
+			webRT += res.RT
+			webN++
+		} else {
+			batchRT += res.RT
+			batchN++
+		}
+	}
+	if webN == 0 || batchN == 0 {
+		t.Fatal("one service completed nothing — test vacuous")
+	}
+	if batchRT/time.Duration(batchN) <= webRT/time.Duration(webN) {
+		t.Fatalf("batch mean RT %v not above web %v — per-VIP cost model not applied",
+			batchRT/time.Duration(batchN), webRT/time.Duration(webN))
+	}
+}

@@ -172,8 +172,13 @@ type Testbed struct {
 	Servers []*appserver.Server
 	Gen     *Generator
 
-	vips     []*vipState
-	replicas []*replicaState
+	vips []*vipState
+	// pools lists every compiled pool — implicit per-VIP pools in VIP
+	// order, then named shared pools in declaration order; poolsByName
+	// indexes the named ones.
+	pools       []*poolState
+	poolsByName map[string]*poolState
+	replicas    []*replicaState
 }
 
 // Topology lifts the legacy single-LB/single-VIP configuration into the

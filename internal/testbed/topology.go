@@ -1,14 +1,18 @@
 // Topology is the declarative cluster-construction API: named VIPs, each
-// carrying its own selection scheme and server pool; N load-balancer
-// replicas joined to the VIPs through netsim's anycast/ECMP groups (the
-// Maglev/Ananta deployment model the paper's §II-B consistent-hashing
-// selection enables); and a schedule of lifecycle Events — server
-// drain/add/fail, replica fail/recover — applied at virtual times during
-// the run.
+// carrying its own selection scheme; named server pools that several
+// VIPs may share (VIPSpec.Pool), so services contend for the same
+// workers; N load-balancer replicas joined to the VIPs through netsim's
+// anycast/ECMP groups (the Maglev/Ananta deployment model the paper's
+// §II-B consistent-hashing selection enables); and a schedule of
+// lifecycle Events — server drain/add/fail targeting pools, replica
+// fail/recover — applied at virtual times during the run.
 //
-// Build compiles a Topology into wired nodes; the legacy Config is now a
-// one-line single-LB/single-VIP wrapper over it (Config.Topology), so
-// every existing experiment constructs exactly the cluster it always did.
+// Build compiles a Topology into wired nodes. A VIP without a pool
+// reference keeps an implicit pool of its own, compiled down to the same
+// machinery — the legacy Config is a one-line single-LB/single-VIP
+// wrapper over it (Config.Topology), so every existing experiment
+// constructs exactly the cluster it always did, stream for stream
+// (parity-pinned in TestImplicitPoolCompiledParity).
 
 package testbed
 
@@ -42,13 +46,20 @@ func VIPAddr(v int) netip.Addr {
 }
 
 // PoolServerAddr returns the physical address of server i of VIP v's
-// pool. VIP 0 uses the legacy ServerAddr space; later VIPs get their own
-// /64 so pools never collide.
+// implicit pool. VIP 0 uses the legacy ServerAddr space; later VIPs get
+// their own /64 so pools never collide.
 func PoolServerAddr(v, i int) netip.Addr {
 	if v == 0 {
 		return ServerAddr(i)
 	}
 	return ipv6.MustAddr(fmt.Sprintf("2001:db8:5:%x::%x", v, i+1))
+}
+
+// SharedPoolServerAddr returns the physical address of server i of the
+// p-th declared pool (Topology.Pools order). Named pools get their own
+// /64s, disjoint from every implicit per-VIP pool space.
+func SharedPoolServerAddr(p, i int) netip.Addr {
+	return ipv6.MustAddr(fmt.Sprintf("2001:db8:a:%x::%x", p+1, i+1))
 }
 
 // SchemeFn builds a candidate-selection scheme over the current server
@@ -64,6 +75,28 @@ type SchemeFn func(servers []netip.Addr, r *rand.Rand) selection.Scheme
 // hashing), so that every replica agrees without shared state.
 type FallbackFn func(servers []netip.Addr) selection.Scheme
 
+// PoolSpec declares one named, shareable server pool. Two or more VIPs
+// referencing the same pool (VIPSpec.Pool) select over the *same*
+// physical servers and contend for the same workers — the shared-backend
+// regime of Maglev-style deployments, where one service's surge is
+// another's queueing delay. Zero fields take the paper's values.
+type PoolSpec struct {
+	// Name identifies the pool; VIPSpec.Pool and pool-targeted Events
+	// reference it. Required, unique across Topology.Pools.
+	Name string
+	// Servers is the initial pool size (default 12).
+	Servers int
+	// Server configures every pool member (default appserver.Default);
+	// ServerOverride, when non-nil, configures server i (zero Config
+	// falls back to Server). Servers added by Events use the same pair.
+	Server         appserver.Config
+	ServerOverride func(i int) appserver.Config
+	// Policy builds the acceptance policy of server i (default Always).
+	// One agent per server, shared by every VIP selecting over the pool:
+	// acceptance is a property of the worker, not of the service asking.
+	Policy func(i int) agent.Policy
+}
+
 // VIPSpec declares one virtual service: its address, server pool, and
 // per-connection machinery. Zero fields take the paper's values (12
 // servers × appserver.Default, random-2 selection, Always policy,
@@ -74,7 +107,13 @@ type VIPSpec struct {
 	Name string
 	// Addr is the service address (default VIPAddr(index)).
 	Addr netip.Addr
-	// Servers is the initial pool size (default 12).
+	// Pool, when set, references a Topology.Pools entry by name: the VIP
+	// selects over that shared pool instead of an implicit one of its
+	// own, and the pool-level fields below (Servers, Server,
+	// ServerOverride, Policy) must stay zero — the pool carries them.
+	Pool string
+	// Servers is the initial pool size (default 12). Ignored — and
+	// rejected by Validate when nonzero — for pool-referencing VIPs.
 	Servers int
 	// Server configures every pool member (default appserver.Default);
 	// ServerOverride, when non-nil, configures server i (zero Config
@@ -84,11 +123,14 @@ type VIPSpec struct {
 	// Policy builds the acceptance policy of server i (default Always).
 	Policy func(i int) agent.Policy
 	// Scheme builds the VIP's candidate selection over the pool (default
-	// 2 uniform-random candidates, the paper's).
+	// 2 uniform-random candidates, the paper's). Per VIP even on a
+	// shared pool: each service hunts with its own scheme instance.
 	Scheme SchemeFn
 	// Fallback, when non-nil, builds the VIP's miss-fallback scheme.
 	Fallback FallbackFn
 	// Demand builds server i's demand function (default DefaultDemand).
+	// Per VIP even on a shared pool: a shared server dispatches each
+	// request to the demand model of the VIP it arrived for.
 	Demand func(i int) vrouter.DemandFn
 }
 
@@ -101,6 +143,10 @@ type Topology struct {
 	// the shared LB return address, exactly as ECMP routers would spread
 	// flows across Maglev instances.
 	Replicas int
+	// Pools declares named, shareable server pools (VIPSpec.Pool
+	// references them). VIPs without a reference keep an implicit pool of
+	// their own — the legacy form, compiled down to the same machinery.
+	Pools []PoolSpec
 	// VIPs declares the services (default: one zero VIPSpec).
 	VIPs []VIPSpec
 	// Net, Flows, Clients as in Config.
@@ -146,7 +192,11 @@ const (
 type Event struct {
 	At   time.Duration
 	Kind EventKind
-	// VIP indexes Topology.VIPs (server events).
+	// Pool, when non-empty, targets the named shared pool (server
+	// events); VIP is then ignored.
+	Pool string
+	// VIP indexes Topology.VIPs (server events with no Pool name); the
+	// event targets that VIP's pool — implicit or referenced.
 	VIP int
 	// Server indexes the VIP's pool, including servers added by earlier
 	// events (drain/fail).
@@ -221,6 +271,25 @@ func FailServer(at time.Duration, v, i int) Event {
 	return Event{At: at, Kind: EventServerFail, VIP: v, Server: i}
 }
 
+// AddPoolServer returns an event growing the named pool by one server at
+// time at — the pool-targeted form of AddServer.
+func AddPoolServer(at time.Duration, pool string) Event {
+	return Event{At: at, Kind: EventServerAdd, Pool: pool}
+}
+
+// DrainPoolServer returns an event removing server i of the named pool
+// from candidate selection at time at (every VIP sharing the pool loses
+// the server from its candidates at once).
+func DrainPoolServer(at time.Duration, pool string, i int) Event {
+	return Event{At: at, Kind: EventServerDrain, Pool: pool, Server: i}
+}
+
+// FailPoolServer returns a fail-stop event for server i of the named
+// pool at time at.
+func FailPoolServer(at time.Duration, pool string, i int) Event {
+	return Event{At: at, Kind: EventServerFail, Pool: pool, Server: i}
+}
+
 // FailReplica returns an event failing LB replica r at time at.
 func FailReplica(at time.Duration, r int) Event {
 	return Event{At: at, Kind: EventReplicaFail, Replica: r}
@@ -239,6 +308,20 @@ func (t Topology) withDefaults() Topology {
 	if len(t.VIPs) == 0 {
 		t.VIPs = make([]VIPSpec, 1)
 	}
+	pools := make([]PoolSpec, len(t.Pools))
+	for p, ps := range t.Pools {
+		if ps.Servers <= 0 {
+			ps.Servers = 12
+		}
+		if ps.Server.Workers == 0 {
+			ps.Server = appserver.Default()
+		}
+		if ps.Policy == nil {
+			ps.Policy = func(int) agent.Policy { return agent.Always{} }
+		}
+		pools[p] = ps
+	}
+	t.Pools = pools
 	vips := make([]VIPSpec, len(t.VIPs))
 	for i, v := range t.VIPs {
 		if v.Name == "" {
@@ -247,14 +330,19 @@ func (t Topology) withDefaults() Topology {
 		if !v.Addr.IsValid() {
 			v.Addr = VIPAddr(i)
 		}
-		if v.Servers <= 0 {
-			v.Servers = 12
-		}
-		if v.Server.Workers == 0 {
-			v.Server = appserver.Default()
-		}
-		if v.Policy == nil {
-			v.Policy = func(int) agent.Policy { return agent.Always{} }
+		// Pool-level defaults apply only to VIPs carrying their own
+		// implicit pool; a referencing VIP leaves them zero (Validate
+		// rejects explicit values there).
+		if v.Pool == "" {
+			if v.Servers <= 0 {
+				v.Servers = 12
+			}
+			if v.Server.Workers == 0 {
+				v.Server = appserver.Default()
+			}
+			if v.Policy == nil {
+				v.Policy = func(int) agent.Policy { return agent.Always{} }
+			}
 		}
 		if v.Scheme == nil {
 			v.Scheme = func(servers []netip.Addr, r *rand.Rand) selection.Scheme {
@@ -311,13 +399,55 @@ func (t Topology) validate() error {
 	if relative > 0 && absolute > 0 {
 		return fmt.Errorf("schedule mixes %d absolute and %d rate-relative events; resolve the fractions first (ResolveEvents)", absolute, relative)
 	}
-	// slots counts every index ever valid (drained slots keep theirs);
-	// live counts currently selectable servers.
-	slots := make([]int, len(t.VIPs))
-	live := make([]int, len(t.VIPs))
+	// The pool table: named pools first (checked for name collisions),
+	// then one implicit pool per non-referencing VIP. Each entry tracks
+	// slots (every index ever valid — drained slots keep theirs) and live
+	// (currently selectable servers).
+	type poolInfo struct {
+		label       string
+		slots, live int
+	}
+	poolIdx := make(map[string]int, len(t.Pools))
+	var pools []poolInfo
+	for p, ps := range t.Pools {
+		if ps.Name == "" {
+			return fmt.Errorf("pool %d has no name", p)
+		}
+		if _, dup := poolIdx[ps.Name]; dup {
+			return fmt.Errorf("duplicate pool name %q", ps.Name)
+		}
+		poolIdx[ps.Name] = len(pools)
+		pools = append(pools, poolInfo{label: fmt.Sprintf("pool %q", ps.Name), slots: ps.Servers, live: ps.Servers})
+	}
+	vipPool := make([]int, len(t.VIPs))
 	for v, spec := range t.VIPs {
-		slots[v] = spec.Servers
-		live[v] = spec.Servers
+		if spec.Pool == "" {
+			vipPool[v] = len(pools)
+			pools = append(pools, poolInfo{label: fmt.Sprintf("VIP %d's pool", v), slots: spec.Servers, live: spec.Servers})
+			continue
+		}
+		pi, ok := poolIdx[spec.Pool]
+		if !ok {
+			return fmt.Errorf("VIP %d (%s): dangling pool reference %q", v, spec.Name, spec.Pool)
+		}
+		if spec.Servers != 0 || spec.Server.Workers != 0 || spec.ServerOverride != nil || spec.Policy != nil {
+			return fmt.Errorf("VIP %d (%s): references pool %q but sets its own pool fields (Servers/Server/ServerOverride/Policy belong to the PoolSpec)", v, spec.Name, spec.Pool)
+		}
+		vipPool[v] = pi
+	}
+	// resolvePool maps a server event to its pool-table index.
+	resolvePool := func(i int, ev Event) (int, error) {
+		if ev.Pool != "" {
+			pi, ok := poolIdx[ev.Pool]
+			if !ok {
+				return 0, fmt.Errorf("event %d: unknown pool %q", i, ev.Pool)
+			}
+			return pi, nil
+		}
+		if ev.VIP < 0 || ev.VIP >= len(t.VIPs) {
+			return 0, fmt.Errorf("event %d: VIP %d out of range", i, ev.VIP)
+		}
+		return vipPool[ev.VIP], nil
 	}
 	removed := make(map[[2]int]bool)
 	// Replay in time order (stable: same-instant events keep slice order,
@@ -339,24 +469,26 @@ func (t Topology) validate() error {
 		ev := t.Events[i]
 		switch ev.Kind {
 		case EventServerAdd, EventServerDrain, EventServerFail:
-			if ev.VIP < 0 || ev.VIP >= len(t.VIPs) {
-				return fmt.Errorf("event %d: VIP %d out of range", i, ev.VIP)
+			pi, err := resolvePool(i, ev)
+			if err != nil {
+				return err
 			}
+			p := &pools[pi]
 			if ev.Kind == EventServerAdd {
-				slots[ev.VIP]++
-				live[ev.VIP]++
+				p.slots++
+				p.live++
 				continue
 			}
-			if ev.Server < 0 || ev.Server >= slots[ev.VIP] {
-				return fmt.Errorf("event %d: server %d out of range for VIP %d (pool ≤ %d at t=%v)",
-					i, ev.Server, ev.VIP, slots[ev.VIP], ev.At)
+			if ev.Server < 0 || ev.Server >= p.slots {
+				return fmt.Errorf("event %d: server %d out of range for %s (≤ %d at t=%v)",
+					i, ev.Server, p.label, p.slots, ev.At)
 			}
-			if key := [2]int{ev.VIP, ev.Server}; !removed[key] {
+			if key := [2]int{pi, ev.Server}; !removed[key] {
 				removed[key] = true
-				live[ev.VIP]--
-				if live[ev.VIP] < 1 {
-					return fmt.Errorf("event %d: draining server %d empties VIP %d's pool at t=%v",
-						i, ev.Server, ev.VIP, ev.At)
+				p.live--
+				if p.live < 1 {
+					return fmt.Errorf("event %d: draining server %d empties %s at t=%v",
+						i, ev.Server, p.label, ev.At)
 				}
 			}
 		case EventReplicaFail, EventReplicaRecover:
@@ -370,7 +502,7 @@ func (t Topology) validate() error {
 	return nil
 }
 
-// serverSlot is one (ever-built) pool member of a VIP.
+// serverSlot is one (ever-built) pool member.
 type serverSlot struct {
 	addr    netip.Addr
 	router  *vrouter.Router
@@ -379,22 +511,41 @@ type serverSlot struct {
 	failed  bool
 }
 
-// vipState is the runtime side of a VIPSpec: the live pool and the slots.
-type vipState struct {
-	spec VIPSpec
-	addr netip.Addr
-	pool []netip.Addr // currently selectable servers
-	all  []*serverSlot
+// poolState is the runtime side of one pool — named and shared, or the
+// implicit pool a non-referencing VIP compiles down to. It owns the live
+// candidate set and the ever-built slots; the VIPs selecting over it hang
+// their schemes off the same addresses.
+type poolState struct {
+	name string
+	spec PoolSpec
+	// addr allocates the physical address of slot i (legacy per-VIP
+	// space for implicit pools, the shared-pool space for named ones).
+	addr func(i int) netip.Addr
+	// implicitVIP is the owning VIP's index for implicit pools (server
+	// naming keeps its historical form), -1 for named pools.
+	implicitVIP int
+	pool        []netip.Addr // currently selectable servers
+	all         []*serverSlot
+	vips        []*vipState // every VIP selecting over this pool
 }
 
-func (vs *vipState) removeFromPool(addr netip.Addr) bool {
-	for i, a := range vs.pool {
+func (ps *poolState) removeFromPool(addr netip.Addr) bool {
+	for i, a := range ps.pool {
 		if a == addr {
-			vs.pool = append(vs.pool[:i:i], vs.pool[i+1:]...)
+			ps.pool = append(ps.pool[:i:i], ps.pool[i+1:]...)
 			return true
 		}
 	}
 	return false
+}
+
+// vipState is the runtime side of a VIPSpec: its address and the pool it
+// selects over.
+type vipState struct {
+	spec  VIPSpec
+	addr  netip.Addr
+	index int // position in Topology.VIPs (the scheme-stream index)
+	pool  *poolState
 }
 
 // replicaState is one LB replica with its per-VIP schemes.
@@ -443,26 +594,66 @@ func Build(top Topology) *Testbed {
 	net := netsim.New(sim, top.Net)
 	tb := &Testbed{Sim: sim, Net: net}
 
-	// Count scale-out events per VIP so pools and slot slices are
+	// Compile the pool table: implicit per-VIP pools in VIP order (the
+	// legacy layout, so legacy topologies keep their construction order
+	// and address space bit for bit), then the named pools in declaration
+	// order.
+	tb.poolsByName = make(map[string]*poolState, len(top.Pools))
+	named := make([]*poolState, len(top.Pools))
+	for p, ps := range top.Pools {
+		p := p
+		pool := &poolState{
+			name:        ps.Name,
+			spec:        ps,
+			addr:        func(i int) netip.Addr { return SharedPoolServerAddr(p, i) },
+			implicitVIP: -1,
+		}
+		named[p] = pool
+		tb.poolsByName[ps.Name] = pool
+	}
+	tb.vips = make([]*vipState, len(top.VIPs))
+	for v, spec := range top.VIPs {
+		vs := &vipState{spec: spec, addr: spec.Addr, index: v}
+		if spec.Pool != "" {
+			vs.pool = tb.poolsByName[spec.Pool]
+		} else {
+			v := v
+			vs.pool = &poolState{
+				name: spec.Name,
+				spec: PoolSpec{
+					Name:           spec.Name,
+					Servers:        spec.Servers,
+					Server:         spec.Server,
+					ServerOverride: spec.ServerOverride,
+					Policy:         spec.Policy,
+				},
+				addr:        func(i int) netip.Addr { return PoolServerAddr(v, i) },
+				implicitVIP: v,
+			}
+			tb.pools = append(tb.pools, vs.pool)
+		}
+		vs.pool.vips = append(vs.pool.vips, vs)
+		tb.vips[v] = vs
+	}
+	tb.pools = append(tb.pools, named...)
+
+	// Count scale-out events per pool so candidate and slot slices are
 	// allocated once, at final capacity.
-	adds := make([]int, len(top.VIPs))
+	adds := make(map[*poolState]int, len(tb.pools))
 	for _, ev := range top.Events {
 		if ev.Kind == EventServerAdd {
-			adds[ev.VIP]++
+			adds[tb.poolOf(ev)]++
 		}
 	}
-
-	tb.vips = make([]*vipState, len(top.VIPs))
 	total := 0
-	for v, spec := range top.VIPs {
-		vs := &vipState{spec: spec, addr: spec.Addr}
-		vs.pool = make([]netip.Addr, spec.Servers, spec.Servers+adds[v])
-		for i := range vs.pool {
-			vs.pool[i] = PoolServerAddr(v, i)
+	for _, pool := range tb.pools {
+		n := pool.spec.Servers
+		pool.pool = make([]netip.Addr, n, n+adds[pool])
+		for i := range pool.pool {
+			pool.pool[i] = pool.addr(i)
 		}
-		vs.all = make([]*serverSlot, 0, spec.Servers+adds[v])
-		tb.vips[v] = vs
-		total += spec.Servers + adds[v]
+		pool.all = make([]*serverSlot, 0, n+adds[pool])
+		total += n + adds[pool]
 	}
 
 	// LB replicas. A single replica attaches unicast (the legacy wiring);
@@ -482,11 +673,11 @@ func Build(top Topology) *Testbed {
 			stream := uint64(1) + uint64(r)*uint64(len(top.VIPs)) + uint64(v)
 			selRng := rng.Split(top.Seed, stream)
 			rs.rngs[v] = selRng
-			ms := &mutableScheme{cur: vs.spec.Scheme(clonePool(vs.pool), selRng)}
+			ms := &mutableScheme{cur: vs.spec.Scheme(clonePool(vs.pool.pool), selRng)}
 			rs.schemes[v] = ms
 			vipSchemes[vs.addr] = ms
 			if vs.spec.Fallback != nil {
-				fb := &mutableScheme{cur: vs.spec.Fallback(clonePool(vs.pool))}
+				fb := &mutableScheme{cur: vs.spec.Fallback(clonePool(vs.pool.pool))}
 				rs.fallbacks[v] = fb
 				if fallbacks == nil {
 					fallbacks = make(map[netip.Addr]selection.Scheme, len(top.VIPs))
@@ -509,12 +700,13 @@ func Build(top Topology) *Testbed {
 	}
 	tb.LB = tb.LBs[0]
 
-	// Servers.
+	// Servers, pool by pool in table order (implicit pools first — the
+	// legacy construction order).
 	tb.Servers = make([]*appserver.Server, 0, total)
 	tb.Routers = make([]*vrouter.Router, 0, total)
-	for v, vs := range tb.vips {
-		for i := 0; i < vs.spec.Servers; i++ {
-			tb.buildServer(v, i)
+	for _, pool := range tb.pools {
+		for i := 0; i < pool.spec.Servers; i++ {
+			tb.buildServer(pool, i)
 		}
 	}
 	tb.Gen = newGenerator(sim, net, top.Clients, tb.vips[0].addr)
@@ -532,33 +724,72 @@ func clonePool(pool []netip.Addr) []netip.Addr {
 	return append(make([]netip.Addr, 0, len(pool)), pool...)
 }
 
-// buildServer wires pool member i of VIP v and registers it everywhere.
-func (tb *Testbed) buildServer(v, i int) *serverSlot {
-	vs := tb.vips[v]
-	spec := vs.spec
+// poolOf resolves a server event's target pool: the named pool when the
+// event carries one, the targeted VIP's pool otherwise. Validation has
+// already established both resolve.
+func (tb *Testbed) poolOf(ev Event) *poolState {
+	if ev.Pool != "" {
+		return tb.poolsByName[ev.Pool]
+	}
+	return tb.vips[ev.VIP].pool
+}
+
+// buildServer wires pool member i and registers it everywhere. A server
+// of a shared pool hosts every VIP selecting over the pool: its router
+// accepts all their addresses and dispatches each request to the demand
+// model of the VIP it arrived for, so one physical worker pool serves
+// several services with per-service cost models.
+func (tb *Testbed) buildServer(pool *poolState, i int) *serverSlot {
+	spec := pool.spec
 	serverCfg := spec.Server
 	if spec.ServerOverride != nil {
 		if over := spec.ServerOverride(i); over.Workers != 0 {
 			serverCfg = over
 		}
 	}
-	name := fmt.Sprintf("server-%d", i)
-	if v > 0 {
-		name = fmt.Sprintf("%s-server-%d", spec.Name, i)
+	name := fmt.Sprintf("%s-server-%d", pool.name, i)
+	if pool.implicitVIP == 0 {
+		name = fmt.Sprintf("server-%d", i)
+	}
+	vips := make([]netip.Addr, len(pool.vips))
+	for n, vs := range pool.vips {
+		vips[n] = vs.addr
+	}
+	var demand vrouter.DemandFn
+	if len(pool.vips) == 1 {
+		// Single-VIP pools (every legacy topology) keep the direct demand
+		// function — no dispatch on the hot path, identical behavior.
+		demand = pool.vips[0].spec.Demand(i)
+	} else {
+		byVIP := make(map[netip.Addr]vrouter.DemandFn, len(pool.vips))
+		for _, vs := range pool.vips {
+			byVIP[vs.addr] = vs.spec.Demand(i)
+		}
+		demand = func(flow packet.FlowKey, payload []byte) time.Duration {
+			fn, ok := byVIP[flow.Dst]
+			if !ok {
+				// Unreachable by construction: every scheme selects only
+				// within its own VIP's pool. A silent default here would
+				// misprice the query while the attribution ledgers stayed
+				// balanced — fail loudly instead.
+				panic(fmt.Sprintf("testbed: shared pool %q asked to price a flow for unknown VIP %v", pool.name, flow.Dst))
+			}
+			return fn(flow, payload)
+		}
 	}
 	srv := appserver.New(tb.Sim, name, serverCfg)
 	rt := vrouter.New(tb.Sim, tb.Net, vrouter.Config{
-		Addr:   PoolServerAddr(v, i),
-		VIPs:   []netip.Addr{vs.addr},
+		Addr:   pool.addr(i),
+		VIPs:   vips,
 		LB:     LBAddr,
 		Policy: spec.Policy(i),
 		Server: srv,
-		Demand: spec.Demand(i),
+		Demand: demand,
 	})
 	tb.Servers = append(tb.Servers, srv)
 	tb.Routers = append(tb.Routers, rt)
 	slot := &serverSlot{addr: rt.Addr(), router: rt, server: srv}
-	vs.all = append(vs.all, slot)
+	pool.all = append(pool.all, slot)
 	return slot
 }
 
@@ -566,32 +797,32 @@ func (tb *Testbed) buildServer(v, i int) *serverSlot {
 func (tb *Testbed) apply(ev Event) {
 	switch ev.Kind {
 	case EventServerAdd:
-		vs := tb.vips[ev.VIP]
-		slot := tb.buildServer(ev.VIP, len(vs.all))
-		vs.pool = append(vs.pool, slot.addr)
-		tb.rebuildSchemes(ev.VIP)
+		pool := tb.poolOf(ev)
+		slot := tb.buildServer(pool, len(pool.all))
+		pool.pool = append(pool.pool, slot.addr)
+		tb.rebuildSchemes(pool)
 
 	case EventServerDrain:
-		vs := tb.vips[ev.VIP]
-		slot := vs.all[ev.Server]
+		pool := tb.poolOf(ev)
+		slot := pool.all[ev.Server]
 		if slot.drained || slot.failed {
 			return
 		}
 		slot.drained = true
-		vs.removeFromPool(slot.addr)
-		tb.rebuildSchemes(ev.VIP)
+		pool.removeFromPool(slot.addr)
+		tb.rebuildSchemes(pool)
 
 	case EventServerFail:
-		vs := tb.vips[ev.VIP]
-		slot := vs.all[ev.Server]
+		pool := tb.poolOf(ev)
+		slot := pool.all[ev.Server]
 		if slot.failed {
 			return
 		}
 		slot.failed = true
 		if !slot.drained {
 			slot.drained = true
-			vs.removeFromPool(slot.addr)
-			tb.rebuildSchemes(ev.VIP)
+			pool.removeFromPool(slot.addr)
+			tb.rebuildSchemes(pool)
 		}
 		tb.Net.Detach(slot.router, slot.addr)
 		slot.router.SetDown(true)
@@ -625,9 +856,9 @@ func (tb *Testbed) apply(ev Event) {
 		// dark).
 		rs.lb.ResetFlows()
 		for v, vs := range tb.vips {
-			rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool), rs.rngs[v])
+			rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool.pool), rs.rngs[v])
 			if rs.fallbacks[v] != nil {
-				rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(vs.pool))
+				rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(vs.pool.pool))
 			}
 		}
 		if len(tb.replicas) > 1 {
@@ -644,21 +875,40 @@ func (tb *Testbed) apply(ev Event) {
 	}
 }
 
-// rebuildSchemes resyncs every replica's scheme (and fallback) for VIP v
-// to the current pool. Scheme construction consumes no random draws, so
-// rebuilds never perturb the selection streams.
-func (tb *Testbed) rebuildSchemes(v int) {
-	vs := tb.vips[v]
-	for _, rs := range tb.replicas {
-		rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool), rs.rngs[v])
-		if rs.fallbacks[v] != nil {
-			rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(vs.pool))
+// rebuildSchemes resyncs every (replica, VIP-over-this-pool) scheme (and
+// fallback) to the pool's current candidate set — on a shared pool, one
+// drain updates every service's scheme at once. Scheme construction
+// consumes no random draws, so rebuilds never perturb the selection
+// streams.
+func (tb *Testbed) rebuildSchemes(pool *poolState) {
+	for _, vs := range pool.vips {
+		v := vs.index
+		for _, rs := range tb.replicas {
+			rs.schemes[v].cur = vs.spec.Scheme(clonePool(pool.pool), rs.rngs[v])
+			if rs.fallbacks[v] != nil {
+				rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(pool.pool))
+			}
 		}
 	}
 }
 
-// PoolSize returns the number of currently selectable servers of VIP v.
-func (tb *Testbed) PoolSize(v int) int { return len(tb.vips[v].pool) }
+// PoolSize returns the number of currently selectable servers of VIP v's
+// pool (shared pools report the same value through every referencing VIP).
+func (tb *Testbed) PoolSize(v int) int { return len(tb.vips[v].pool.pool) }
+
+// PoolSizeByName returns the number of currently selectable servers of
+// the named shared pool (-1 when no such pool is declared).
+func (tb *Testbed) PoolSizeByName(name string) int {
+	pool, ok := tb.poolsByName[name]
+	if !ok {
+		return -1
+	}
+	return len(pool.pool)
+}
+
+// PoolNameOf returns the name of the pool VIP v selects over — the VIP's
+// own name for implicit pools.
+func (tb *Testbed) PoolNameOf(v int) string { return tb.vips[v].pool.name }
 
 // VIPCount returns the number of declared VIPs.
 func (tb *Testbed) VIPCount() int { return len(tb.vips) }
@@ -666,9 +916,10 @@ func (tb *Testbed) VIPCount() int { return len(tb.vips) }
 // VIPAddrOf returns the address of VIP v.
 func (tb *Testbed) VIPAddrOf(v int) netip.Addr { return tb.vips[v].addr }
 
-// ServerOf returns the application server behind pool slot i of VIP v
-// (including drained/failed/added servers).
-func (tb *Testbed) ServerOf(v, i int) *appserver.Server { return tb.vips[v].all[i].server }
+// ServerOf returns the application server behind pool slot i of VIP v's
+// pool (including drained/failed/added servers). Two VIPs sharing a pool
+// return the identical server for the same slot.
+func (tb *Testbed) ServerOf(v, i int) *appserver.Server { return tb.vips[v].pool.all[i].server }
 
-// RouterOf returns the virtual router of pool slot i of VIP v.
-func (tb *Testbed) RouterOf(v, i int) *vrouter.Router { return tb.vips[v].all[i].router }
+// RouterOf returns the virtual router of pool slot i of VIP v's pool.
+func (tb *Testbed) RouterOf(v, i int) *vrouter.Router { return tb.vips[v].pool.all[i].router }

@@ -319,6 +319,56 @@ func TestTopologyValidateErrors(t *testing.T) {
 			}},
 			"server 2 out of range",
 		},
+		"dangling pool reference": {
+			Topology{VIPs: []VIPSpec{{Name: "web", Pool: "nosuch"}}},
+			`dangling pool reference "nosuch"`,
+		},
+		"event targets undefined pool": {
+			Topology{
+				Pools:  []PoolSpec{{Name: "shared", Servers: 2}},
+				VIPs:   []VIPSpec{{Pool: "shared"}},
+				Events: []Event{DrainPoolServer(0, "phantom", 0)},
+			},
+			`unknown pool "phantom"`,
+		},
+		"duplicate pool names": {
+			Topology{
+				Pools: []PoolSpec{{Name: "shared", Servers: 2}, {Name: "shared", Servers: 3}},
+				VIPs:  []VIPSpec{{Pool: "shared"}},
+			},
+			`duplicate pool name "shared"`,
+		},
+		"unnamed pool": {
+			Topology{Pools: []PoolSpec{{Servers: 2}}, VIPs: []VIPSpec{{Servers: 2}}},
+			"pool 0 has no name",
+		},
+		"shared pool drained empty": {
+			// Two VIPs contend on a one-server pool: the single drain
+			// starves *both* services at once — rejected up front.
+			Topology{
+				Pools: []PoolSpec{{Name: "shared", Servers: 1}},
+				VIPs:  []VIPSpec{{Pool: "shared"}, {Pool: "shared"}},
+				Events: []Event{
+					DrainPoolServer(time.Second, "shared", 0),
+				},
+			},
+			`empties pool "shared"`,
+		},
+		"shared pool server out of range": {
+			Topology{
+				Pools:  []PoolSpec{{Name: "shared", Servers: 2}},
+				VIPs:   []VIPSpec{{Pool: "shared"}},
+				Events: []Event{FailPoolServer(0, "shared", 7)},
+			},
+			`server 7 out of range for pool "shared"`,
+		},
+		"pool reference plus own pool fields": {
+			Topology{
+				Pools: []PoolSpec{{Name: "shared", Servers: 2}},
+				VIPs:  []VIPSpec{{Pool: "shared", Servers: 4}},
+			},
+			"sets its own pool fields",
+		},
 	} {
 		t.Run(name, func(t *testing.T) {
 			err := tc.top.Validate()
@@ -330,7 +380,8 @@ func TestTopologyValidateErrors(t *testing.T) {
 			}
 		})
 	}
-	// Well-formed schedules — absolute and all-relative — pass.
+	// Well-formed schedules — absolute, all-relative, and shared-pool —
+	// pass.
 	for name, top := range map[string]Topology{
 		"absolute": {VIPs: []VIPSpec{{Servers: 2}}, Events: []Event{
 			AddServer(time.Second, 0),
@@ -340,6 +391,21 @@ func TestTopologyValidateErrors(t *testing.T) {
 			AddServer(0, 0).AtFraction(0.3),
 			DrainServer(0, 0, 2).AtFraction(0.6),
 		}},
+		"shared pool with pool events": {
+			Pools: []PoolSpec{{Name: "shared", Servers: 2}},
+			VIPs:  []VIPSpec{{Pool: "shared"}, {Pool: "shared"}},
+			Events: []Event{
+				AddPoolServer(time.Second, "shared"),
+				DrainPoolServer(2*time.Second, "shared", 2),
+			},
+		},
+		"vip-indexed event resolves through the reference": {
+			// A legacy-form event (VIP index) on a referencing VIP lands
+			// on the shared pool it selects over.
+			Pools:  []PoolSpec{{Name: "shared", Servers: 3}},
+			VIPs:   []VIPSpec{{Pool: "shared"}, {Pool: "shared"}},
+			Events: []Event{DrainServer(time.Second, 1, 2)},
+		},
 	} {
 		if err := top.Validate(); err != nil {
 			t.Fatalf("%s: Validate rejected well-formed topology: %v", name, err)

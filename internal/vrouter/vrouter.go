@@ -76,13 +76,14 @@ const CloseLinger = time.Second
 
 // Router is the virtual router + application agent of one server.
 type Router struct {
-	cfg    Config
-	sim    *des.Simulator
-	net    *netsim.Network
-	vips   map[netip.Addr]bool
-	conns  map[packet.FlowKey]*conn
-	down   bool
-	Counts *metrics.Counter
+	cfg     Config
+	sim     *des.Simulator
+	net     *netsim.Network
+	vips    map[netip.Addr]bool
+	conns   map[packet.FlowKey]*conn
+	vipResp map[netip.Addr]uint64
+	down    bool
+	Counts  *metrics.Counter
 }
 
 // New builds the router and attaches it to the network under its physical
@@ -95,12 +96,13 @@ func New(sim *des.Simulator, net *netsim.Network, cfg Config) *Router {
 		panic(fmt.Sprintf("vrouter: bad addr: %v", err))
 	}
 	r := &Router{
-		cfg:    cfg,
-		sim:    sim,
-		net:    net,
-		vips:   make(map[netip.Addr]bool, len(cfg.VIPs)),
-		conns:  make(map[packet.FlowKey]*conn),
-		Counts: metrics.NewCounter(),
+		cfg:     cfg,
+		sim:     sim,
+		net:     net,
+		vips:    make(map[netip.Addr]bool, len(cfg.VIPs)),
+		conns:   make(map[packet.FlowKey]*conn),
+		vipResp: make(map[netip.Addr]uint64, len(cfg.VIPs)),
+		Counts:  metrics.NewCounter(),
 	}
 	for _, v := range cfg.VIPs {
 		r.vips[v] = true
@@ -120,6 +122,13 @@ func (r *Router) Policy() agent.Policy { return r.cfg.Policy }
 
 // OpenConns returns the number of tracked connections.
 func (r *Router) OpenConns() int { return len(r.conns) }
+
+// VIPResponses returns the number of responses this server has emitted
+// for connections of the given VIP. Every response is attributed to
+// exactly one VIP (the connection's flow destination), so on a shared
+// pool the per-VIP counts sum to the responses_tx total — the busy-time
+// attribution ledger of multi-service servers.
+func (r *Router) VIPResponses(vip netip.Addr) uint64 { return r.vipResp[vip] }
 
 // SetDown marks the server failed (true) or recovered (false) — the
 // fail-stop model of the topology lifecycle events. A down router
@@ -337,6 +346,7 @@ func (r *Router) emitResponse(c *conn) {
 		},
 	}
 	r.Counts.Inc("responses_tx")
+	r.vipResp[c.flow.Dst]++
 	r.net.Send(resp)
 }
 

@@ -40,12 +40,14 @@ type (
 	ClusterVariant = experiments.ClusterVariant
 
 	// The declarative topology layer: a Topology names VIPs (each with
-	// its own scheme and server pool), attaches N LB replicas over
-	// anycast/ECMP, and schedules lifecycle Events; testbed.Build
-	// compiles it to wired nodes. Cluster remains the one-line
-	// single-LB/single-VIP wrapper.
+	// its own scheme), declares named server pools that several VIPs may
+	// share (PoolSpec + VIPSpec.Pool — the contention regime), attaches
+	// N LB replicas over anycast/ECMP, and schedules lifecycle Events;
+	// testbed.Build compiles it to wired nodes. Cluster remains the
+	// one-line single-LB/single-VIP wrapper.
 	Topology = testbed.Topology
 	VIPSpec  = testbed.VIPSpec
+	PoolSpec = testbed.PoolSpec
 	Event    = testbed.Event
 
 	// The replication-statistics layer: a Sweep with several Seeds
@@ -73,9 +75,13 @@ type (
 	// arrival stream per VIP (each a ServiceWorkload named by a
 	// ServiceSpec) into a single deterministic run against a multi-VIP
 	// cluster, reporting the outcome both aggregate and per service
-	// (VIPOutcome per cell, VIPStats per aggregate).
+	// (VIPOutcome per cell, VIPStats per aggregate). Services may share
+	// a server pool (ServiceSpec.Pool + MultiServiceWorkload.Pools) and
+	// carry their own load axes (ServiceLoad — a fixed victim ρ against
+	// a swept aggressor).
 	MultiServiceWorkload = experiments.MultiServiceWorkload
 	ServiceSpec          = experiments.ServiceSpec
+	ServiceLoad          = experiments.ServiceLoad
 	ServiceWorkload      = experiments.ServiceWorkload
 	ServiceStream        = experiments.ServiceStream
 	PoissonService       = experiments.PoissonService
@@ -131,6 +137,13 @@ type (
 	MultiServiceConfig = experiments.MultiServiceConfig
 	MultiServiceResult = experiments.MultiServiceResult
 	MultiServiceRow    = experiments.MultiServiceRow
+	// InterferenceConfig/Result: the cross-service interference study —
+	// a pinned web service and a swept bursty batch service contending
+	// on one shared pool, per-victim p99/completion degradation per
+	// policy.
+	InterferenceConfig = experiments.InterferenceConfig
+	InterferenceResult = experiments.InterferenceResult
+	InterferenceRow    = experiments.InterferenceRow
 )
 
 // Lifecycle-event constructors for Topology.Events / Cluster.Events.
@@ -143,6 +156,12 @@ var (
 	// FailServer is fail-stop: selection, attachment and responses all
 	// cease.
 	FailServer = testbed.FailServer
+	// AddPoolServer/DrainPoolServer/FailPoolServer are the pool-targeted
+	// forms for named shared pools: one event drives every service
+	// selecting over the pool.
+	AddPoolServer   = testbed.AddPoolServer
+	DrainPoolServer = testbed.DrainPoolServer
+	FailPoolServer  = testbed.FailPoolServer
 	// FailReplica removes an LB replica from the anycast groups.
 	FailReplica = testbed.FailReplica
 	// RecoverReplica re-attaches a failed replica, stateless.
@@ -270,6 +289,15 @@ func RunChurn(cfg ChurnConfig) ChurnResult { return experiments.RunChurn(cfg) }
 // response-time and completion rows (with CIs across seeds).
 func RunMultiService(cfg MultiServiceConfig) MultiServiceResult {
 	return experiments.RunMultiService(cfg)
+}
+
+// RunInterference sweeps a bursty batch service's load against a pinned
+// web service on ONE shared server pool and reports each policy's
+// per-victim p99/completion degradation (with CIs across seeds) — the
+// cross-service contention measurement shared-backend deployments care
+// about.
+func RunInterference(cfg InterferenceConfig) InterferenceResult {
+	return experiments.RunInterference(cfg)
 }
 
 // BuildTopology compiles a declarative Topology into a wired cluster —
