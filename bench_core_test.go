@@ -1,0 +1,238 @@
+// Core hot-path benchmarks and the BENCH_core.json perf trajectory.
+//
+// Four benchmarks cover the layers the streaming-metrics overhaul
+// touches: the DES event kernel, sketch ingestion, the generator's
+// sink-mode query path, and a reference figure-2 cell. TestBenchCore
+// (gated behind SRLB_BENCH_CORE=1) runs them through testing.Benchmark,
+// writes the measurements to BENCH_core.json, and fails when any
+// benchmark's allocs/op regresses more than 2x against the committed
+// baseline — the CI smoke job runs it with -benchtime=1x.
+package srlb_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"srlb"
+	"srlb/internal/des"
+	"srlb/internal/rng"
+	"srlb/internal/sketch"
+	"srlb/internal/testbed"
+)
+
+// BenchmarkDESKernel measures the calendar-queue schedule/fire cycle
+// with a realistically sized co-pending event set.
+func BenchmarkDESKernel(b *testing.B) {
+	sim := des.New()
+	const pending = 4096
+	r := rng.New(7)
+	spacing := 50 * time.Microsecond
+	for i := 0; i < pending; i++ {
+		sim.Schedule(time.Duration(r.Int64N(int64(pending)*int64(spacing))), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired int
+	for i := 0; i < b.N; i++ {
+		// Each op: fire one event and schedule a replacement, keeping the
+		// pending population constant — the steady state of a long run.
+		sim.Step()
+		fired++
+		sim.ScheduleAfter(time.Duration(pending)*spacing, func() {})
+	}
+	_ = fired
+}
+
+// BenchmarkSketchAdd measures histogram ingestion over a heavy-tailed
+// sample stream (the response-time shape the sink sees).
+func BenchmarkSketchAdd(b *testing.B) {
+	h := sketch.New()
+	r := rng.New(11)
+	samples := make([]time.Duration, 8192)
+	for i := range samples {
+		samples[i] = rng.Exp(r, 100*time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(samples[i&8191])
+	}
+	benchCoreSink = h.Count()
+}
+
+// BenchmarkGeneratorSink measures the full sink-mode query path: one op
+// is one query launched, balanced, served, and folded into the sketch —
+// packets, timers, and pending records all recycled.
+func BenchmarkGeneratorSink(b *testing.B) {
+	tb := testbed.New(testbed.Config{Seed: 13, Servers: 4})
+	sink := testbed.NewSketchSink()
+	tb.Gen.Sink = sink
+	r := rng.Split(13, 99)
+	p := rng.NewPoisson(r, 200, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining := b.N
+	var id uint64
+	var launchNext func()
+	launchNext = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		q := testbed.Query{ID: id, Demand: rng.Exp(r, 20*time.Millisecond)}
+		id++
+		tb.Gen.Launch(q)
+		if remaining > 0 {
+			tb.Sim.At(p.Next(), launchNext)
+		}
+	}
+	tb.Sim.At(p.Next(), launchNext)
+	tb.Sim.Run()
+	tb.Gen.DrainPending()
+	benchCoreSink = int(sink.Total().Counters.Offered)
+}
+
+// BenchmarkFig2Cell measures one scaled reference figure-2 cell end to
+// end (the unit of every sweep).
+func BenchmarkFig2Cell(b *testing.B) {
+	cluster := srlb.Cluster{Seed: 0xbe7c, Servers: 4}
+	l0 := cluster.TheoreticalCapacity()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := srlb.RunPoisson(cluster, srlb.SRStatic(4), 0.85*l0, 3000)
+		benchCoreSink = run.RT.Count()
+	}
+}
+
+var benchCoreSink int
+
+// benchCoreJSON is the BENCH_core.json schema: one row per benchmark
+// with the headline per-op costs plus the post-run live heap.
+type benchCoreJSON struct {
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"go_version"`
+	Benchmarks []benchCoreCase `json:"benchmarks"`
+}
+
+type benchCoreCase struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// HeapAfter is HeapAlloc right after the benchmark returned (before
+	// any explicit GC) — a coarse peak-liveness signal for the smoke job.
+	HeapAfter uint64 `json:"heap_after_bytes"`
+}
+
+// TestBenchCore emits BENCH_core.json and enforces the allocs/op
+// regression gate against the committed baseline. Gated behind
+// SRLB_BENCH_CORE=1 so the ordinary test run stays fast; the CI smoke
+// job runs it with -benchtime=1x.
+func TestBenchCore(t *testing.T) {
+	if os.Getenv("SRLB_BENCH_CORE") == "" {
+		t.Skip("set SRLB_BENCH_CORE=1 to run the core benchmark smoke suite")
+	}
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"DESKernel", BenchmarkDESKernel},
+		{"SketchAdd", BenchmarkSketchAdd},
+		{"GeneratorSink", BenchmarkGeneratorSink},
+		{"Fig2Cell", BenchmarkFig2Cell},
+	}
+	// Read the committed baseline before the output path can clobber it
+	// (locally both default to BENCH_core.json).
+	baseline, baseErr := readBenchCoreBaseline("BENCH_core.json")
+	if baseErr != nil {
+		t.Fatal(baseErr)
+	}
+
+	out := benchCoreJSON{Schema: "bench_core/v1", GoVersion: runtime.Version()}
+	var ms runtime.MemStats
+	for _, c := range cases {
+		res := testing.Benchmark(c.fn)
+		runtime.ReadMemStats(&ms)
+		row := benchCoreCase{
+			Name:        c.name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			HeapAfter:   ms.HeapAlloc,
+		}
+		out.Benchmarks = append(out.Benchmarks, row)
+		t.Logf("%-14s n=%-8d %12.1f ns/op %6d allocs/op %10d B/op", row.Name, row.N, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+	}
+
+	path := os.Getenv("SRLB_BENCH_CORE_OUT")
+	if path == "" {
+		path = "BENCH_core.json"
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+
+	if err := checkBenchCoreBaseline(baseline, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readBenchCoreBaseline loads the committed baseline; a missing file is
+// not an error (the first run seeds it).
+func readBenchCoreBaseline(path string) (*benchCoreJSON, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var base benchCoreJSON
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &base, nil
+}
+
+// benchCoreAllocSlack absorbs one-time setup allocations: at the CI
+// smoke job's -benchtime=1x a benchmark runs a single op, so its fixed
+// setup (testbed construction, first slice growths) lands entirely on
+// that op's allocs/op instead of amortizing away.
+const benchCoreAllocSlack = 64
+
+// checkBenchCoreBaseline compares allocs/op against the committed
+// BENCH_core.json: growth beyond 2x + slack on any benchmark fails.
+// ns/op is NOT gated — CI machines vary too much — but travels in the
+// artifact so regressions stay visible across commits.
+func checkBenchCoreBaseline(base *benchCoreJSON, cur benchCoreJSON) error {
+	if base == nil {
+		return nil
+	}
+	byName := make(map[string]benchCoreCase, len(base.Benchmarks))
+	for _, c := range base.Benchmarks {
+		byName[c.Name] = c
+	}
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		if c.AllocsPerOp > 2*b.AllocsPerOp+benchCoreAllocSlack {
+			return fmt.Errorf("%s: %d allocs/op, more than 2x the baseline %d (+%d slack)",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp, benchCoreAllocSlack)
+		}
+	}
+	return nil
+}

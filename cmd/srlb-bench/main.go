@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -117,7 +118,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|all (wiki covers figures 6-8)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -125,6 +126,8 @@ func main() {
 		servers    = flag.Int("servers", 12, "application servers (paper: 12)")
 		compress   = flag.Float64("compress", 24, "wiki replay time compression (1 = full 24h)")
 		rhoPoints  = flag.Int("rho-points", 24, "number of load points for fig2 (paper: 24)")
+		horizonQ   = flag.Uint64("horizon-queries", 100_000_000, "queries for -experiment horizon (constant-memory soak)")
+		horizonRho = flag.Float64("horizon-rho", 0.85, "normalized load for -experiment horizon")
 		workers    = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log per-point progress")
 		asciiPlot  = flag.Bool("plot", false, "render ASCII charts of figures 2 and 8 to stdout")
@@ -498,6 +501,37 @@ docs/TOPOLOGY.md.`)
 				}
 			}
 			return writeFile("extension_interference.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	// The horizon soak runs only when named: 10⁸ queries take minutes of
+	// host time, far outside the "all" budget.
+	if *experiment == "horizon" {
+		needLambda0()
+		run(fmt.Sprintf("horizon: %.0e-query constant-memory soak", float64(*horizonQ)), func() error {
+			lastPct := -1
+			res, err := srlb.RunHorizon(context.Background(), srlb.HorizonConfig{
+				Cluster: cluster, Lambda0: lambda0,
+				Queries: *horizonQ, Rho: *horizonRho,
+				Progress: func(done, total uint64) {
+					if !*verbose {
+						return
+					}
+					if pct := int(100 * done / total); pct != lastPct {
+						lastPct = pct
+						fmt.Fprintf(os.Stderr, "  %3d%% (%d/%d queries)\n", pct, done, total)
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("   %d queries, peak heap %.1f MB, %.0f q/s host throughput\n",
+				res.Queries, float64(res.PeakHeap)/(1<<20), res.QPS())
+			fmt.Printf("   mean=%.3fms p50=%.3fms p99=%.3fms ok=%d refused=%d unfinished=%d\n",
+				res.RT.Mean().Seconds()*1e3, res.RT.Median().Seconds()*1e3, res.RT.Quantile(0.99).Seconds()*1e3,
+				res.Counters.OK, res.Counters.Refused, res.Counters.Unfinished)
+			return writeFile("horizon.tsv", func(f *os.File) error { return res.WriteSummary(f) })
 		})
 	}
 

@@ -135,6 +135,19 @@
 // day across policies × seeds, cutting across-seed variance of the wiki
 // rows to the cluster's own randomness.
 //
+// # Streaming measurement: sketches and the horizon soak
+//
+// Experiment cells measure through internal/sketch: a mergeable
+// log-linear response-time histogram (quantiles within a documented
+// ≈0.2% relative error at the default precision; count/mean/min/max
+// exact) plus Welford moments and outcome counters, folded in as each
+// query completes. The testbed generator's per-query Results slice is
+// opt-in (Generator.RetainResults) — the default sink path holds
+// constant memory regardless of horizon length. RunHorizon pushes that
+// to 10⁸ open-loop queries with a flat heap
+// (`srlb-bench -experiment horizon`); BENCH_core.json tracks the hot
+// paths' ns/op and allocs/op across commits (docs/RESULTS_SCHEMA.md).
+//
 // # Interpreting results: seeds, CI width, choosing Sweep.Seeds
 //
 // Every simulation cell is a pure function of its scenario value, so a
@@ -181,6 +194,8 @@
 //   - internal/workload: internal/wiki, internal/trace, internal/rng
 //   - internal/stats — replication statistics: Dist, Replicated,
 //     Student-t CIs, seeded bootstrap
+//   - internal/sketch — constant-memory streaming metrics: mergeable
+//     log-linear histogram, Welford moments, counters
 //   - internal/experiments — Scenario/Sweep/Runner, workloads, figures 2–8,
 //     λ0 calibration, ablations
 //

@@ -28,7 +28,8 @@ type capture struct {
 	pkts []*packet.Packet
 }
 
-func (c *capture) Handle(p *packet.Packet) { c.pkts = append(c.pkts, p) }
+// Clone: the network recycles delivered packets once Handle returns.
+func (c *capture) Handle(p *packet.Packet) { c.pkts = append(c.pkts, p.Clone()) }
 
 // rig: LB plus captures at both server addresses and the client.
 type rig struct {

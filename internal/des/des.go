@@ -1,9 +1,19 @@
 // Package des provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is a binary-heap event scheduler with a virtual clock.
-// Events scheduled for the same instant fire in scheduling order, which —
-// together with seeded randomness everywhere else — makes whole-cluster
-// simulations bit-for-bit reproducible.
+// The kernel is a calendar-queue event scheduler (Brown 1988) with a
+// virtual clock: pending events hash into time buckets by arrival
+// instant, each bucket an intrusive sorted list, so enqueue and dequeue
+// are O(1) amortized instead of the O(log n) of a binary heap. The
+// bucket count and width adapt to the pending population as it grows
+// and shrinks. Events scheduled for the same instant fire in scheduling
+// order, which — together with seeded randomness everywhere else —
+// makes whole-cluster simulations bit-for-bit reproducible.
+//
+// Two scheduling flavors exist: At/After return a *Timer handle that
+// can be cancelled or rescheduled, while Schedule/ScheduleAfter return
+// nothing and recycle the timer's allocation through an internal free
+// list once it fires — the zero-garbage path for fire-and-forget events
+// (packet deliveries, arrival streams), which dominate the hot loop.
 //
 // The kernel is intentionally single-threaded: simulated components are
 // plain state machines invoked from the event loop, which keeps them free
@@ -11,67 +21,64 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
 // Timer is a handle to a scheduled event. It can be cancelled or
 // rescheduled until it has fired.
 type Timer struct {
-	at    time.Duration
-	seq   uint64
-	index int // heap index, -1 once fired or cancelled
-	fn    func()
+	at         time.Duration
+	seq        uint64
+	fn         func()
+	prev, next *Timer // intrusive bucket list; nil once fired/cancelled
+	pooled     bool   // allocated by Schedule: recycle after firing
 }
 
 // At reports the virtual time the timer is (or was) scheduled to fire.
 func (t *Timer) At() time.Duration { return t.at }
 
 // Pending reports whether the timer is still scheduled.
-func (t *Timer) Pending() bool { return t != nil && t.index >= 0 }
+func (t *Timer) Pending() bool { return t != nil && t.next != nil }
 
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the queue's total order: time, then scheduling sequence.
+func (t *Timer) before(u *Timer) bool {
+	if t.at != u.at {
+		return t.at < u.at
 	}
-	return h[i].seq < h[j].seq
+	return t.seq < u.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}
+// Calendar sizing bounds. The bucket count doubles while the pending
+// population exceeds two events per bucket and halves when it drops
+// below a quarter event per bucket; width re-estimates on every resize.
+const (
+	minBuckets  = 16
+	maxBuckets  = 1 << 16
+	widthSample = 1024
+)
 
 // Simulator is a discrete-event scheduler. The zero value is ready to use
 // with the clock at 0.
 type Simulator struct {
-	events    eventHeap
+	buckets []Timer // sentinels of circular doubly-linked lists
+	width   time.Duration
+	count   int
+
+	// cur/curTop track the dequeue cursor: curTop is the top of bucket
+	// cur's window in the year currently being scanned. Invariant: every
+	// pending event fires at or after curTop−width, so a forward scan
+	// from cur meets the earliest event first.
+	cur    int
+	curTop time.Duration
+	peeked *Timer // cached minimum; nil when unknown
+
 	now       time.Duration
 	seq       uint64
 	processed uint64
-	running   bool
+
+	free *Timer // freelist of pooled timers, linked through next
 }
 
 // New returns a Simulator with the clock at zero.
@@ -84,20 +91,199 @@ func (s *Simulator) Now() time.Duration { return s.now }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently scheduled.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return s.count }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past
-// (t < Now) panics: it is always a logic error in the caller.
+// topOf returns the upper edge of the bucket window containing at.
+func (s *Simulator) topOf(at time.Duration) time.Duration {
+	return (at/s.width + 1) * s.width
+}
+
+// bucketOf maps an instant to its bucket index.
+func (s *Simulator) bucketOf(at time.Duration) int {
+	return int((uint64(at) / uint64(s.width)) % uint64(len(s.buckets)))
+}
+
+// init sets up the initial (empty) calendar.
+func (s *Simulator) init() {
+	s.width = 64 * time.Microsecond // near LAN latency; resizes adapt
+	s.buckets = makeBuckets(minBuckets)
+}
+
+func makeBuckets(n int) []Timer {
+	b := make([]Timer, n)
+	for i := range b {
+		b[i].prev, b[i].next = &b[i], &b[i]
+	}
+	return b
+}
+
+// insert links t into its bucket, keeping the bucket sorted by
+// (at, seq). Most events land at the tail of their bucket (time flows
+// forward), so the scan starts there.
+func (s *Simulator) insert(t *Timer) {
+	if s.buckets == nil {
+		s.init()
+	}
+	if s.count >= 2*len(s.buckets) && len(s.buckets) < maxBuckets {
+		s.resize(2 * len(s.buckets))
+	}
+	sent := &s.buckets[s.bucketOf(t.at)]
+	p := sent.prev
+	for p != sent && t.before(p) {
+		p = p.prev
+	}
+	t.prev, t.next = p, p.next
+	p.next.prev = t
+	p.next = t
+	s.count++
+	if s.count == 1 || t.at < s.curTop-s.width {
+		// First event, or an event before the cursor's window: realign so
+		// the scan invariant (nothing fires before curTop−width) holds.
+		s.cur = s.bucketOf(t.at)
+		s.curTop = s.topOf(t.at)
+		if s.count == 1 {
+			s.peeked = t
+		}
+	}
+	if s.peeked != nil && t.before(s.peeked) {
+		s.peeked = t
+	}
+}
+
+// remove unlinks a queued timer.
+func (s *Simulator) remove(t *Timer) {
+	t.prev.next = t.next
+	t.next.prev = t.prev
+	t.prev, t.next = nil, nil
+	s.count--
+	if s.peeked == t {
+		s.peeked = nil
+	}
+	if s.count < len(s.buckets)/4 && len(s.buckets) > minBuckets {
+		s.resize(len(s.buckets) / 2)
+	}
+}
+
+// resize rebuilds the calendar with n buckets and a width re-estimated
+// from the pending population, relinking every event. O(count), but
+// resizes are geometric so the amortized cost per event is constant.
+func (s *Simulator) resize(n int) {
+	var all *Timer // collect through next pointers
+	var sample []time.Duration
+	for i := range s.buckets {
+		sent := &s.buckets[i]
+		for t := sent.next; t != sent; {
+			nx := t.next
+			t.prev = nil
+			t.next = all
+			all = t
+			if len(sample) < widthSample {
+				sample = append(sample, t.at)
+			}
+			t = nx
+		}
+	}
+	if w := estimateWidth(sample); w > 0 {
+		s.width = w
+	}
+	s.buckets = makeBuckets(n)
+	s.count = 0
+	s.peeked = nil
+	for t := all; t != nil; {
+		nx := t.next
+		t.next = nil
+		s.insert(t)
+		t = nx
+	}
+	// Realign the cursor by direct search so the scan invariant holds.
+	if min := s.direct(); min != nil {
+		s.cur = s.bucketOf(min.at)
+		s.curTop = s.topOf(min.at)
+		s.peeked = min
+	}
+}
+
+// estimateWidth picks a bucket width from a sample of pending event
+// times: twice the median of the non-zero gaps between time-adjacent
+// samples. The median keeps one far-future outlier (horizon guards,
+// idle timeouts) from stretching the width and collapsing the dense
+// near-term population into a single bucket. Returns 0 when the sample
+// carries no signal (fewer than two distinct instants).
+func estimateWidth(sample []time.Duration) time.Duration {
+	if len(sample) < 2 {
+		return 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	gaps := sample[:0]
+	for i := 1; i < len(sample); i++ {
+		if g := sample[i] - sample[i-1]; g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	w := 2 * gaps[len(gaps)/2]
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// direct finds the global minimum by inspecting every bucket head —
+// the fallback when a year's scan comes up empty (sparse queues, or
+// every pending event more than a year ahead).
+func (s *Simulator) direct() *Timer {
+	var best *Timer
+	for i := range s.buckets {
+		sent := &s.buckets[i]
+		if first := sent.next; first != sent {
+			if best == nil || first.before(best) {
+				best = first
+			}
+		}
+	}
+	return best
+}
+
+// peek returns the earliest pending timer without dequeuing it, or nil.
+func (s *Simulator) peek() *Timer {
+	if s.peeked != nil {
+		return s.peeked
+	}
+	if s.count == 0 {
+		return nil
+	}
+	b, top := s.cur, s.curTop
+	for i := 0; i < len(s.buckets); i++ {
+		sent := &s.buckets[b]
+		if first := sent.next; first != sent && first.at < top {
+			s.cur, s.curTop = b, top
+			s.peeked = first
+			return first
+		}
+		b++
+		if b == len(s.buckets) {
+			b = 0
+		}
+		top += s.width
+	}
+	best := s.direct()
+	s.cur = s.bucketOf(best.at)
+	s.curTop = s.topOf(best.at)
+	s.peeked = best
+	return best
+}
+
+// At schedules fn at absolute virtual time t and returns a cancellable
+// handle. Scheduling in the past (t < Now) panics: it is always a logic
+// error in the caller.
 func (s *Simulator) At(t time.Duration, fn func()) *Timer {
-	if t < s.now {
-		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
-	}
-	if fn == nil {
-		panic("des: nil event function")
-	}
+	s.check(t, fn)
 	s.seq++
 	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, tm)
+	s.insert(tm)
 	return tm
 }
 
@@ -109,14 +295,48 @@ func (s *Simulator) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// Schedule is At without a handle: the event cannot be cancelled or
+// rescheduled, and in exchange its timer allocation is recycled through
+// the simulator's free list once it fires. Use it for fire-and-forget
+// events on the hot path.
+func (s *Simulator) Schedule(t time.Duration, fn func()) {
+	s.check(t, fn)
+	tm := s.free
+	if tm != nil {
+		s.free = tm.next
+		tm.next = nil
+	} else {
+		tm = &Timer{pooled: true}
+	}
+	s.seq++
+	tm.at, tm.seq, tm.fn = t, s.seq, fn
+	s.insert(tm)
+}
+
+// ScheduleAfter is After without a handle (d < 0 is treated as 0).
+func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.Schedule(s.now+d, fn)
+}
+
+func (s *Simulator) check(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+}
+
 // Cancel removes a pending timer. Cancelling a fired, cancelled or nil
 // timer is a no-op and reports false.
 func (s *Simulator) Cancel(t *Timer) bool {
-	if t == nil || t.index < 0 {
+	if t == nil || t.next == nil {
 		return false
 	}
-	heap.Remove(&s.events, t.index)
-	t.index = -1
+	s.remove(t)
 	t.fn = nil
 	return true
 }
@@ -124,29 +344,35 @@ func (s *Simulator) Cancel(t *Timer) bool {
 // Reschedule moves a pending timer to fire at absolute time t, keeping its
 // callback. If the timer already fired it reports false.
 func (s *Simulator) Reschedule(t *Timer, at time.Duration) bool {
-	if t == nil || t.index < 0 {
+	if t == nil || t.next == nil {
 		return false
 	}
 	if at < s.now {
 		panic(fmt.Sprintf("des: rescheduling event at %v before now %v", at, s.now))
 	}
+	s.remove(t)
 	t.at = at
 	s.seq++
 	t.seq = s.seq
-	heap.Fix(&s.events, t.index)
+	s.insert(t)
 	return true
 }
 
 // Step executes the next event, advancing the clock. It reports false when
 // no events remain.
 func (s *Simulator) Step() bool {
-	if len(s.events) == 0 {
+	t := s.peek()
+	if t == nil {
 		return false
 	}
-	t := heap.Pop(&s.events).(*Timer)
+	s.remove(t)
 	s.now = t.at
 	fn := t.fn
 	t.fn = nil
+	if t.pooled {
+		t.next = s.free
+		s.free = t
+	}
 	s.processed++
 	fn()
 	return true
@@ -161,7 +387,7 @@ func (s *Simulator) Run() {
 // RunUntil executes events with timestamps ≤ deadline, then advances the
 // clock to the deadline (even if events remain beyond it).
 func (s *Simulator) RunUntil(deadline time.Duration) {
-	for len(s.events) > 0 && s.events[0].at <= deadline {
+	for t := s.peek(); t != nil && t.at <= deadline; t = s.peek() {
 		s.Step()
 	}
 	if s.now < deadline {
@@ -174,11 +400,15 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 // clock advanced to the deadline, so interleaving RunUntilLimit calls with
 // other work (e.g. cancellation polls) is equivalent to one RunUntil.
 func (s *Simulator) RunUntilLimit(deadline time.Duration, limit int) bool {
-	for limit > 0 && len(s.events) > 0 && s.events[0].at <= deadline {
+	for limit > 0 {
+		t := s.peek()
+		if t == nil || t.at > deadline {
+			break
+		}
 		s.Step()
 		limit--
 	}
-	if len(s.events) > 0 && s.events[0].at <= deadline {
+	if t := s.peek(); t != nil && t.at <= deadline {
 		return true
 	}
 	if s.now < deadline {

@@ -274,3 +274,134 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.Step()
 	}
 }
+
+// TestScheduleOrdering: handle-free Schedule events interleave with
+// At/After handles in the same (at, seq) total order.
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(2*time.Second, func() { order = append(order, 2) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.ScheduleAfter(3*time.Second, func() { order = append(order, 3) })
+	s.Schedule(1*time.Second, func() { order = append(order, 10) }) // tie with At: fires second
+	s.Run()
+	want := []int{1, 10, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestScheduleRecyclesTimers: after a warm-up, the fire-and-forget path
+// must not allocate a timer per event.
+func TestScheduleRecyclesTimers(t *testing.T) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		s.ScheduleAfter(time.Microsecond, func() {})
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScheduleAfter(time.Microsecond, func() {})
+		s.Step()
+	})
+	if allocs > 0.1 {
+		t.Errorf("Schedule+Step allocates %.2f objects per event, want 0", allocs)
+	}
+}
+
+// TestScheduleNegativeAfterClampsToNow mirrors the After clamp.
+func TestScheduleNegativeAfterClampsToNow(t *testing.T) {
+	s := New()
+	fired := false
+	s.ScheduleAfter(-time.Second, func() { fired = true })
+	s.Step()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("fired=%v now=%v, want true/0", fired, s.Now())
+	}
+}
+
+// TestSchedulePastPanicsToo: the past-scheduling guard covers the
+// handle-free path as well.
+func TestSchedulePastPanicsToo(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	s.Schedule(0, func() {})
+}
+
+// TestCalendarResizeChurn drives the queue through growth and shrink
+// cycles with mixed time scales (µs deliveries, ms services, a far
+// horizon guard) and verifies the dequeue order stays globally sorted.
+func TestCalendarResizeChurn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	s := New()
+	var fired []time.Duration
+	record := func() { fired = append(fired, s.Now()) }
+	s.At(time.Hour, record) // far-future outlier the width estimate must survive
+	var handles []*Timer
+	for i := 0; i < 5000; i++ {
+		switch rng.IntN(3) {
+		case 0:
+			s.Schedule(s.Now()+time.Duration(rng.IntN(100))*time.Microsecond, record)
+		case 1:
+			handles = append(handles, s.At(s.Now()+time.Duration(rng.IntN(50))*time.Millisecond, record))
+		case 2:
+			if len(handles) > 0 && rng.IntN(2) == 0 {
+				h := handles[rng.IntN(len(handles))]
+				if h.Pending() {
+					if rng.IntN(2) == 0 {
+						s.Cancel(h)
+					} else {
+						s.Reschedule(h, s.Now()+time.Duration(rng.IntN(10))*time.Millisecond)
+					}
+				}
+			}
+		}
+		if rng.IntN(4) == 0 {
+			s.Step()
+		}
+	}
+	s.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out-of-order fire at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+	if fired[len(fired)-1] != time.Hour {
+		t.Fatalf("horizon guard fired at %v, want 1h", fired[len(fired)-1])
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", s.Pending())
+	}
+}
+
+func BenchmarkScheduleNoHandle(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleAfter(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkCalendarMixed models the hot loop's population: a few
+// thousand co-pending events at mixed time scales.
+func BenchmarkCalendarMixed(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 0))
+	s := New()
+	for i := 0; i < 4096; i++ {
+		s.ScheduleAfter(time.Duration(rng.IntN(200_000))*time.Microsecond, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleAfter(time.Duration(rng.IntN(200_000))*time.Microsecond, func() {})
+		s.Step()
+	}
+}

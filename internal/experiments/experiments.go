@@ -16,9 +16,9 @@ import (
 
 	"srlb/internal/agent"
 	"srlb/internal/appserver"
-	"srlb/internal/metrics"
 	"srlb/internal/rng"
 	"srlb/internal/selection"
+	"srlb/internal/sketch"
 	"srlb/internal/testbed"
 )
 
@@ -186,8 +186,8 @@ type PoissonRun struct {
 	Spec       PolicySpec
 	RatePerSec float64
 	Queries    int
-	// RT holds the response times of successful queries.
-	RT *metrics.Recorder
+	// RT sketches the response times of successful queries.
+	RT *sketch.Histogram
 	// Refused counts RST-refused connections (TCP backlog overflow).
 	Refused int
 	// Unfinished counts queries still pending at horizon end.

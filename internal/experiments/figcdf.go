@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"srlb/internal/metrics"
+	"srlb/internal/sketch"
 	"srlb/internal/stats"
 )
 
@@ -45,8 +46,9 @@ type CDFResult struct {
 	Lambda0  float64
 	Policies []PolicySpec
 	Seeds    []uint64
-	// RT[i] is the recorder for Policies[i] — all seeds pooled.
-	RT []*metrics.Recorder
+	// RT[i] is the response-time sketch for Policies[i] — all seeds
+	// pooled (Histogram.Merge is exact, so pooling order is immaterial).
+	RT []*sketch.Histogram
 	// Stats[i] aggregates Policies[i]'s per-seed summary statistics
 	// (median, p95, … with CIs) across the replication axis.
 	Stats []CellStats
@@ -89,7 +91,7 @@ func RunCDFCtx(ctx context.Context, cfg CDFConfig) CDFResult {
 		Seeds: sweep.Seeds, Points: cfg.Points}
 	replicated := len(sweep.Seeds) > 1
 	for pi := range cfg.Policies {
-		pooled := metrics.NewRecorder(0)
+		pooled := sketch.New()
 		for si := range sweep.Seeds {
 			cell := sweep.Cell(pi, 0, si)
 			if cell.Err != nil { // drop truncated mid-cancel recorders too
@@ -98,7 +100,7 @@ func RunCDFCtx(ctx context.Context, cfg CDFConfig) CDFResult {
 			pooled.Merge(cell.Outcome.RT)
 		}
 		// The band is evaluated at the exact fractions the pooled CDF
-		// will emit (Recorder.CDF clamps its point count to the sample
+		// will emit (Histogram.CDF clamps its point count to the sample
 		// count), so WriteTSV's row-by-row pairing stays aligned.
 		var curves [][]time.Duration // per-seed quantile curves
 		fractions := cdfFractions(pooled, cfg.Points)
@@ -124,7 +126,7 @@ func RunCDFCtx(ctx context.Context, cfg CDFConfig) CDFResult {
 
 // cdfFractions returns the cumulative fractions pooled.CDF(points) will
 // emit, so band rows and CDF rows share one grid.
-func cdfFractions(pooled *metrics.Recorder, points int) []float64 {
+func cdfFractions(pooled *sketch.Histogram, points int) []float64 {
 	pts := pooled.CDF(points)
 	out := make([]float64, len(pts))
 	for i, pt := range pts {

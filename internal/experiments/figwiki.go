@@ -91,7 +91,7 @@ func (w WikiWorkload) Run(ctx context.Context, cluster ClusterConfig, spec Polic
 		binWidth = 10 * time.Minute
 	}
 	run, err := runWikiReplay(ctx, cluster, spec, w.Day, w.Cost, binWidth, w.Entries, 1)
-	return CellOutcome{RT: run.WikiAll, Refused: run.Refused, Extra: run}, err
+	return CellOutcome{RT: sketchFromRecorder(run.WikiAll), Refused: run.Refused, Extra: run}, err
 }
 
 // TraceWorkload replays a recorded access trace (see cmd/srlb-trace and
@@ -125,7 +125,7 @@ func (w TraceWorkload) Run(ctx context.Context, cluster ClusterConfig, spec Poli
 	// scaling) independent of the replay speed — speed only rescales
 	// arrival times and report bins, so load points stay comparable.
 	run, err := runWikiReplay(ctx, cluster, spec, wiki.Config{}, w.Cost, binWidth, w.Entries, load)
-	return CellOutcome{RT: run.WikiAll, Refused: run.Refused, Extra: run}, err
+	return CellOutcome{RT: sketchFromRecorder(run.WikiAll), Refused: run.Refused, Extra: run}, err
 }
 
 // RunWiki replays the day under every policy: a Sweep of the wiki workload
@@ -203,7 +203,6 @@ func runWikiReplay(ctx context.Context, cluster ClusterConfig, spec PolicySpec, 
 		StaticAll: metrics.NewRecorder(1 << 16),
 		RateBins:  metrics.NewTimeBins(virtualBin, virtualHorizon),
 	}
-	tb.Gen.DiscardResults = true
 	tb.Gen.OnResult = func(res testbed.Result) {
 		if res.Refused || !res.OK {
 			run.Refused++

@@ -461,44 +461,22 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 	}
 	tb := testbed.Build(top)
 
-	// Aggregate and per-VIP accounting, demultiplexed by Result.VIP.
-	out := CellOutcome{
-		RT:     metrics.NewRecorder(4096),
-		PerVIP: make([]VIPOutcome, len(w.Services)),
+	// Aggregate and per-VIP accounting: the sink demultiplexes by
+	// Result.VIP, with every service pre-registered in service order so
+	// the per-VIP sketches come back in a deterministic order.
+	vips := make([]netip.Addr, len(w.Services))
+	for i := range w.Services {
+		vips[i] = tb.VIPAddrOf(i)
 	}
-	byAddr := make(map[netip.Addr]*VIPOutcome, len(w.Services))
-	for i := range out.PerVIP {
-		out.PerVIP[i] = VIPOutcome{
-			Name:     specs[i].Name,
-			Workload: w.Services[i].Workload.Label(),
-			Load:     loads[i],
-			RT:       metrics.NewRecorder(1024),
-		}
-		byAddr[tb.VIPAddrOf(i)] = &out.PerVIP[i]
-	}
-	tb.Gen.DiscardResults = true
-	tb.Gen.OnResult = func(res testbed.Result) {
-		vo := byAddr[res.VIP]
-		switch {
-		case res.OK:
-			out.RT.Add(res.RT)
-			vo.RT.Add(res.RT)
-		case res.Refused:
-			out.Refused++
-			vo.Refused++
-		default:
-			out.Unfinished++
-			vo.Unfinished++
-		}
-	}
+	sink := testbed.NewSketchSink(vips...)
+	tb.Gen.Sink = sink
 
 	// Interleave: every stream schedules itself one arrival ahead; the
 	// DES merges them in time order (ties by scheduling order, which is
 	// itself deterministic). Query IDs are global across services.
 	var id uint64
 	for v := range streams {
-		vo := &out.PerVIP[v]
-		vip := tb.VIPAddrOf(v)
+		vip := vips[v]
 		stream := streams[v]
 		var step func(q testbed.Query)
 		schedule := func() {
@@ -510,16 +488,35 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 			q.ID = id
 			id++
 			q.VIP = vip
-			vo.Offered++
 			tb.Gen.Launch(q)
 			schedule()
 		}
 		schedule()
 	}
 	err := runSim(ctx, tb.Sim, span+2*time.Minute)
-	// Drained queries report through OnResult (OK and Refused both
+	// Drained queries report through the sink (OK and Refused both
 	// false), landing in the Unfinished columns.
 	tb.Gen.DrainPending()
+
+	total := sink.Total()
+	out := CellOutcome{
+		RT:         total.RT,
+		Refused:    int(total.Counters.Refused),
+		Unfinished: int(total.Counters.Unfinished),
+		PerVIP:     make([]VIPOutcome, len(w.Services)),
+	}
+	for i := range out.PerVIP {
+		vs := sink.VIP(vips[i])
+		out.PerVIP[i] = VIPOutcome{
+			Name:       specs[i].Name,
+			Workload:   w.Services[i].Workload.Label(),
+			Load:       loads[i],
+			Offered:    int(vs.Counters.Offered),
+			RT:         vs.RT,
+			Refused:    int(vs.Counters.Refused),
+			Unfinished: int(vs.Counters.Unfinished),
+		}
+	}
 	return out, err
 }
 

@@ -9,6 +9,7 @@ import (
 	"srlb/internal/des"
 	"srlb/internal/metrics"
 	"srlb/internal/rng"
+	"srlb/internal/sketch"
 	"srlb/internal/testbed"
 )
 
@@ -30,8 +31,9 @@ type Workload interface {
 
 // CellOutcome is the measurement a Workload produces for one cell.
 type CellOutcome struct {
-	// RT holds the response times of successful queries.
-	RT *metrics.Recorder
+	// RT sketches the response times of successful queries in constant
+	// memory (quantiles within sketch.MaxRelativeError; count/mean exact).
+	RT *sketch.Histogram
 	// Refused counts RST-refused connections; Unfinished counts queries
 	// still pending (or timed out client-side) at horizon end.
 	Refused    int
@@ -61,8 +63,8 @@ type VIPOutcome struct {
 	// Offered counts queries launched at this VIP — the conservation
 	// anchor: Offered == RT.Count() + Refused + Unfinished at run end.
 	Offered int
-	// RT holds the response times of this VIP's successful queries.
-	RT *metrics.Recorder
+	// RT sketches the response times of this VIP's successful queries.
+	RT *sketch.Histogram
 	// Refused and Unfinished count this VIP's failed queries.
 	Refused    int
 	Unfinished int
@@ -87,6 +89,17 @@ func (o CellOutcome) OKFraction() float64 {
 		return 0
 	}
 	return float64(o.RT.Count()) / float64(total)
+}
+
+// sketchFromRecorder folds an exact recorder into a histogram sketch, so
+// workloads that keep full recorders in their Extra payload (the wiki
+// replays) can still satisfy CellOutcome.RT.
+func sketchFromRecorder(r *metrics.Recorder) *sketch.Histogram {
+	h := sketch.New()
+	for _, d := range r.Samples() {
+		h.Add(d)
+	}
+	return h
 }
 
 // PoissonStats is the Extra payload of PoissonWorkload and BurstyWorkload.
@@ -263,21 +276,11 @@ func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, ar
 	tb := testbed.Build(top)
 	tb.Gen.RetransmitRTO = rto
 
-	out := CellOutcome{RT: metrics.NewRecorder(queries)}
-	tb.Gen.DiscardResults = true
-	tb.Gen.OnResult = func(res testbed.Result) {
-		switch {
-		case res.OK:
-			out.RT.Add(res.RT)
-		case res.Refused:
-			out.Refused++
-		default:
-			out.Unfinished++
-		}
-		if hooks.OnResult != nil {
-			hooks.OnResult(res)
-		}
-	}
+	// Sketch-backed sink: per-query results are folded into constant-size
+	// aggregates as they complete — nothing is retained per query.
+	sink := testbed.NewSketchSink()
+	tb.Gen.Sink = sink
+	tb.Gen.OnResult = hooks.OnResult
 
 	demands := rng.Split(cluster.Seed, 0xde3a)
 	horizon := span + 2*time.Minute
@@ -306,11 +309,17 @@ func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, ar
 	}
 	tb.Sim.At(arrivals.Next(), launchNext)
 	err := runSim(ctx, tb.Sim, horizon)
-	// Drained queries report through OnResult above (OK and Refused both
-	// false), so they land in out.Unfinished there — do not add the
-	// return count on top.
+	// Drained queries report through the sink above (OK and Refused both
+	// false), so they land in Unfinished there — do not add the return
+	// count on top.
 	tb.Gen.DrainPending()
 
+	total := sink.Total()
+	out := CellOutcome{
+		RT:         total.RT,
+		Refused:    int(total.Counters.Refused),
+		Unfinished: int(total.Counters.Unfinished),
+	}
 	stats := PoissonStats{
 		ServerCompleted: make([]uint64, len(tb.Servers)),
 		Retransmits:     tb.Gen.Counts.Get("syn_retransmits"),

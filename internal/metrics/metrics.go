@@ -39,6 +39,12 @@ func (r *Recorder) Add(d time.Duration) {
 // Count returns the number of samples.
 func (r *Recorder) Count() int { return len(r.samples) }
 
+// Samples returns a copy of the raw samples in insertion order (the
+// recorder may re-sort its own slice lazily at any query).
+func (r *Recorder) Samples() []time.Duration {
+	return append([]time.Duration(nil), r.samples...)
+}
+
 // Mean returns the sample mean (0 when empty).
 func (r *Recorder) Mean() time.Duration {
 	if len(r.samples) == 0 {

@@ -28,7 +28,9 @@ import (
 // Ownership: the delivered packet belongs to the receiving node. It may
 // be mutated in place and re-sent (how the LB and the virtual routers
 // forward without cloning per hop); conversely, anything that must
-// outlive the Handle call has to be copied out (packet.Clone).
+// outlive the Handle call has to be copied out (packet.Clone). The
+// network enforces this by recycling the Packet struct and its wire
+// buffer for later deliveries once Handle returns.
 type Node interface {
 	// Handle processes one delivered packet.
 	Handle(pkt *packet.Packet)
@@ -68,6 +70,24 @@ type Network struct {
 	anycst map[netip.Addr][]Node
 	taps   []Tap
 	Counts *metrics.Counter
+
+	// Delivery recycling: each transmission borrows an inflight (wire
+	// buffer + pre-bound delivery closure) and each delivery borrows a
+	// Packet, both returned to free lists once the receiving node's
+	// Handle returns. Sound because of the ownership contract above:
+	// nothing may retain the packet (or its payload, which aliases the
+	// wire buffer) beyond the Handle call.
+	freeIn  *inflight
+	freePkt []*packet.Packet
+}
+
+// inflight is one scheduled transmission: the marshaled bytes and the
+// closure the simulator fires to deliver them. The closure is bound to
+// the inflight once, at allocation, so re-use costs zero allocations.
+type inflight struct {
+	wire []byte
+	fire func()
+	next *inflight // free-list link
 }
 
 // New creates a network on the given simulator.
@@ -147,33 +167,73 @@ func (n *Network) DetachAnycast(node Node, addr netip.Addr) bool {
 // AddTap registers a delivery observer.
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
+// getInflight pops (or allocates) a transmission slot.
+func (n *Network) getInflight() *inflight {
+	if f := n.freeIn; f != nil {
+		n.freeIn = f.next
+		f.next = nil
+		return f
+	}
+	f := &inflight{}
+	f.fire = func() { n.deliver(f) }
+	return f
+}
+
+func (n *Network) putInflight(f *inflight) {
+	f.next = n.freeIn
+	n.freeIn = f
+}
+
+// getPacket pops (or allocates) a delivery Packet.
+func (n *Network) getPacket() *packet.Packet {
+	if last := len(n.freePkt) - 1; last >= 0 {
+		p := n.freePkt[last]
+		n.freePkt = n.freePkt[:last]
+		return p
+	}
+	return new(packet.Packet)
+}
+
+func (n *Network) putPacket(p *packet.Packet) {
+	// Drop references into the wire buffer and SRH so the recycled
+	// struct pins nothing.
+	p.SRH = nil
+	p.TCP.Payload = nil
+	n.freePkt = append(n.freePkt, p)
+}
+
 // Send serializes pkt and schedules its delivery to the node owning the
 // packet's IPv6 destination address. Unroutable destinations and lossy
 // drops are counted, not errors: that is how a real LAN behaves.
 func (n *Network) Send(pkt *packet.Packet) {
-	wire, err := pkt.Marshal(nil)
+	f := n.getInflight()
+	wire, err := pkt.Marshal(f.wire[:0])
 	if err != nil {
 		// A malformed locally-originated packet is a programming error in
 		// the sending node; surface it loudly.
 		panic(fmt.Sprintf("netsim: marshal failed: %v", err))
 	}
+	f.wire = wire
 	n.Counts.Inc("tx")
 	n.Counts.Addn("tx_bytes", uint64(len(wire)))
 	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
 		n.Counts.Inc("lost")
+		n.putInflight(f)
 		return
 	}
 	delay := n.cfg.Latency
 	if n.cfg.JitterFrac > 0 {
 		delay = time.Duration(float64(delay) * (1 + n.cfg.JitterFrac*(2*n.rng.Float64()-1)))
 	}
-	n.sim.After(delay, func() { n.deliver(wire) })
+	n.sim.ScheduleAfter(delay, f.fire)
 }
 
-func (n *Network) deliver(wire []byte) {
-	pkt, err := packet.Parse(wire, n.cfg.VerifyChecksums)
-	if err != nil {
+func (n *Network) deliver(f *inflight) {
+	pkt := n.getPacket()
+	if err := packet.ParseInto(pkt, f.wire, n.cfg.VerifyChecksums); err != nil {
 		n.Counts.Inc("rx_parse_error")
+		n.putPacket(pkt)
+		n.putInflight(f)
 		return
 	}
 	node, ok := n.nodes[pkt.IP.Dst]
@@ -185,6 +245,8 @@ func (n *Network) deliver(wire []byte) {
 	}
 	if !ok {
 		n.Counts.Inc("unroutable")
+		n.putPacket(pkt)
+		n.putInflight(f)
 		return
 	}
 	n.Counts.Inc("rx")
@@ -192,6 +254,8 @@ func (n *Network) deliver(wire []byte) {
 		tap(n.sim.Now(), pkt.IP.Dst, pkt)
 	}
 	node.Handle(pkt)
+	n.putPacket(pkt)
+	n.putInflight(f)
 }
 
 // ecmpHash hashes the transport 5-tuple (stable per flow direction).

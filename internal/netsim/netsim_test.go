@@ -32,7 +32,7 @@ func TestDeliveryWithLatency(t *testing.T) {
 	var got *packet.Packet
 	net.Attach(NodeFunc(func(p *packet.Packet) {
 		gotAt = sim.Now()
-		got = p
+		got = p.Clone()
 	}), addrB)
 	net.Send(mkPkt("2001:db8::a", "2001:db8::b"))
 	sim.Run()
@@ -151,7 +151,7 @@ func TestSRHSurvivesTheWire(t *testing.T) {
 	sim := des.New()
 	net := New(sim, Config{VerifyChecksums: true})
 	var got *packet.Packet
-	net.Attach(NodeFunc(func(p *packet.Packet) { got = p }), addrB)
+	net.Attach(NodeFunc(func(p *packet.Packet) { got = p.Clone() }), addrB)
 
 	p := mkPkt("2001:db8::a", "2001:db8::b")
 	p.SRH = srv6.MustNew(ipv6.ProtoTCP, addrB, addrC)

@@ -108,29 +108,40 @@ func (p *Packet) Marshal(dst []byte) ([]byte, error) {
 // Parse decodes a full packet. When verifyChecksum is true, the TCP
 // checksum is validated against the logical endpoints.
 func Parse(b []byte, verifyChecksum bool) (*Packet, error) {
-	var p Packet
+	p := new(Packet)
+	if err := ParseInto(p, b, verifyChecksum); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseInto is Parse into a caller-provided Packet, overwriting every
+// field — the allocation-free path for callers (netsim delivery) that
+// recycle Packet structs. On error p is left in an undefined state.
+func ParseInto(p *Packet, b []byte, verifyChecksum bool) error {
+	p.SRH = nil
 	h, n, err := ipv6.Parse(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.IP = h
 	rest := b[n:]
 	if int(h.PayloadLen) > len(rest) {
-		return nil, fmt.Errorf("packet: payload length %d exceeds buffer %d", h.PayloadLen, len(rest))
+		return fmt.Errorf("packet: payload length %d exceeds buffer %d", h.PayloadLen, len(rest))
 	}
 	rest = rest[:h.PayloadLen]
 	next := h.NextHeader
 	if next == ipv6.ProtoRouting {
 		srh, consumed, err := srv6.Parse(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.SRH = srh
 		rest = rest[consumed:]
 		next = srh.NextHeader
 	}
 	if next != ipv6.ProtoTCP {
-		return nil, fmt.Errorf("%w: next header %d", ErrNotTCP, next)
+		return fmt.Errorf("%w: next header %d", ErrNotTCP, next)
 	}
 	ulDst := p.IP.Dst
 	if p.SRH != nil {
@@ -140,10 +151,10 @@ func Parse(b []byte, verifyChecksum bool) (*Packet, error) {
 	}
 	seg, err := tcpseg.Parse(rest, p.IP.Src, ulDst, verifyChecksum)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.TCP = seg
-	return &p, nil
+	return nil
 }
 
 // Clone deep-copies the packet (segment list and payload included) so a

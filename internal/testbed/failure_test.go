@@ -16,6 +16,7 @@ func runWithNet(t *testing.T, netCfg netsim.Config, policy func(int) agent.Polic
 	t.Helper()
 	cfg := Config{Seed: 77, Servers: 4, Net: netCfg, Policy: policy}
 	tb := New(cfg)
+	tb.Gen.RetainResults = true
 	r := rng.Split(cfg.Seed, 99)
 	p := rng.NewPoisson(r, rate, 0)
 	for i := 0; i < n; i++ {

@@ -44,6 +44,7 @@ func legacyParityDigest() uint64 {
 			RecoverReplica(520*time.Millisecond, 1),
 		},
 	})
+	tb.Gen.RetainResults = true
 	r := rng.Split(101, 0xd1ce)
 	p := rng.NewPoisson(rng.Split(101, 0xa17), 900, 0)
 	for i := 0; i < 1200; i++ {

@@ -29,6 +29,7 @@ func sharedPoolTopology(seed uint64, servers int, events ...Event) Topology {
 func TestSharedPoolTwoVIPsOneLedger(t *testing.T) {
 	const n = 400
 	tb := Build(sharedPoolTopology(43, 4))
+	tb.Gen.RetainResults = true
 	if got := len(tb.Servers); got != 4 {
 		t.Fatalf("built %d servers, want 4 — the pool was duplicated per VIP", got)
 	}
@@ -88,6 +89,7 @@ func TestSharedPoolEvents(t *testing.T) {
 		AddPoolServer(100*time.Millisecond, "shared"),
 		DrainPoolServer(300*time.Millisecond, "shared", 0),
 	))
+	tb.Gen.RetainResults = true
 	for i := 0; i < n; i++ {
 		q := Query{ID: uint64(i), Demand: 10 * time.Millisecond}
 		if i%2 == 1 {
@@ -129,6 +131,7 @@ func TestSharedPoolPerVIPDemand(t *testing.T) {
 		}
 	}
 	tb := Build(top)
+	tb.Gen.RetainResults = true
 	webAddr, batchAddr := tb.VIPAddrOf(0), tb.VIPAddrOf(1)
 	for i := 0; i < n; i++ {
 		q := Query{ID: uint64(i), Demand: 2 * time.Millisecond}

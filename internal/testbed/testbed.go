@@ -110,11 +110,14 @@ type Result struct {
 
 // EncodePayload packs a query descriptor into request bytes:
 // 8-byte big-endian demand (ns) followed by the URL.
-func EncodePayload(q Query) []byte {
-	buf := make([]byte, 8+len(q.URL))
-	binary.BigEndian.PutUint64(buf, uint64(q.Demand))
-	copy(buf[8:], q.URL)
-	return buf
+func EncodePayload(q Query) []byte { return appendPayload(nil, q) }
+
+// appendPayload is EncodePayload into a reusable buffer.
+func appendPayload(dst []byte, q Query) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(q.Demand))
+	dst = append(dst, hdr[:]...)
+	return append(dst, q.URL...)
 }
 
 // DecodePayload recovers (demand, url) from request bytes.
@@ -230,6 +233,13 @@ func (tb *Testbed) SampleLoads(interval, until time.Duration, fn func(now time.D
 
 // Generator is the traffic source: it opens one TCP connection per query
 // through the LB and measures client-side response times.
+//
+// Measurement modes, from cheapest to heaviest (combinable):
+//   - Sink: streaming per-VIP sketches in constant memory — the default
+//     path for experiment cells (see SketchSink).
+//   - OnResult: a per-result callback for custom accounting.
+//   - RetainResults: accumulate every Result in a slice for Results() —
+//     the opt-in legacy path; memory grows with query count.
 type Generator struct {
 	sim      *des.Simulator
 	net      *netsim.Network
@@ -237,10 +247,15 @@ type Generator struct {
 	addrs    []netip.Addr
 	nextPort []uint32
 	pending  map[packet.FlowKey]*pendingQuery
+	freePQ   *pendingQuery // recycled pendingQuery structs
 	results  []Result
-	// DiscardResults stops the Generator from accumulating the Results
-	// slice — long replays consume them via OnResult instead.
-	DiscardResults bool
+	// RetainResults opts into accumulating the Results slice; leave it
+	// false (the default) for long replays, which consume outcomes via
+	// Sink or OnResult instead.
+	RetainResults bool
+	// Sink, when non-nil, is offered every launched query and every
+	// terminal outcome — the constant-memory measurement path.
+	Sink ResultSink
 	// RetransmitRTO enables client SYN retransmission with exponential
 	// backoff (initial timeout RetransmitRTO, doubling, MaxTries
 	// attempts). Zero disables it — the paper's default, since
@@ -255,14 +270,17 @@ type Generator struct {
 	OnResult func(Result)
 	Counts   *metrics.Counter
 	nextSrc  int
+	scratch  packet.Packet // reused for outbound SYN/ACK frames
 }
 
 type pendingQuery struct {
-	q      Query
-	sentAt time.Duration
-	flow   packet.FlowKey
-	tries  int
-	rto    *des.Timer
+	q       Query
+	sentAt  time.Duration
+	flow    packet.FlowKey
+	tries   int
+	rto     *des.Timer
+	payload []byte        // encoded request bytes, reused across sends
+	next    *pendingQuery // free-list link
 }
 
 func newGenerator(sim *des.Simulator, net *netsim.Network, clients int, vip netip.Addr) *Generator {
@@ -303,22 +321,49 @@ func (g *Generator) Launch(q Query) {
 		g.nextPort[src]++
 		flow.SrcPort = port
 	}
-	pq := &pendingQuery{q: q, sentAt: g.sim.Now(), flow: flow, tries: 1}
+	pq := g.getPQ()
+	pq.q, pq.sentAt, pq.flow, pq.tries = q, g.sim.Now(), flow, 1
+	pq.payload = appendPayload(pq.payload[:0], q)
 	g.pending[flow] = pq
 	g.Counts.Inc("queries_launched")
+	if g.Sink != nil {
+		g.Sink.Offer(dst)
+	}
 	g.sendSYN(pq)
 	g.armRTO(pq, g.RetransmitRTO)
 }
 
+// getPQ pops (or allocates) a pendingQuery. Recycling is safe because
+// finish and DrainPending cancel the query's RTO timer before returning
+// the struct, so no live closure can observe a reused pendingQuery.
+func (g *Generator) getPQ() *pendingQuery {
+	if pq := g.freePQ; pq != nil {
+		g.freePQ = pq.next
+		pq.next = nil
+		return pq
+	}
+	return &pendingQuery{}
+}
+
+func (g *Generator) putPQ(pq *pendingQuery) {
+	pq.q = Query{}
+	pq.rto = nil
+	pq.next = g.freePQ
+	g.freePQ = pq
+}
+
 func (g *Generator) sendSYN(pq *pendingQuery) {
-	syn := &packet.Packet{
+	// The scratch packet is safe to reuse: netsim.Send serializes to
+	// wire bytes before returning and retains nothing.
+	syn := &g.scratch
+	*syn = packet.Packet{
 		IP: ipv6.Header{Src: pq.flow.Src, Dst: pq.flow.Dst},
 		TCP: tcpseg.Segment{
 			SrcPort: pq.flow.SrcPort,
 			DstPort: pq.flow.DstPort,
 			Seq:     0,
 			Flags:   tcpseg.FlagSYN,
-			Payload: EncodePayload(pq.q),
+			Payload: pq.payload,
 		},
 	}
 	g.net.Send(syn)
@@ -374,14 +419,17 @@ func (g *Generator) Handle(pkt *packet.Packet) {
 		})
 	case pkt.IsSYNACK():
 		g.Counts.Inc("synack_rx")
-		// Complete the handshake and (re-)send the request bytes.
-		ack := &packet.Packet{
+		// Complete the handshake and (re-)send the request bytes. The
+		// scratch packet is free here: the inbound pkt is a distinct
+		// struct owned by this Handle call.
+		ack := &g.scratch
+		*ack = packet.Packet{
 			IP: ipv6.Header{Src: flow.Src, Dst: flow.Dst},
 			TCP: tcpseg.Segment{
 				SrcPort: flow.SrcPort, DstPort: flow.DstPort,
 				Seq: 1, Ack: pkt.TCP.Seq + 1,
 				Flags:   tcpseg.FlagACK | tcpseg.FlagPSH,
-				Payload: EncodePayload(pq.q),
+				Payload: pq.payload,
 			},
 		}
 		g.net.Send(ack)
@@ -404,8 +452,17 @@ func (g *Generator) finish(pq *pendingQuery, res Result) {
 		g.sim.Cancel(pq.rto)
 		pq.rto = nil
 	}
-	if !g.DiscardResults {
+	g.record(res)
+	g.putPQ(pq)
+}
+
+// record routes one terminal outcome to every configured consumer.
+func (g *Generator) record(res Result) {
+	if g.RetainResults {
 		g.results = append(g.results, res)
+	}
+	if g.Sink != nil {
+		g.Sink.Record(res)
 	}
 	if g.OnResult != nil {
 		g.OnResult(res)
@@ -415,24 +472,26 @@ func (g *Generator) finish(pq *pendingQuery, res Result) {
 // Pending returns the number of in-flight queries.
 func (g *Generator) Pending() int { return len(g.pending) }
 
-// Results returns all finished query results (shared slice; callers must
-// not mutate).
-func (g *Generator) Results() []Result { return g.results }
+// Results returns the finished query results accumulated so far — a
+// defensive copy, safe to sort or mutate. Empty unless RetainResults
+// was set before the run.
+func (g *Generator) Results() []Result {
+	return append([]Result(nil), g.results...)
+}
 
 // DrainPending marks all still-pending queries as failed (used at
 // simulation end so accounting always balances).
 func (g *Generator) DrainPending() int {
 	n := len(g.pending)
 	for _, pq := range g.pending {
-		res := Result{ID: pq.q.ID, Class: pq.q.Class, VIP: pq.flow.Dst, IssuedAt: pq.sentAt, OK: false}
-		if !g.DiscardResults {
-			g.results = append(g.results, res)
+		if pq.rto != nil {
+			g.sim.Cancel(pq.rto)
+			pq.rto = nil
 		}
-		if g.OnResult != nil {
-			g.OnResult(res)
-		}
+		g.record(Result{ID: pq.q.ID, Class: pq.q.Class, VIP: pq.flow.Dst, IssuedAt: pq.sentAt, OK: false})
+		g.putPQ(pq)
 	}
-	g.pending = make(map[packet.FlowKey]*pendingQuery)
+	clear(g.pending)
 	return n
 }
 

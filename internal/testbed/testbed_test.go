@@ -20,6 +20,7 @@ import (
 func run(t testing.TB, cfg Config, n int, ratePerSec float64, meanDemand time.Duration) *Testbed {
 	t.Helper()
 	tb := New(cfg)
+	tb.Gen.RetainResults = true
 	r := rng.Split(cfg.Seed, 99)
 	p := rng.NewPoisson(r, ratePerSec, 0)
 	for i := 0; i < n; i++ {
@@ -347,6 +348,7 @@ func TestFairnessImprovesWithSR(t *testing.T) {
 
 func TestGeneratorPortWrapAvoidsPendingCollision(t *testing.T) {
 	tb := New(Config{Seed: 11, Servers: 2, Clients: 1})
+	tb.Gen.RetainResults = true
 	// Exhaust a chunk of port space quickly with tiny demands.
 	r := rng.New(1)
 	for i := 0; i < 5000; i++ {

@@ -69,6 +69,7 @@ func TestTopologyTwoReplicasAnycastECMP(t *testing.T) {
 			Fallback: chashFallback(t),
 		}},
 	})
+	tb.Gen.RetainResults = true
 	launchEvery(tb, n, 2*time.Millisecond, 5*time.Millisecond)
 
 	if ok := okCount(tb); ok != n {
@@ -106,6 +107,7 @@ func TestTopologyReplicaFailoverMidFlow(t *testing.T) {
 		}},
 		Events: []Event{FailReplica(60*time.Millisecond, 0)},
 	})
+	tb.Gen.RetainResults = true
 	launchEvery(tb, n, time.Millisecond, 50*time.Millisecond)
 
 	if ok := okCount(tb); ok != n {
@@ -132,6 +134,7 @@ func TestTopologyServerChurnEvents(t *testing.T) {
 			DrainServer(300*time.Millisecond, 0, 0),
 		},
 	})
+	tb.Gen.RetainResults = true
 	launchEvery(tb, n, time.Millisecond, 10*time.Millisecond)
 
 	if ok := okCount(tb); ok != n {
@@ -160,6 +163,7 @@ func TestTopologyServerFailStop(t *testing.T) {
 		VIPs:   []VIPSpec{{Servers: 4}},
 		Events: []Event{FailServer(100*time.Millisecond, 0, 1)},
 	})
+	tb.Gen.RetainResults = true
 	launchEvery(tb, n, time.Millisecond, 20*time.Millisecond)
 
 	results := tb.Gen.Results()
@@ -191,6 +195,7 @@ func TestTopologyMultiVIP(t *testing.T) {
 			{Servers: 2},
 		},
 	})
+	tb.Gen.RetainResults = true
 	for i := 0; i < n; i++ {
 		q := Query{ID: uint64(i), Demand: 5 * time.Millisecond}
 		if i%2 == 1 {
@@ -230,6 +235,7 @@ func TestTopologyMultiVIP(t *testing.T) {
 // equivalent hand-written Topology — result for result.
 func TestConfigTopologyParity(t *testing.T) {
 	runOne := func(tb *Testbed) []Result {
+		tb.Gen.RetainResults = true
 		r := rng.Split(23, 99)
 		p := rng.NewPoisson(r, 150, 0)
 		for i := 0; i < 800; i++ {

@@ -45,8 +45,8 @@ func newRig(t *testing.T, pol1, pol2 agent.Policy, cfg appserver.Config) *rig {
 	sim := des.New()
 	net := netsim.New(sim, netsim.Config{VerifyChecksums: true})
 	g := &rig{sim: sim, net: net}
-	net.Attach(netsim.NodeFunc(func(p *packet.Packet) { g.toLB = append(g.toLB, p) }), lbAddr)
-	net.Attach(netsim.NodeFunc(func(p *packet.Packet) { g.toCli = append(g.toCli, p) }), client)
+	net.Attach(netsim.NodeFunc(func(p *packet.Packet) { g.toLB = append(g.toLB, p.Clone()) }), lbAddr)
+	net.Attach(netsim.NodeFunc(func(p *packet.Packet) { g.toCli = append(g.toCli, p.Clone()) }), client)
 	g.r1 = New(sim, net, Config{
 		Addr: sAddr1, VIPs: []netip.Addr{vip}, LB: lbAddr,
 		Policy: pol1, Server: appserver.New(sim, "s1", cfg), Demand: demandFromPayload,

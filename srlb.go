@@ -144,6 +144,11 @@ type (
 	InterferenceConfig = experiments.InterferenceConfig
 	InterferenceResult = experiments.InterferenceResult
 	InterferenceRow    = experiments.InterferenceRow
+
+	// HorizonConfig/Result: the constant-memory soak — 10⁸ open-loop
+	// queries measured through streaming sketches with a flat heap.
+	HorizonConfig = experiments.HorizonConfig
+	HorizonResult = experiments.HorizonResult
 )
 
 // Lifecycle-event constructors for Topology.Events / Cluster.Events.
@@ -298,6 +303,14 @@ func RunMultiService(cfg MultiServiceConfig) MultiServiceResult {
 // about.
 func RunInterference(cfg InterferenceConfig) InterferenceResult {
 	return experiments.RunInterference(cfg)
+}
+
+// RunHorizon executes the constant-memory soak: a single very long
+// open-loop cell (default 10⁸ queries at ρ = 0.85) measured entirely
+// through streaming sketches, sampling the heap as it goes. ctx cancels
+// mid-run; the result then holds the partial measurement.
+func RunHorizon(ctx context.Context, cfg HorizonConfig) (HorizonResult, error) {
+	return experiments.RunHorizon(ctx, cfg)
 }
 
 // BuildTopology compiles a declarative Topology into a wired cluster —
