@@ -1,12 +1,15 @@
 // Core hot-path benchmarks and the BENCH_core.json perf trajectory.
 //
-// Four benchmarks cover the layers the streaming-metrics overhaul
-// touches: the DES event kernel, sketch ingestion, the generator's
-// sink-mode query path, and a reference figure-2 cell. TestBenchCore
-// (gated behind SRLB_BENCH_CORE=1) runs them through testing.Benchmark,
-// writes the measurements to BENCH_core.json, and fails when any
-// benchmark's allocs/op regresses more than 2x against the committed
-// baseline — the CI smoke job runs it with -benchtime=1x.
+// Six benchmarks cover the layers the perf work touches: the DES event
+// kernel, sketch ingestion, the generator's sink-mode query path, a
+// reference figure-2 cell, and the per-packet dispatch lookup at 1k and
+// 10k advertised VIPs. TestBenchCore (gated behind SRLB_BENCH_CORE=1)
+// runs them through testing.Benchmark, writes the measurements to
+// BENCH_core.json, and fails when any benchmark's allocs/op regresses
+// more than 2x against the committed baseline — the CI smoke job runs
+// it with -benchtime=1x. TestDispatchComplexityClass (same gate) pins
+// the O(1) claim directly: dispatch at 10k VIPs must stay within 2x of
+// its 1k cost on both the SYN and steered paths.
 package srlb_test
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"srlb"
 	"srlb/internal/des"
+	"srlb/internal/experiments"
 	"srlb/internal/rng"
 	"srlb/internal/sketch"
 	"srlb/internal/testbed"
@@ -109,6 +113,76 @@ func BenchmarkFig2Cell(b *testing.B) {
 	}
 }
 
+// benchmarkDispatchLookup measures the steered per-packet path (VIP
+// index lookup → flow-table hit → steer SRH → wire marshal) on a
+// generated topology of the given service count. The rig never runs the
+// simulator and drops every delivery, so one op is pure dispatch work.
+func benchmarkDispatchLookup(b *testing.B, vips int) {
+	rig := experiments.NewDispatchRig(0x51ca1e, vips, 16, 12, experiments.VIPScaleSchemes()[0])
+	const flows = 4096
+	rig.SeedFlows(flows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.SteerOp(i, flows)
+	}
+}
+
+// BenchmarkDispatchLookup1k is the steered dispatch cost at 1k VIPs.
+func BenchmarkDispatchLookup1k(b *testing.B) { benchmarkDispatchLookup(b, 1000) }
+
+// BenchmarkDispatchLookup10k is the same loop at 10k VIPs — with O(1)
+// dispatch its ns/op matches the 1k figure; any per-VIP scan would show
+// up as a ~10x blowout here.
+func BenchmarkDispatchLookup10k(b *testing.B) { benchmarkDispatchLookup(b, 10000) }
+
+// TestDispatchComplexityClass pins the complexity class the vipscale
+// experiment plots: per-packet dispatch cost at 10k advertised services
+// must stay within 2x of the 1k cost on both the SYN (Service Hunting)
+// and steered (flow-table hit) paths. The 2x bound is deliberately
+// loose — cache effects at 10x the working set are real — but an O(n)
+// dispatch structure fails it by a factor of ~5. Timing is done with
+// manual min-over-rounds wall loops (not testing.Benchmark) so the test
+// stays meaningful under the CI smoke job's -benchtime=1x.
+func TestDispatchComplexityClass(t *testing.T) {
+	if os.Getenv("SRLB_BENCH_CORE") == "" {
+		t.Skip("set SRLB_BENCH_CORE=1 to run the complexity-class regression")
+	}
+	const (
+		ops    = 50000
+		rounds = 5
+		flows  = 4096
+		bound  = 2.0
+	)
+	measure := func(vips int) (synNs, steerNs float64) {
+		rig := experiments.NewDispatchRig(0x51ca1e, vips, 16, 12, experiments.VIPScaleSchemes()[0])
+		rig.SeedFlows(flows)
+		rig.MeasureSYN(ops / 10)
+		rig.MeasureSteered(ops/10, flows)
+		for round := 0; round < rounds; round++ {
+			if s := rig.MeasureSYN(ops); round == 0 || s < synNs {
+				synNs = s
+			}
+			if s := rig.MeasureSteered(ops, flows); round == 0 || s < steerNs {
+				steerNs = s
+			}
+		}
+		return synNs, steerNs
+	}
+	syn1k, steer1k := measure(1000)
+	syn10k, steer10k := measure(10000)
+	t.Logf("syn: 1k %.0f ns/op, 10k %.0f ns/op (ratio %.2f)", syn1k, syn10k, syn10k/syn1k)
+	t.Logf("steer: 1k %.0f ns/op, 10k %.0f ns/op (ratio %.2f)", steer1k, steer10k, steer10k/steer1k)
+	if syn10k > bound*syn1k {
+		t.Errorf("SYN dispatch at 10k VIPs costs %.0f ns/op, more than %.1fx the 1k cost %.0f — dispatch is not O(1)",
+			syn10k, bound, syn1k)
+	}
+	if steer10k > bound*steer1k {
+		t.Errorf("steered dispatch at 10k VIPs costs %.0f ns/op, more than %.1fx the 1k cost %.0f — dispatch is not O(1)",
+			steer10k, bound, steer1k)
+	}
+}
+
 var benchCoreSink int
 
 // benchCoreJSON is the BENCH_core.json schema: one row per benchmark
@@ -146,6 +220,8 @@ func TestBenchCore(t *testing.T) {
 		{"SketchAdd", BenchmarkSketchAdd},
 		{"GeneratorSink", BenchmarkGeneratorSink},
 		{"Fig2Cell", BenchmarkFig2Cell},
+		{"DispatchLookup1k", BenchmarkDispatchLookup1k},
+		{"DispatchLookup10k", BenchmarkDispatchLookup10k},
 	}
 	// Read the committed baseline before the output path can clobber it
 	// (locally both default to BENCH_core.json).

@@ -14,11 +14,12 @@
 //	srlb-bench -experiment bursty                # fig2 grid under on/off MMPP arrivals
 //	srlb-bench -experiment multiservice -seeds 5 # web+wiki+batch VIPs sharing the LB
 //	srlb-bench -experiment interference -seeds 5 # web+batch contending on ONE shared pool
+//	srlb-bench -experiment vipscale              # dispatch ns/pkt as services sweep 100 -> 10k
 //
 // With -seeds N > 1 every Poisson-family experiment (calibrate, figures
 // 2–5, ablations, hetero, bursty, failover, churn, multiservice,
 // interference) replicates its cells across N derived seeds and reports
-// mean ± 95% CI; BENCH_sweep.json (schema v5, see docs/RESULTS_SCHEMA.md)
+// mean ± 95% CI; BENCH_sweep.json (schema v6, see docs/RESULTS_SCHEMA.md)
 // carries the per-cell aggregates — for multi-VIP cells, with one per-VIP
 // row per service inside each cell, each carrying that service's own
 // resolved load. The wiki replay (figures 6–8) stays single-seed —
@@ -33,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"srlb"
@@ -98,14 +101,30 @@ type vipCellJSON struct {
 	Unfinished distJSON `json:"unfinished"`
 }
 
+// vipScaleRowJSON is one (scheme, VIP-count) dispatch measurement of the
+// vipscale experiment (schema v6): wall-clock per-packet costs of the
+// SYN and steered paths plus the control-plane build time.
+type vipScaleRowJSON struct {
+	Scheme  string  `json:"scheme"`
+	VIPs    int     `json:"vips"`
+	Pools   int     `json:"pools"`
+	BuildMS float64 `json:"build_ms"`
+	SYNNs   float64 `json:"syn_ns"`
+	SteerNs float64 `json:"steer_ns"`
+	Ops     int     `json:"ops"`
+}
+
 type sweepJSON struct {
 	SchemaVersion int             `json:"schema_version"`
-	Lambda0       float64         `json:"lambda0_qps"`
+	Lambda0       float64         `json:"lambda0_qps,omitempty"`
 	Workers       int             `json:"workers"`
 	GOMAXPROCS    int             `json:"gomaxprocs"`
-	Seeds         []uint64        `json:"seeds"`
+	Seeds         []uint64        `json:"seeds,omitempty"`
 	TotalWallMS   float64         `json:"total_wall_ms"`
-	Cells         []sweepCellJSON `json:"cells"`
+	Cells         []sweepCellJSON `json:"cells,omitempty"`
+	// VIPScale carries the vipscale experiment's dispatch-cost rows
+	// (schema v6); absent for simulation sweeps.
+	VIPScale []vipScaleRowJSON `json:"vipscale,omitempty"`
 }
 
 // appserverDefaultWithBacklog returns the paper's server config with a
@@ -118,7 +137,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -132,18 +151,20 @@ func main() {
 		verbose    = flag.Bool("v", false, "log per-point progress")
 		asciiPlot  = flag.Bool("plot", false, "render ASCII charts of figures 2 and 8 to stdout")
 	)
+	vipCounts := &intList{100, 1000, 10000}
+	flag.Var(vipCounts, "vip-counts", "comma-separated service counts for -experiment vipscale")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
 		flag.PrintDefaults()
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
 machine-readable summary of the fig2/multiservice/interference sweeps
-(schema v5: n, mean, ci95, p50, p99 per cell, the topology-variant
-label, and per-VIP rows — each with its service's own resolved load —
-for multi-service cells; documented field-by-field in
-docs/RESULTS_SCHEMA.md). The topology experiments (failover, churn,
-multiservice, interference) and the bursty sweep are described in
-docs/TOPOLOGY.md.`)
+(schema v6: n, mean, ci95, p50, p99 per cell, the topology-variant
+label, per-VIP rows — each with its service's own resolved load — for
+multi-service cells, and vipscale dispatch-cost rows; documented
+field-by-field in docs/RESULTS_SCHEMA.md). The topology experiments
+(failover, churn, multiservice, interference, vipscale) and the bursty
+sweep are described in docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
 	// The replication axis, shared by every Poisson-family experiment
@@ -451,7 +472,7 @@ docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v5: per-VIP rows)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v6: per-VIP rows)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				facets := make([]plot.Facet, 0, len(res.Services))
 				for _, svc := range res.Services {
@@ -494,7 +515,7 @@ docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v5: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v6: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "batch rho", YLabel: "p99(s)"}, res.PlotFacets()...); err != nil {
 					return err
@@ -535,6 +556,38 @@ docs/TOPOLOGY.md.`)
 		})
 	}
 
+	if want("vipscale") {
+		run("extension: VIP-scale dispatch cost (100 -> 10k services)", func() error {
+			start := time.Now()
+			res := srlb.RunVIPScale(srlb.VIPScaleConfig{
+				VIPCounts: *vipCounts, Seed: *seed, Progress: progress,
+			})
+			for _, row := range res.Rows {
+				fmt.Printf("   %-12s vips=%-6d build=%7.1fms syn=%6.0f ns/pkt steer=%6.0f ns/pkt\n",
+					row.Scheme, row.VIPs, row.BuildMS, row.SYNNs, row.SteerNs)
+			}
+			fmt.Printf("   flatness (largest/smallest dispatch cost across schemes): %.2fx — O(1) stays near 1, O(n) tracks the count ratio\n",
+				res.FlatnessRatio())
+			// Standalone runs own BENCH_sweep.json (the vipscale rows are
+			// the schema-v6 addition); under -experiment all the figure-2
+			// sweep keeps that name, as with multiservice/interference.
+			jsonName := "BENCH_sweep.json"
+			if *experiment == "all" {
+				jsonName = "BENCH_vipscale.json"
+			}
+			if err := writeVIPScaleJSON(*out, jsonName, time.Since(start), res); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s (schema v6: vipscale rows)\n", filepath.Join(*out, jsonName))
+			if *asciiPlot {
+				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "#services", YLabel: "ns/pkt"}, res.Plot()...); err != nil {
+					return err
+				}
+			}
+			return writeFile("vipscale_dispatch.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
 	if want("churn") {
 		needLambda0()
 		run("extension: pool churn/autoscale under load", func() error {
@@ -550,6 +603,46 @@ docs/TOPOLOGY.md.`)
 			return writeFile("extension_churn.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
 	}
+}
+
+// intList is a comma-separated []int flag (the vipscale count axis).
+type intList []int
+
+func (l *intList) String() string {
+	if l == nil {
+		return ""
+	}
+	s := ""
+	for i, v := range *l {
+		if i > 0 {
+			s += ","
+		}
+		s += strconv.Itoa(v)
+	}
+	return s
+}
+
+func (l *intList) Set(s string) error {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return fmt.Errorf("bad count %q: %w", part, err)
+		}
+		if v < 1 {
+			return fmt.Errorf("count %d must be ≥ 1", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("empty count list")
+	}
+	*l = out
+	return nil
 }
 
 // burstyRhos returns the bursty sweep's load grid: fewer points than
@@ -569,14 +662,36 @@ func burstyRhos(points int) []float64 {
 	return out
 }
 
+// writeVIPScaleJSON renders the vipscale dispatch-cost sweep in the
+// BENCH_sweep.json envelope (schema v6, vipscale rows; see
+// docs/RESULTS_SCHEMA.md).
+func writeVIPScaleJSON(dir, name string, total time.Duration, res srlb.VIPScaleResult) error {
+	doc := sweepJSON{
+		SchemaVersion: 6,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		TotalWallMS:   float64(total.Microseconds()) / 1e3,
+	}
+	for _, row := range res.Rows {
+		doc.VIPScale = append(doc.VIPScale, vipScaleRowJSON{
+			Scheme: row.Scheme, VIPs: row.VIPs, Pools: row.Pools,
+			BuildMS: row.BuildMS, SYNNs: row.SYNNs, SteerNs: row.SteerNs, Ops: row.Ops,
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(buf, '\n'), 0o644)
+}
+
 // writeSweepJSON renders sweep aggregates as BENCH_sweep.json (schema
-// v5, documented in docs/RESULTS_SCHEMA.md): one entry per logical
+// v6, documented in docs/RESULTS_SCHEMA.md): one entry per logical
 // (policy, variant, load) cell, each carrying the n/mean/ci95 aggregates
 // of its replicates, plus the per-service breakdown (with per-service
 // resolved loads) for multi-VIP cells.
 func writeSweepJSON(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
 	doc := sweepJSON{
-		SchemaVersion: 5,
+		SchemaVersion: 6,
 		Lambda0:       lambda0,
 		Workers:       workers,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),

@@ -120,8 +120,19 @@
 // RunMultiService packages the canonical three-service mix (web Poisson
 // + Wikipedia replay + bursty batch) as `srlb-bench -experiment
 // multiservice`, emitting per-policy per-service rows
-// (extension_multiservice.tsv) and schema-v5 BENCH_sweep.json cells
+// (extension_multiservice.tsv) and schema-v6 BENCH_sweep.json cells
 // with per-VIP breakdowns.
+//
+// Control-plane scale is its own axis: testbed.GenerateTopology
+// mass-produces 1k–10k-VIP topologies over shared pools
+// (index-deterministic addresses, pools targetable by name), the LB
+// dispatches them through an indexed O(1) table (one map lookup per
+// packet; Maglev tables interned per backend set), and RunVIPScale
+// (`srlb-bench -experiment vipscale`) measures per-packet SYN/steered
+// dispatch cost over {100, 1k, 10k} services per scheme — the flat
+// latency-vs-#services curve, with the complexity class pinned by
+// TestDispatchComplexityClass and the DispatchLookup rows of
+// BENCH_core.json.
 //
 // The contention regime layers on top: ServiceSpec.Pool +
 // MultiServiceWorkload.Pools put several services on ONE shared server

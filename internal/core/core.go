@@ -19,11 +19,18 @@
 //     the accepting server through a one-segment SRH.
 //   - FIN/RST mark the flow closing; entries then expire after a short
 //     linger (and idle flows after a TTL), bounding LB state.
+//
+// Dispatch is indexed: VIP configuration compiles into a dense table of
+// per-VIP entries plus one address→id map, so the per-packet cost is a
+// single map lookup followed by array indexing — O(1) in the number of
+// advertised services, whether the balancer serves four VIPs or ten
+// thousand.
 package core
 
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"srlb/internal/des"
@@ -37,13 +44,35 @@ import (
 	"srlb/internal/tcpseg"
 )
 
-// Config assembles a load balancer.
+// VIPConfig declares one advertised VIP in the indexed configuration
+// form. Position in Config.VIPList is the VIP's dense internal id, so a
+// caller that builds the list in a deterministic order gets a fully
+// deterministic balancer without any map-iteration concerns.
+type VIPConfig struct {
+	// Addr is the virtual IP clients address.
+	Addr netip.Addr
+	// Scheme selects candidate servers for new flows.
+	Scheme selection.Scheme
+	// Fallback, when non-nil, steers non-SYN flow-table misses for this
+	// VIP (overriding Config.MissFallback). A consistent-hash scheme
+	// makes post-failure steering deterministic.
+	Fallback selection.Scheme
+}
+
+// Config assembles a load balancer. Exactly one of VIPs (the legacy map
+// form) or VIPList (the indexed form) must be populated.
 type Config struct {
 	// Addr is the LB's own address (the segment servers route SYN-ACKs
 	// through).
 	Addr netip.Addr
-	// VIPs maps each advertised virtual IP to its selection scheme.
+	// VIPs maps each advertised virtual IP to its selection scheme — the
+	// legacy map form. It is compiled into the same indexed internal
+	// table as VIPList (sorted by address so ids are deterministic).
 	VIPs map[netip.Addr]selection.Scheme
+	// VIPList declares the advertised VIPs in dense-id order — the form
+	// scale callers use: one slice, no per-VIP map churn, ids assigned by
+	// position.
+	VIPList []VIPConfig
 	// Flows tunes the flow table (zero value = defaults).
 	Flows flowtable.Config
 	// SweepInterval bounds how often expired flow entries are collected.
@@ -55,11 +84,22 @@ type Config struct {
 	// that miss the flow table (e.g. after LB state loss) instead of
 	// dropping them. A consistent-hash scheme makes this deterministic.
 	MissFallback selection.Scheme
-	// MissFallbacks, when non-nil, overrides MissFallback per VIP — the
-	// multi-VIP form (each VIP has its own pool, so each needs its own
-	// fallback table). A VIP absent from the map falls back to
-	// MissFallback, then to dropping.
+	// MissFallbacks, when non-nil, overrides MissFallback per VIP for the
+	// legacy map form. (VIPList callers set VIPConfig.Fallback instead.)
+	// A VIP absent from the map falls back to MissFallback, then to
+	// dropping.
 	MissFallbacks map[netip.Addr]selection.Scheme
+}
+
+// vipEntry is the compiled per-VIP dispatch state: everything the hot
+// path needs after the single vipIndex lookup, in one cache-friendly
+// slot. The per-VIP SYN counter lives here as a plain integer — no
+// string-keyed metrics map on the per-packet path.
+type vipEntry struct {
+	addr     netip.Addr
+	scheme   selection.Scheme
+	fallback selection.Scheme
+	syns     uint64
 }
 
 // LoadBalancer is the SRLB forwarding-plane element.
@@ -70,19 +110,20 @@ type LoadBalancer struct {
 	flows     *flowtable.Table
 	lastSweep time.Duration
 	Counts    *metrics.Counter
-	// vipSYNKey maps each advertised VIP to its precomputed per-VIP
-	// counter key ("syn_rx[vip]"), so multi-service accounting costs one
-	// map lookup on the SYN path and no allocation.
-	vipSYNKey map[netip.Addr]string
+	// vipIndex maps each advertised VIP to its dense id in vips. This is
+	// the only per-packet map lookup on the dispatch path.
+	vipIndex map[netip.Addr]int32
+	vips     []vipEntry
 }
 
 // New builds the LB and attaches it to the network under its own address
 // and every VIP it advertises.
 func New(sim *des.Simulator, net *netsim.Network, cfg Config) *LoadBalancer {
 	lb := NewDetached(sim, net, cfg)
-	addrs := []netip.Addr{cfg.Addr}
-	for vip := range cfg.VIPs {
-		addrs = append(addrs, vip)
+	addrs := make([]netip.Addr, 0, 1+len(lb.vips))
+	addrs = append(addrs, cfg.Addr)
+	for i := range lb.vips {
+		addrs = append(addrs, lb.vips[i].addr)
 	}
 	net.Attach(lb, addrs...)
 	return lb
@@ -96,44 +137,78 @@ func NewDetached(sim *des.Simulator, net *netsim.Network, cfg Config) *LoadBalan
 	if err := ipv6.CheckAddr(cfg.Addr); err != nil {
 		panic(fmt.Sprintf("core: bad LB addr: %v", err))
 	}
-	if len(cfg.VIPs) == 0 {
-		panic("core: at least one VIP is required")
-	}
-	for vip := range cfg.VIPs {
-		if err := ipv6.CheckAddr(vip); err != nil {
-			panic(fmt.Sprintf("core: bad VIP: %v", err))
-		}
-	}
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = time.Second
 	}
-	vipSYNKey := make(map[netip.Addr]string, len(cfg.VIPs))
-	for vip := range cfg.VIPs {
-		vipSYNKey[vip] = "syn_rx[" + vip.String() + "]"
+	lb := &LoadBalancer{
+		cfg:    cfg,
+		sim:    sim,
+		net:    net,
+		flows:  flowtable.New(cfg.Flows),
+		Counts: metrics.NewCounter(),
 	}
-	return &LoadBalancer{
-		cfg:       cfg,
-		sim:       sim,
-		net:       net,
-		flows:     flowtable.New(cfg.Flows),
-		Counts:    metrics.NewCounter(),
-		vipSYNKey: vipSYNKey,
+	lb.compileVIPs()
+	return lb
+}
+
+// compileVIPs builds the indexed dispatch table from whichever config
+// form the caller used. Allocation is constant-count (one slice, one
+// presized map) regardless of VIP count.
+func (lb *LoadBalancer) compileVIPs() {
+	cfg := &lb.cfg
+	if len(cfg.VIPs) > 0 && len(cfg.VIPList) > 0 {
+		panic("core: set Config.VIPs or Config.VIPList, not both")
+	}
+	list := cfg.VIPList
+	if len(list) == 0 {
+		if len(cfg.VIPs) == 0 {
+			panic("core: at least one VIP is required")
+		}
+		// Compile the map form: sort by address so dense ids (and thus
+		// any id-ordered iteration) are deterministic.
+		list = make([]VIPConfig, 0, len(cfg.VIPs))
+		for vip, scheme := range cfg.VIPs {
+			list = append(list, VIPConfig{Addr: vip, Scheme: scheme, Fallback: cfg.MissFallbacks[vip]})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Addr.Less(list[j].Addr) })
+	}
+	lb.vips = make([]vipEntry, len(list))
+	lb.vipIndex = make(map[netip.Addr]int32, len(list))
+	for i, vc := range list {
+		if err := ipv6.CheckAddr(vc.Addr); err != nil {
+			panic(fmt.Sprintf("core: bad VIP: %v", err))
+		}
+		if _, dup := lb.vipIndex[vc.Addr]; dup {
+			panic(fmt.Sprintf("core: duplicate VIP %v", vc.Addr))
+		}
+		fb := vc.Fallback
+		if fb == nil {
+			fb = cfg.MissFallbacks[vc.Addr]
+		}
+		if fb == nil {
+			fb = cfg.MissFallback
+		}
+		lb.vips[i] = vipEntry{addr: vc.Addr, scheme: vc.Scheme, fallback: fb}
+		lb.vipIndex[vc.Addr] = int32(i)
 	}
 }
 
 // Addr returns the LB's address.
 func (lb *LoadBalancer) Addr() netip.Addr { return lb.cfg.Addr }
 
+// NumVIPs returns how many VIPs the balancer advertises.
+func (lb *LoadBalancer) NumVIPs() int { return len(lb.vips) }
+
 // VIPSYNs returns the number of client SYNs this replica received for
 // the given VIP — the per-service demand split of a multi-VIP cluster.
 // Summed across replicas it equals the queries offered to the VIP (each
 // query sends one SYN unless client retransmission is enabled).
 func (lb *LoadBalancer) VIPSYNs(vip netip.Addr) uint64 {
-	key, ok := lb.vipSYNKey[vip]
+	id, ok := lb.vipIndex[vip]
 	if !ok {
 		return 0
 	}
-	return lb.Counts.Get(key)
+	return lb.vips[id].syns
 }
 
 // FlowCount returns the number of tracked flows.
@@ -149,6 +224,14 @@ func (lb *LoadBalancer) FlowStats() flowtable.Stats { return lb.flows.Stats() }
 // recomputes the same flow→server mapping from the packet alone.
 func (lb *LoadBalancer) ResetFlows() {
 	lb.flows = flowtable.New(lb.cfg.Flows)
+}
+
+// SeedFlow installs a flow→server binding directly, bypassing SYN-ACK
+// learning — the warm-handoff hook (a recovering replica inheriting
+// another's connection state) and the dispatch benchmarks' way of
+// exercising the steered-hit path without running the simulator.
+func (lb *LoadBalancer) SeedFlow(flow packet.FlowKey, server netip.Addr) {
+	lb.flows.Insert(lb.sim.Now(), flow, server)
 }
 
 // SweepNow immediately collects expired flow entries and returns how many
@@ -182,18 +265,20 @@ func (lb *LoadBalancer) Handle(pkt *packet.Packet) {
 		lb.Counts.Inc("to_lb_no_srh")
 		return
 	}
-	// Client-side traffic addressed to a VIP.
-	scheme, ok := lb.cfg.VIPs[pkt.IP.Dst]
+	// Client-side traffic addressed to a VIP: one map lookup, then
+	// everything the packet needs is in the dense entry.
+	id, ok := lb.vipIndex[pkt.IP.Dst]
 	if !ok {
 		lb.Counts.Inc("unknown_vip")
 		return
 	}
+	e := &lb.vips[id]
 	if pkt.IsSYN() {
-		lb.Counts.Inc(lb.vipSYNKey[pkt.IP.Dst])
-		lb.handleSYN(pkt, scheme)
+		e.syns++
+		lb.handleSYN(pkt, e)
 		return
 	}
-	lb.handleSteered(pkt)
+	lb.handleSteered(pkt, e)
 }
 
 // handleSYN starts Service Hunting: insert the candidate SRH and forward
@@ -202,15 +287,15 @@ func (lb *LoadBalancer) Handle(pkt *packet.Packet) {
 // instead of starting a new hunt — "data packets belonging to the same
 // flow are delivered to the same application instance" (§I) includes the
 // SYN itself.
-func (lb *LoadBalancer) handleSYN(pkt *packet.Packet, scheme selection.Scheme) {
+func (lb *LoadBalancer) handleSYN(pkt *packet.Packet, e *vipEntry) {
 	lb.Counts.Inc("syn_rx")
 	flow := pkt.Flow()
 	if _, bound := lb.flows.Lookup(lb.sim.Now(), flow); bound {
 		lb.Counts.Inc("syn_rebound")
-		lb.handleSteered(pkt)
+		lb.handleSteered(pkt, e)
 		return
 	}
-	candidates := scheme.Pick(flow)
+	candidates := e.scheme.Pick(flow)
 	if len(candidates) == 0 {
 		lb.Counts.Inc("no_candidates")
 		return
@@ -269,11 +354,11 @@ func (lb *LoadBalancer) handleReturn(pkt *packet.Packet) {
 }
 
 // handleSteered forwards mid-flow client packets to the accepting server.
-func (lb *LoadBalancer) handleSteered(pkt *packet.Packet) {
+func (lb *LoadBalancer) handleSteered(pkt *packet.Packet, e *vipEntry) {
 	flow := pkt.Flow()
 	server, ok := lb.flows.Lookup(lb.sim.Now(), flow)
 	if !ok {
-		if fb := lb.missFallback(pkt.IP.Dst); fb != nil {
+		if fb := e.fallback; fb != nil {
 			if cands := fb.Pick(flow); len(cands) > 0 {
 				server = cands[0]
 				ok = true
@@ -298,14 +383,6 @@ func (lb *LoadBalancer) handleSteered(pkt *packet.Packet) {
 	pkt.IP.Dst = server
 	lb.Counts.Inc("steered")
 	lb.net.Send(pkt)
-}
-
-// missFallback returns the steering fallback scheme for the given VIP.
-func (lb *LoadBalancer) missFallback(vip netip.Addr) selection.Scheme {
-	if fb, ok := lb.cfg.MissFallbacks[vip]; ok && fb != nil {
-		return fb
-	}
-	return lb.cfg.MissFallback
 }
 
 var _ netsim.Node = (*LoadBalancer)(nil)

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"srlb/internal/des"
+	"srlb/internal/ipv6"
+	"srlb/internal/netsim"
+	"srlb/internal/packet"
+	"srlb/internal/selection"
+	"srlb/internal/tcpseg"
+)
+
+// scaleAddr derives a deterministic test address in the given /48-ish
+// space: 2001:db8:<space>::<i+1>.
+func scaleAddr(space byte, i int) netip.Addr {
+	a := [16]byte{0x20, 0x01, 0x0d, 0xb8, 0, space}
+	n := uint64(i) + 1
+	for b := 0; b < 8; b++ {
+		a[15-b] = byte(n >> (8 * b))
+	}
+	return netip.AddrFrom16(a)
+}
+
+// scaleVIPList builds n VIPConfigs over the given servers, round-robin
+// schemes (deterministic, rng-free) so two independently built LBs pick
+// identically for identical packet sequences.
+func scaleVIPList(n int, servers []netip.Addr) []VIPConfig {
+	list := make([]VIPConfig, n)
+	for i := range list {
+		list[i] = VIPConfig{Addr: scaleAddr(0xaa, i), Scheme: selection.NewRoundRobin(servers, 2)}
+	}
+	return list
+}
+
+// scaleLB builds a detached LB over a delivery-dropping network: Handle
+// runs the full dispatch (including the wire marshal in Send) but
+// nothing is ever delivered, so packets can be driven directly.
+func scaleLB(cfg Config) *LoadBalancer {
+	sim := des.New()
+	net := netsim.New(sim, netsim.Config{LossProb: 1})
+	return NewDetached(sim, net, cfg)
+}
+
+// The legacy map form and the indexed VIPList form must be behaviorally
+// identical: same per-VIP SYN demux, same counters, same flow-table
+// state for the same packet sequence.
+func TestVIPListMapFormEquivalence(t *testing.T) {
+	const vips, ports = 8, 64
+	servers := []netip.Addr{sAddr1, sAddr2}
+	listForm := scaleLB(Config{Addr: lbAddr, VIPList: scaleVIPList(vips, servers)})
+	m := make(map[netip.Addr]selection.Scheme, vips)
+	for _, vc := range scaleVIPList(vips, servers) {
+		m[vc.Addr] = vc.Scheme
+	}
+	mapForm := scaleLB(Config{Addr: lbAddr, VIPs: m})
+
+	if listForm.NumVIPs() != vips || mapForm.NumVIPs() != vips {
+		t.Fatalf("NumVIPs = %d/%d, want %d", listForm.NumVIPs(), mapForm.NumVIPs(), vips)
+	}
+	drive := func(lb *LoadBalancer) {
+		var pkt packet.Packet
+		for i := 0; i < vips*ports; i++ {
+			dst := scaleAddr(0xaa, i%vips)
+			// A SYN opening the flow, then a steered packet that misses
+			// (no return path here, so every non-SYN is a miss).
+			pkt = packet.Packet{
+				IP:  ipv6.Header{Src: client, Dst: dst},
+				TCP: tcpseg.Segment{SrcPort: uint16(1024 + i), DstPort: 80, Flags: tcpseg.FlagSYN},
+			}
+			lb.Handle(&pkt)
+			pkt = packet.Packet{
+				IP:  ipv6.Header{Src: client, Dst: dst},
+				TCP: tcpseg.Segment{SrcPort: uint16(1024 + i), DstPort: 80, Flags: tcpseg.FlagACK},
+			}
+			lb.Handle(&pkt)
+		}
+	}
+	drive(listForm)
+	drive(mapForm)
+	for i := 0; i < vips; i++ {
+		addr := scaleAddr(0xaa, i)
+		if a, b := listForm.VIPSYNs(addr), mapForm.VIPSYNs(addr); a != b || a != ports {
+			t.Fatalf("VIP %d SYNs: list=%d map=%d, want %d", i, a, b, ports)
+		}
+	}
+	for _, key := range []string{"syn_rx", "hunts_started", "miss_dropped", "steered", "unknown_vip"} {
+		if a, b := listForm.Counts.Get(key), mapForm.Counts.Get(key); a != b {
+			t.Fatalf("counter %q: list=%d map=%d", key, a, b)
+		}
+	}
+	if a, b := listForm.FlowCount(), mapForm.FlowCount(); a != b {
+		t.Fatalf("flow count: list=%d map=%d", a, b)
+	}
+}
+
+// SeedFlow installs a binding exactly as a learned SYN-ACK would: a
+// subsequent client packet steers to the seeded server instead of
+// dropping as a miss.
+func TestSeedFlowSteersLikeLearned(t *testing.T) {
+	g := newRig(t, Config{})
+	g.lb.SeedFlow(packet.FlowKey{Src: client, Dst: vip, SrcPort: 47000, DstPort: 80}, sAddr2)
+	if g.lb.FlowCount() != 1 {
+		t.Fatalf("flow count = %d after seed", g.lb.FlowCount())
+	}
+	ack := &packet.Packet{
+		IP:  ipv6.Header{Src: client, Dst: vip},
+		TCP: tcpseg.Segment{SrcPort: 47000, DstPort: 80, Flags: tcpseg.FlagACK},
+	}
+	g.net.Send(ack)
+	g.sim.Run()
+	if len(g.s2.pkts) != 1 || len(g.s1.pkts) != 0 {
+		t.Fatalf("seeded flow steered to s1=%d s2=%d packets, want s2 only", len(g.s1.pkts), len(g.s2.pkts))
+	}
+	if g.lb.Counts.Get("miss_dropped") != 0 {
+		t.Fatal("seeded flow treated as a miss")
+	}
+}
+
+// Construction allocation must not scale with VIP count: the compiled
+// dispatch table is one slice plus one presized map, and no per-VIP
+// metric keys or strings are built. A per-VIP allocation would show up
+// here as ~960 extra allocs at 1024 VIPs.
+func TestNewDetachedConstantAllocs(t *testing.T) {
+	servers := []netip.Addr{sAddr1, sAddr2}
+	allocs := func(n int) float64 {
+		list := scaleVIPList(n, servers)
+		sim := des.New()
+		net := netsim.New(sim, netsim.Config{LossProb: 1})
+		return testing.AllocsPerRun(10, func() {
+			lb := NewDetached(sim, net, Config{Addr: lbAddr, VIPList: list})
+			if lb.NumVIPs() != n {
+				t.Fatalf("built %d VIPs, want %d", lb.NumVIPs(), n)
+			}
+		})
+	}
+	small, large := allocs(64), allocs(1024)
+	t.Logf("NewDetached allocs: %d VIPs → %.0f, %d VIPs → %.0f", 64, small, 1024, large)
+	// Slack covers map-bucket granularity between the two presized maps;
+	// anything per-VIP blows through it immediately.
+	if large > small+16 {
+		t.Fatalf("construction allocs scale with VIP count: %.0f at 64 VIPs vs %.0f at 1024", small, large)
+	}
+}
+
+// The two config forms are mutually exclusive and VIPList entries are
+// validated like map keys.
+func TestVIPListValidation(t *testing.T) {
+	servers := []netip.Addr{sAddr1, sAddr2}
+	scheme := selection.NewRoundRobin(servers, 2)
+	for name, cfg := range map[string]Config{
+		"both forms": {
+			Addr:    lbAddr,
+			VIPs:    map[netip.Addr]selection.Scheme{vip: scheme},
+			VIPList: []VIPConfig{{Addr: scaleAddr(0xaa, 0), Scheme: scheme}},
+		},
+		"duplicate vip": {
+			Addr: lbAddr,
+			VIPList: []VIPConfig{
+				{Addr: scaleAddr(0xaa, 1), Scheme: scheme},
+				{Addr: scaleAddr(0xaa, 1), Scheme: scheme},
+			},
+		},
+		"bad vip addr": {
+			Addr:    lbAddr,
+			VIPList: []VIPConfig{{Scheme: scheme}},
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			scaleLB(cfg)
+		}()
+	}
+}
+
+// The dense ids assigned to the map form are sorted by address, so
+// id-ordered state (VIPSYNs reads, iteration) is deterministic across
+// map iteration orders.
+func TestMapFormIDsDeterministic(t *testing.T) {
+	servers := []netip.Addr{sAddr1, sAddr2}
+	build := func() string {
+		m := make(map[netip.Addr]selection.Scheme, 16)
+		for i := 0; i < 16; i++ {
+			m[scaleAddr(0xaa, i)] = selection.NewRoundRobin(servers, 2)
+		}
+		lb := scaleLB(Config{Addr: lbAddr, VIPs: m})
+		sig := ""
+		for i := range lb.vips {
+			sig += fmt.Sprintf("%d:%v;", i, lb.vips[i].addr)
+		}
+		return sig
+	}
+	first := build()
+	for trial := 0; trial < 4; trial++ {
+		if got := build(); got != first {
+			t.Fatalf("map-form id assignment varies across builds:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

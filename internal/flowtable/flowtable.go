@@ -6,10 +6,17 @@
 // TTL, with a shorter linger after FIN/RST — mirroring how a production
 // LB protects itself against state exhaustion. Expiry is driven by the
 // caller-provided clock (virtual time in simulations), not wall time.
+//
+// One table serves every VIP the balancer advertises: FlowKey includes
+// the destination address, so entries are keyed by (VIP, flow) and the
+// per-packet cost is one map operation regardless of service count. The
+// LRU list is intrusive (prev/next links live inside the entry) and
+// removed entries recycle through a free list, so the steady state of a
+// long run — flows expiring as fast as they are learned — allocates
+// nothing.
 package flowtable
 
 import (
-	"container/list"
 	"net/netip"
 	"time"
 
@@ -46,7 +53,10 @@ type entry struct {
 	backend  netip.Addr
 	deadline time.Duration // absolute expiry
 	closing  bool
-	elem     *list.Element
+	// Intrusive LRU links. The list is circular through the table's
+	// sentinel: head side = most recently used. A free entry reuses next
+	// as the free-list link.
+	prev, next *entry
 }
 
 // Stats counts table events.
@@ -64,18 +74,20 @@ type Stats struct {
 type Table struct {
 	cfg     Config
 	entries map[packet.FlowKey]*entry
-	lru     *list.List // front = most recently used
+	lru     entry  // sentinel: lru.next = MRU, lru.prev = LRU
+	free    *entry // recycled entries, linked through next
 	stats   Stats
 }
 
 // New creates a table.
 func New(cfg Config) *Table {
 	cfg = cfg.withDefaults()
-	return &Table{
+	t := &Table{
 		cfg:     cfg,
 		entries: make(map[packet.FlowKey]*entry),
-		lru:     list.New(),
 	}
+	t.lru.prev, t.lru.next = &t.lru, &t.lru
+	return t
 }
 
 // Len returns the number of live entries (including not-yet-expired ones).
@@ -84,6 +96,35 @@ func (t *Table) Len() int { return len(t.entries) }
 // Stats returns a copy of the table counters.
 func (t *Table) Stats() Stats { return t.stats }
 
+// pushFront links e at the MRU end.
+func (t *Table) pushFront(e *entry) {
+	e.prev, e.next = &t.lru, t.lru.next
+	t.lru.next.prev = e
+	t.lru.next = e
+}
+
+// unlink removes e from the LRU list.
+func (t *Table) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// moveToFront refreshes e's LRU position.
+func (t *Table) moveToFront(e *entry) {
+	t.unlink(e)
+	t.pushFront(e)
+}
+
+// newEntry takes an entry from the free list or allocates one.
+func (t *Table) newEntry() *entry {
+	if e := t.free; e != nil {
+		t.free = e.next
+		*e = entry{}
+		return e
+	}
+	return &entry{}
+}
+
 // Insert binds key to backend at time now, refreshing the TTL if the key
 // exists. Inserting may evict the LRU entry when the table is full.
 func (t *Table) Insert(now time.Duration, key packet.FlowKey, backend netip.Addr) {
@@ -91,14 +132,17 @@ func (t *Table) Insert(now time.Duration, key packet.FlowKey, backend netip.Addr
 		e.backend = backend
 		e.deadline = now + t.cfg.IdleTTL
 		e.closing = false
-		t.lru.MoveToFront(e.elem)
+		t.moveToFront(e)
 		return
 	}
 	if len(t.entries) >= t.cfg.MaxEntries {
 		t.evictLRU()
 	}
-	e := &entry{key: key, backend: backend, deadline: now + t.cfg.IdleTTL}
-	e.elem = t.lru.PushFront(e)
+	e := t.newEntry()
+	e.key = key
+	e.backend = backend
+	e.deadline = now + t.cfg.IdleTTL
+	t.pushFront(e)
 	t.entries[key] = e
 	t.stats.Inserts++
 }
@@ -120,7 +164,7 @@ func (t *Table) Lookup(now time.Duration, key packet.FlowKey) (netip.Addr, bool)
 	if !e.closing {
 		e.deadline = now + t.cfg.IdleTTL
 	}
-	t.lru.MoveToFront(e.elem)
+	t.moveToFront(e)
 	t.stats.Hits++
 	return e.backend, true
 }
@@ -148,29 +192,32 @@ func (t *Table) Delete(key packet.FlowKey) {
 // lookups.
 func (t *Table) Sweep(now time.Duration) int {
 	removed := 0
-	for el := t.lru.Back(); el != nil; {
-		prev := el.Prev()
-		e := el.Value.(*entry)
+	for e := t.lru.prev; e != &t.lru; {
+		prev := e.prev
 		if now > e.deadline {
 			t.removeEntry(e)
 			t.stats.Expiries++
 			removed++
 		}
-		el = prev
+		e = prev
 	}
 	return removed
 }
 
 func (t *Table) evictLRU() {
-	el := t.lru.Back()
-	if el == nil {
+	e := t.lru.prev
+	if e == &t.lru {
 		return
 	}
-	t.removeEntry(el.Value.(*entry))
+	t.removeEntry(e)
 	t.stats.Evictions++
 }
 
 func (t *Table) removeEntry(e *entry) {
-	t.lru.Remove(e.elem)
+	t.unlink(e)
 	delete(t.entries, e.key)
+	// Recycle: clear links (and let the key's addrs drop) then push onto
+	// the free list through next.
+	*e = entry{next: t.free}
+	t.free = e
 }

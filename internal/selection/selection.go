@@ -116,7 +116,10 @@ type ConsistentHash struct {
 	byName map[string]netip.Addr
 }
 
-// NewConsistentHash builds the scheme over the servers.
+// NewConsistentHash builds the scheme over the servers. The Maglev
+// table is interned by (servers, tableSize): thousands of VIPs sharing
+// one pool populate a single shared table instead of one each, keeping
+// control-plane construction O(pools), not O(VIPs).
 func NewConsistentHash(servers []netip.Addr, tableSize int) (*ConsistentHash, error) {
 	names := make([]string, len(servers))
 	byName := make(map[string]netip.Addr, len(servers))
@@ -124,7 +127,7 @@ func NewConsistentHash(servers []netip.Addr, tableSize int) (*ConsistentHash, er
 		names[i] = s.String()
 		byName[names[i]] = s
 	}
-	m, err := chash.NewMaglev(names, tableSize)
+	m, err := chash.SharedMaglev(names, tableSize)
 	if err != nil {
 		return nil, err
 	}

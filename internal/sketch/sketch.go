@@ -166,6 +166,10 @@ func (h *Histogram) Max() time.Duration {
 // valueAtRank returns the representative value of the sample at 0-based
 // rank r of the sorted stream, with the exact min and max substituted at
 // the extremes (they are tracked exactly, so the tails never widen).
+// Mid-rank bucket representatives are clamped to [min, max]: a bucket
+// midpoint can sit below the true minimum when every sample lands in
+// one bucket, and unclamped that makes Quantile non-monotone near the
+// tails.
 func (h *Histogram) valueAtRank(r uint64) int64 {
 	if r == 0 {
 		return h.min
@@ -177,7 +181,14 @@ func (h *Histogram) valueAtRank(r uint64) int64 {
 	for i, c := range h.counts {
 		cum += c
 		if cum > r {
-			return h.bucketValue(i)
+			v := h.bucketValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
 		}
 	}
 	return h.max
@@ -206,7 +217,18 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 	}
 	hv := h.valueAtRank(hi)
 	frac := pos - float64(lo)
-	return time.Duration(float64(lv) + frac*float64(hv-lv))
+	v := int64(float64(lv) + frac*float64(hv-lv))
+	// The interpolation rounds through float64, whose 52-bit mantissa
+	// cannot represent ns values near the int64 extremes exactly; clamp
+	// so the rounded value never escapes the exact [min, max] envelope
+	// the tail quantiles report.
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return time.Duration(v)
 }
 
 // Median returns the 0.5-quantile.

@@ -57,14 +57,20 @@ func legacyParityDigest() uint64 {
 	}
 	tb.Sim.Run()
 	tb.Gen.DrainPending()
+	return resultsDigest(tb.Gen.Results())
+}
 
+// resultsDigest folds client-observed Results into one FNV-1a digest —
+// the parity fingerprint both the legacy and the generated-topology
+// pins use.
+func resultsDigest(results []Result) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {
 		binary.BigEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	for _, res := range tb.Gen.Results() {
+	for _, res := range results {
 		put(res.ID)
 		put(uint64(res.IssuedAt))
 		put(uint64(res.RT))

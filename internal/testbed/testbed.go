@@ -56,12 +56,38 @@ func init() {
 	}
 }
 
+// addrWithTail returns base with its low 64 bits set to tail — the
+// arithmetic equivalent of formatting "<prefix>::%x" for hextet-sized
+// indices, and the only form that stays valid past 0xffff (where the
+// single hextet of the string form would overflow). Scale topologies
+// (1k–10k VIPs) derive every address this way: no parsing, no
+// allocation.
+func addrWithTail(base netip.Addr, tail uint64) netip.Addr {
+	a := base.As16()
+	a[8] = byte(tail >> 56)
+	a[9] = byte(tail >> 48)
+	a[10] = byte(tail >> 40)
+	a[11] = byte(tail >> 32)
+	a[12] = byte(tail >> 24)
+	a[13] = byte(tail >> 16)
+	a[14] = byte(tail >> 8)
+	a[15] = byte(tail)
+	return netip.AddrFrom16(a)
+}
+
+// Address-space bases for the arithmetic derivations.
+var (
+	serverBase = ipv6.MustAddr("2001:db8:5::")
+	clientBase = ipv6.MustAddr("2001:db8:c::")
+	vipBase    = ipv6.MustAddr("2001:db8:f00d::")
+)
+
 // ServerAddr returns the physical address of server i (0-based).
 func ServerAddr(i int) netip.Addr {
 	if i >= 0 && i < len(serverAddrs) {
 		return serverAddrs[i]
 	}
-	return ipv6.MustAddr(fmt.Sprintf("2001:db8:5::%x", i+1))
+	return addrWithTail(serverBase, uint64(i)+1)
 }
 
 // ClientAddr returns the address of client source j (0-based).
@@ -69,7 +95,7 @@ func ClientAddr(j int) netip.Addr {
 	if j >= 0 && j < len(clientAddrs) {
 		return clientAddrs[j]
 	}
-	return ipv6.MustAddr(fmt.Sprintf("2001:db8:c::%x", j+1))
+	return addrWithTail(clientBase, uint64(j)+1)
 }
 
 // Query is one HTTP request to be issued by the traffic generator.

@@ -28,7 +28,6 @@ import (
 	"srlb/internal/core"
 	"srlb/internal/des"
 	"srlb/internal/flowtable"
-	"srlb/internal/ipv6"
 	"srlb/internal/netsim"
 	"srlb/internal/packet"
 	"srlb/internal/rng"
@@ -37,12 +36,29 @@ import (
 )
 
 // VIPAddr returns the service address of VIP v (0-based). VIP 0 is the
-// legacy testbed VIP.
+// legacy testbed VIP. Addresses are index-deterministic — derived
+// arithmetically, identical to the historical "2001:db8:f00d::%x"
+// string form for every hextet-sized index and well-defined far beyond
+// it (10k-VIP topologies walk straight through the /64).
 func VIPAddr(v int) netip.Addr {
 	if v == 0 {
 		return VIP
 	}
-	return ipv6.MustAddr(fmt.Sprintf("2001:db8:f00d::%x", v+1))
+	return addrWithTail(vipBase, uint64(v)+1)
+}
+
+// poolSpaceAddr derives "2001:db8:<space>:<idx>::<tail>" arithmetically:
+// idx sits in hextet 3, tail in the low 64 bits.
+func poolSpaceAddr(space uint16, idx, tail uint64) netip.Addr {
+	if idx > 0xffff {
+		panic(fmt.Sprintf("testbed: pool index %d exhausts the 2001:db8:%x::/48 space — use named shared pools", idx, space))
+	}
+	a := [16]byte{0x20, 0x01, 0x0d, 0xb8}
+	a[4] = byte(space >> 8)
+	a[5] = byte(space)
+	a[6] = byte(idx >> 8)
+	a[7] = byte(idx)
+	return addrWithTail(netip.AddrFrom16(a), tail)
 }
 
 // PoolServerAddr returns the physical address of server i of VIP v's
@@ -52,14 +68,14 @@ func PoolServerAddr(v, i int) netip.Addr {
 	if v == 0 {
 		return ServerAddr(i)
 	}
-	return ipv6.MustAddr(fmt.Sprintf("2001:db8:5:%x::%x", v, i+1))
+	return poolSpaceAddr(0x5, uint64(v), uint64(i)+1)
 }
 
 // SharedPoolServerAddr returns the physical address of server i of the
 // p-th declared pool (Topology.Pools order). Named pools get their own
 // /64s, disjoint from every implicit per-VIP pool space.
 func SharedPoolServerAddr(p, i int) netip.Addr {
-	return ipv6.MustAddr(fmt.Sprintf("2001:db8:a:%x::%x", p+1, i+1))
+	return poolSpaceAddr(0xa, uint64(p)+1, uint64(i)+1)
 }
 
 // SchemeFn builds a candidate-selection scheme over the current server
@@ -546,15 +562,20 @@ type vipState struct {
 	addr  netip.Addr
 	index int // position in Topology.VIPs (the scheme-stream index)
 	pool  *poolState
+	// fallback is the VIP's miss-fallback scheme, shared by every replica:
+	// FallbackFn takes no rng (the fallback must be a deterministic
+	// function of the flow so replicas agree without shared state), so one
+	// instance per VIP serves all replicas instead of one per (VIP,
+	// replica). Nil when the VIP declares none.
+	fallback *mutableScheme
 }
 
 // replicaState is one LB replica with its per-VIP schemes.
 type replicaState struct {
-	lb        *core.LoadBalancer
-	down      bool
-	schemes   []*mutableScheme // per VIP
-	fallbacks []*mutableScheme // per VIP; nil when the VIP has no fallback
-	rngs      []*rand.Rand     // per VIP; persists across pool rebuilds
+	lb      *core.LoadBalancer
+	down    bool
+	schemes []*mutableScheme // per VIP
+	rngs    []*rand.Rand     // per VIP; persists across pool rebuilds
 }
 
 // mutableScheme delegates to the pool's current scheme; lifecycle events
@@ -663,29 +684,30 @@ func Build(top Topology) *Testbed {
 	tb.LBs = make([]*core.LoadBalancer, top.Replicas)
 	for r := 0; r < top.Replicas; r++ {
 		rs := &replicaState{
-			schemes:   make([]*mutableScheme, len(top.VIPs)),
-			fallbacks: make([]*mutableScheme, len(top.VIPs)),
-			rngs:      make([]*rand.Rand, len(top.VIPs)),
+			schemes: make([]*mutableScheme, len(top.VIPs)),
+			rngs:    make([]*rand.Rand, len(top.VIPs)),
 		}
-		vipSchemes := make(map[netip.Addr]selection.Scheme, len(top.VIPs))
-		var fallbacks map[netip.Addr]selection.Scheme
+		// The indexed config form: VIP v gets dense id v in every replica,
+		// so construction is one slice walk — no per-replica maps, and the
+		// LB compiles it without sorting.
+		list := make([]core.VIPConfig, len(top.VIPs))
 		for v, vs := range tb.vips {
 			stream := uint64(1) + uint64(r)*uint64(len(top.VIPs)) + uint64(v)
 			selRng := rng.Split(top.Seed, stream)
 			rs.rngs[v] = selRng
 			ms := &mutableScheme{cur: vs.spec.Scheme(clonePool(vs.pool.pool), selRng)}
 			rs.schemes[v] = ms
-			vipSchemes[vs.addr] = ms
+			list[v] = core.VIPConfig{Addr: vs.addr, Scheme: ms}
 			if vs.spec.Fallback != nil {
-				fb := &mutableScheme{cur: vs.spec.Fallback(clonePool(vs.pool.pool))}
-				rs.fallbacks[v] = fb
-				if fallbacks == nil {
-					fallbacks = make(map[netip.Addr]selection.Scheme, len(top.VIPs))
+				if vs.fallback == nil {
+					// Built once, shared by every replica (FallbackFn is
+					// deterministic and rng-free by contract).
+					vs.fallback = &mutableScheme{cur: vs.spec.Fallback(clonePool(vs.pool.pool))}
 				}
-				fallbacks[vs.addr] = fb
+				list[v].Fallback = vs.fallback
 			}
 		}
-		cfg := core.Config{Addr: LBAddr, VIPs: vipSchemes, Flows: top.Flows, MissFallbacks: fallbacks}
+		cfg := core.Config{Addr: LBAddr, VIPList: list, Flows: top.Flows}
 		if anycast {
 			rs.lb = core.NewDetached(sim, net, cfg)
 			for _, vs := range tb.vips {
@@ -855,11 +877,11 @@ func (tb *Testbed) apply(ev Event) {
 		// pool as it is now (it may have churned while the replica was
 		// dark).
 		rs.lb.ResetFlows()
+		// Schemes resync per replica; fallbacks are shared across replicas
+		// and already track the pool (rebuildSchemes updates them at churn
+		// time), so recovery leaves them alone.
 		for v, vs := range tb.vips {
 			rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool.pool), rs.rngs[v])
-			if rs.fallbacks[v] != nil {
-				rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(vs.pool.pool))
-			}
 		}
 		if len(tb.replicas) > 1 {
 			for _, vs := range tb.vips {
@@ -876,18 +898,19 @@ func (tb *Testbed) apply(ev Event) {
 }
 
 // rebuildSchemes resyncs every (replica, VIP-over-this-pool) scheme (and
-// fallback) to the pool's current candidate set — on a shared pool, one
-// drain updates every service's scheme at once. Scheme construction
-// consumes no random draws, so rebuilds never perturb the selection
-// streams.
+// the VIP's shared fallback) to the pool's current candidate set — on a
+// shared pool, one drain updates every service's scheme at once. Scheme
+// construction consumes no random draws, so rebuilds never perturb the
+// selection streams. Fallbacks rebuild once per VIP, not once per
+// (VIP, replica): all replicas share the instance.
 func (tb *Testbed) rebuildSchemes(pool *poolState) {
 	for _, vs := range pool.vips {
 		v := vs.index
 		for _, rs := range tb.replicas {
 			rs.schemes[v].cur = vs.spec.Scheme(clonePool(pool.pool), rs.rngs[v])
-			if rs.fallbacks[v] != nil {
-				rs.fallbacks[v].cur = vs.spec.Fallback(clonePool(pool.pool))
-			}
+		}
+		if vs.fallback != nil {
+			vs.fallback.cur = vs.spec.Fallback(clonePool(pool.pool))
 		}
 	}
 }

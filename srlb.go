@@ -145,6 +145,14 @@ type (
 	InterferenceResult = experiments.InterferenceResult
 	InterferenceRow    = experiments.InterferenceRow
 
+	// VIPScaleConfig/Result: per-packet dispatch cost vs advertised
+	// service count (100 → 10k VIPs) per selection scheme, on generated
+	// shared-pool topologies — the O(1)-dispatch flat-curve figure.
+	VIPScaleConfig = experiments.VIPScaleConfig
+	VIPScaleResult = experiments.VIPScaleResult
+	VIPScaleRow    = experiments.VIPScaleRow
+	VIPScaleScheme = experiments.VIPScaleScheme
+
 	// HorizonConfig/Result: the constant-memory soak — 10⁸ open-loop
 	// queries measured through streaming sketches with a flat heap.
 	HorizonConfig = experiments.HorizonConfig
@@ -303,6 +311,15 @@ func RunMultiService(cfg MultiServiceConfig) MultiServiceResult {
 // about.
 func RunInterference(cfg InterferenceConfig) InterferenceResult {
 	return experiments.RunInterference(cfg)
+}
+
+// RunVIPScale sweeps the advertised service count (default 100 → 10k
+// VIPs over shared pools, via testbed.GenerateTopology) per selection
+// scheme and measures the per-packet dispatch cost of the SYN and
+// steered paths by driving the LB's Handle loop directly — the
+// latency-vs-#services figure whose headline is the flat curve.
+func RunVIPScale(cfg VIPScaleConfig) VIPScaleResult {
+	return experiments.RunVIPScale(cfg)
 }
 
 // RunHorizon executes the constant-memory soak: a single very long
