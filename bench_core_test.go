@@ -1,9 +1,9 @@
 // Core hot-path benchmarks and the BENCH_core.json perf trajectory.
 //
-// Six benchmarks cover the layers the perf work touches: the DES event
-// kernel, sketch ingestion, the generator's sink-mode query path, a
-// reference figure-2 cell, and the per-packet dispatch lookup at 1k and
-// 10k advertised VIPs. TestBenchCore (gated behind SRLB_BENCH_CORE=1)
+// Seven benchmarks cover the layers the perf work touches: the DES
+// event kernel, sketch ingestion, the generator's sink-mode query path,
+// a reference figure-2 cell, the per-packet dispatch lookup at 1k and
+// 10k advertised VIPs, and the telemetry plane's report ingest. TestBenchCore (gated behind SRLB_BENCH_CORE=1)
 // runs them through testing.Benchmark, writes the measurements to
 // BENCH_core.json, and fails when any benchmark's allocs/op regresses
 // more than 2x against the committed baseline — the CI smoke job runs
@@ -15,6 +15,7 @@ package srlb_test
 import (
 	"encoding/json"
 	"fmt"
+	"net/netip"
 	"os"
 	"runtime"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"srlb"
 	"srlb/internal/des"
 	"srlb/internal/experiments"
+	"srlb/internal/feedback"
 	"srlb/internal/rng"
 	"srlb/internal/sketch"
 	"srlb/internal/testbed"
@@ -136,6 +138,36 @@ func BenchmarkDispatchLookup1k(b *testing.B) { benchmarkDispatchLookup(b, 1000) 
 // up as a ~10x blowout here.
 func BenchmarkDispatchLookup10k(b *testing.B) { benchmarkDispatchLookup(b, 10000) }
 
+// BenchmarkFeedbackIngest measures the telemetry plane's steady-state
+// ingest path: one op is one server sampling its scoreboard (EWMA fold)
+// and publishing the report into the view's (VIP, server) slot. After
+// first contact the slot is reused, so the loop must allocate nothing —
+// publishing scales with servers × reporting rate, and any per-report
+// allocation would dominate long feedback-enabled sweeps.
+func BenchmarkFeedbackIngest(b *testing.B) {
+	var now time.Duration
+	view := feedback.NewView(feedback.Config{Enabled: true}, func() time.Duration { return now })
+	vip := netip.MustParseAddr("2001:db8::1")
+	const servers = 16
+	addrs := make([]netip.Addr, servers)
+	pubs := make([]*feedback.Publisher, servers)
+	addr := netip.MustParseAddr("2001:db8:0:1::1")
+	for i := range addrs {
+		addrs[i] = addr
+		addr = addr.Next()
+		pubs[i] = feedback.NewPublisher(0)
+		view.Ingest(vip, addrs[i], pubs[i].Sample(now, i%8, 8, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % servers
+		now += time.Millisecond
+		view.Ingest(vip, addrs[s], pubs[s].Sample(now, s%8, 8, i&31))
+	}
+	benchCoreSink = int(view.Stats().Ingests)
+}
+
 // TestDispatchComplexityClass pins the complexity class the vipscale
 // experiment plots: per-packet dispatch cost at 10k advertised services
 // must stay within 2x of the 1k cost on both the SYN (Service Hunting)
@@ -222,6 +254,7 @@ func TestBenchCore(t *testing.T) {
 		{"Fig2Cell", BenchmarkFig2Cell},
 		{"DispatchLookup1k", BenchmarkDispatchLookup1k},
 		{"DispatchLookup10k", BenchmarkDispatchLookup10k},
+		{"FeedbackIngest", BenchmarkFeedbackIngest},
 	}
 	// Read the committed baseline before the output path can clobber it
 	// (locally both default to BENCH_core.json).

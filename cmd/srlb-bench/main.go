@@ -14,16 +14,18 @@
 //	srlb-bench -experiment bursty                # fig2 grid under on/off MMPP arrivals
 //	srlb-bench -experiment multiservice -seeds 5 # web+wiki+batch VIPs sharing the LB
 //	srlb-bench -experiment interference -seeds 5 # web+batch contending on ONE shared pool
+//	srlb-bench -experiment policies -seeds 5     # load-feedback scheme ablation (random2/chash2/wleastload/flowlet)
 //	srlb-bench -experiment vipscale              # dispatch ns/pkt as services sweep 100 -> 10k
 //
 // With -seeds N > 1 every Poisson-family experiment (calibrate, figures
 // 2–5, ablations, hetero, bursty, failover, churn, multiservice,
-// interference) replicates its cells across N derived seeds and reports
-// mean ± 95% CI; BENCH_sweep.json (schema v6, see docs/RESULTS_SCHEMA.md)
-// carries the per-cell aggregates — for multi-VIP cells, with one per-VIP
-// row per service inside each cell, each carrying that service's own
-// resolved load. The wiki replay (figures 6–8) stays single-seed —
-// replicate it through the Sweep API as in examples/wikipedia.
+// interference, policies) replicates its cells across N derived seeds and
+// reports mean ± 95% CI; BENCH_sweep.json (schema v7, see
+// docs/RESULTS_SCHEMA.md) carries the per-cell aggregates — for multi-VIP
+// cells, with one per-VIP row per service inside each cell, each carrying
+// that service's own resolved load. The wiki replay (figures 6–8) stays
+// single-seed — replicate it through the Sweep API as in
+// examples/wikipedia.
 package main
 
 import (
@@ -114,6 +116,25 @@ type vipScaleRowJSON struct {
 	Ops     int     `json:"ops"`
 }
 
+// policiesRowJSON is one (variant, batch-load, policy, service) row of
+// the policies experiment (schema v7): the victim-view aggregates plus
+// the flowlet mechanism counter.
+type policiesRowJSON struct {
+	Variant  string  `json:"variant"`
+	BatchRho float64 `json:"batch_rho"`
+	Policy   string  `json:"policy"`
+	Service  string  `json:"service"`
+	Load     float64 `json:"load"`
+	N        int     `json:"n"`
+	Offered  float64 `json:"offered"`
+	MeanMS   float64 `json:"mean_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	OKFrac   float64 `json:"ok_fraction"`
+	// Resteers is the across-seed mean count of mid-connection flowlet
+	// re-steers (whole cluster; set on the "all" rows).
+	Resteers float64 `json:"resteers"`
+}
+
 type sweepJSON struct {
 	SchemaVersion int             `json:"schema_version"`
 	Lambda0       float64         `json:"lambda0_qps,omitempty"`
@@ -125,7 +146,14 @@ type sweepJSON struct {
 	// VIPScale carries the vipscale experiment's dispatch-cost rows
 	// (schema v6); absent for simulation sweeps.
 	VIPScale []vipScaleRowJSON `json:"vipscale,omitempty"`
+	// Policies carries the policy-ablation rows (schema v7); absent for
+	// the other sweeps.
+	Policies []policiesRowJSON `json:"policies,omitempty"`
 }
+
+// sweepSchemaVersion is BENCH_sweep.json's current schema (v7: the
+// policies-experiment rows; see docs/RESULTS_SCHEMA.md).
+const sweepSchemaVersion = 7
 
 // appserverDefaultWithBacklog returns the paper's server config with a
 // shallower accept queue.
@@ -137,7 +165,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|policies|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -158,13 +186,14 @@ func main() {
 		flag.PrintDefaults()
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
-machine-readable summary of the fig2/multiservice/interference sweeps
-(schema v6: n, mean, ci95, p50, p99 per cell, the topology-variant
-label, per-VIP rows — each with its service's own resolved load — for
-multi-service cells, and vipscale dispatch-cost rows; documented
+machine-readable summary of the fig2/multiservice/interference/policies
+sweeps (schema v7: n, mean, ci95, p50, p99 per cell, the
+topology-variant label, per-VIP rows — each with its service's own
+resolved load — for multi-service cells, vipscale dispatch-cost rows,
+and policies rows with flowlet re-steer counts; documented
 field-by-field in docs/RESULTS_SCHEMA.md). The topology experiments
-(failover, churn, multiservice, interference, vipscale) and the bursty
-sweep are described in docs/TOPOLOGY.md.`)
+(failover, churn, multiservice, interference, policies, vipscale) and
+the bursty sweep are described in docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
 	// The replication axis, shared by every Poisson-family experiment
@@ -472,7 +501,7 @@ sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v6: per-VIP rows)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v7: per-VIP rows)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				facets := make([]plot.Facet, 0, len(res.Services))
 				for _, svc := range res.Services {
@@ -515,13 +544,51 @@ sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v6: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v7: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "batch rho", YLabel: "p99(s)"}, res.PlotFacets()...); err != nil {
 					return err
 				}
 			}
 			return writeFile("extension_interference.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("policies") {
+		needLambda0()
+		run("extension: load-feedback policy ablation (random2/chash2/wleastload/flowlet)", func() error {
+			start := time.Now()
+			res := srlb.RunPolicies(srlb.PoliciesConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Seeds: seeds, Workers: *workers, Progress: progress,
+			})
+			heavy := res.BatchRhos[len(res.BatchRhos)-1]
+			for _, name := range []string{"random2", "chash2", "wleastload", "flowlet"} {
+				if row, err := res.Row("steady", name, "web", heavy); err == nil {
+					fmt.Printf("   web p99 under %-10s at batch rho=%.2f: %.3fs ok=%.4f\n",
+						name, heavy, row.P99.Seconds(), row.OKFrac)
+				}
+			}
+			for _, variant := range res.Variants {
+				fmt.Printf("   flowlet re-steers (%s): %.0f established flows moved mid-connection\n",
+					variant, res.TotalResteers(variant, "flowlet"))
+			}
+			// As with multiservice: standalone runs own BENCH_sweep.json;
+			// under -experiment all the figure-2 sweep keeps that name.
+			jsonName := "BENCH_sweep.json"
+			if *experiment == "all" {
+				jsonName = "BENCH_policies.json"
+			}
+			if err := writePoliciesJSON(*out, jsonName, lambda0, *workers, time.Since(start), res); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s (schema v7: policies rows with re-steer counts)\n", filepath.Join(*out, jsonName))
+			if *asciiPlot {
+				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "batch rho", YLabel: "p99(s)"}, res.PlotFacets()...); err != nil {
+					return err
+				}
+			}
+			return writeFile("extension_policies.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
 	}
 
@@ -578,7 +645,7 @@ sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeVIPScaleJSON(*out, jsonName, time.Since(start), res); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v6: vipscale rows)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v7: vipscale rows)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "#services", YLabel: "ns/pkt"}, res.Plot()...); err != nil {
 					return err
@@ -663,11 +730,11 @@ func burstyRhos(points int) []float64 {
 }
 
 // writeVIPScaleJSON renders the vipscale dispatch-cost sweep in the
-// BENCH_sweep.json envelope (schema v6, vipscale rows; see
+// BENCH_sweep.json envelope (schema v7, vipscale rows; see
 // docs/RESULTS_SCHEMA.md).
 func writeVIPScaleJSON(dir, name string, total time.Duration, res srlb.VIPScaleResult) error {
 	doc := sweepJSON{
-		SchemaVersion: 6,
+		SchemaVersion: sweepSchemaVersion,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		TotalWallMS:   float64(total.Microseconds()) / 1e3,
 	}
@@ -685,18 +752,47 @@ func writeVIPScaleJSON(dir, name string, total time.Duration, res srlb.VIPScaleR
 }
 
 // writeSweepJSON renders sweep aggregates as BENCH_sweep.json (schema
-// v6, documented in docs/RESULTS_SCHEMA.md): one entry per logical
+// v7, documented in docs/RESULTS_SCHEMA.md): one entry per logical
 // (policy, variant, load) cell, each carrying the n/mean/ci95 aggregates
 // of its replicates, plus the per-service breakdown (with per-service
 // resolved loads) for multi-VIP cells.
 func writeSweepJSON(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
+	return writeSweepDoc(dir, name, lambda0, workers, total, agg, nil)
+}
+
+// writePoliciesJSON is writeSweepJSON plus the policy-ablation rows
+// (schema v7): the per-cell aggregates come from the underlying sweep,
+// the policies section carries the victim-view rows with the flowlet
+// re-steer counts.
+func writePoliciesJSON(dir, name string, lambda0 float64, workers int, total time.Duration, res srlb.PoliciesResult) error {
+	rows := make([]policiesRowJSON, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		rows = append(rows, policiesRowJSON{
+			Variant:  row.Variant,
+			BatchRho: row.BatchRho,
+			Policy:   row.Policy,
+			Service:  row.Service,
+			Load:     row.Load,
+			N:        row.N,
+			Offered:  row.Offered,
+			MeanMS:   row.Mean.Seconds() * 1e3,
+			P99MS:    row.P99.Seconds() * 1e3,
+			OKFrac:   row.OKFrac,
+			Resteers: row.Resteers,
+		})
+	}
+	return writeSweepDoc(dir, name, lambda0, workers, total, res.Stats, rows)
+}
+
+func writeSweepDoc(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats, policies []policiesRowJSON) error {
 	doc := sweepJSON{
-		SchemaVersion: 6,
+		SchemaVersion: sweepSchemaVersion,
 		Lambda0:       lambda0,
 		Workers:       workers,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Seeds:         agg.Seeds,
 		TotalWallMS:   float64(total.Microseconds()) / 1e3,
+		Policies:      policies,
 	}
 	for _, c := range agg.Cells {
 		if c.N() == 0 {

@@ -146,6 +146,27 @@
 // day across policies × seeds, cutting across-seed variance of the wiki
 // rows to the cluster's own randomness.
 //
+// # Load feedback and flowlet-grained policies
+//
+// The paper's schemes are deliberately feedback-free; their natural
+// competitors are not. internal/feedback is the out-of-band telemetry
+// plane those competitors need — servers publish EWMA-smoothed load
+// reports on a virtual-time tick into a per-(VIP, server) view with
+// freshness tracking (a report older than the TTL demotes every
+// consumer to its load-oblivious fallback; failed servers go stale by
+// silence) — and internal/selection gains the stateful scheme surface
+// (Stateful/Resteerer, probed once at VIP-compile time) plus two
+// consumers: WeightedLeastLoad re-ranks the power-of-two candidates by
+// reported load, and Flowlet re-steers established flows onto
+// less-loaded servers at flowlet-gap boundaries, rewriting the LB's
+// flow table mid-connection (never SYNs or RSTs; FuzzFlowletGaps locks
+// the invariants). RunPolicies packages the four-way ablation
+// {random2, chash2, wleastload, flowlet} over the interference workload
+// in steady and churn variants as `srlb-bench -experiment policies`
+// (extension_policies.tsv, schema-v7 BENCH_sweep.json `policies` rows,
+// FeedbackConfig/FeedbackReport re-exports; docs/TOPOLOGY.md covers the
+// plane).
+//
 // # Streaming measurement: sketches and the horizon soak
 //
 // Experiment cells measure through internal/sketch: a mergeable

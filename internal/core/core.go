@@ -99,6 +99,12 @@ type vipEntry struct {
 	addr     netip.Addr
 	scheme   selection.Scheme
 	fallback selection.Scheme
+	// stateful and resteer cache the scheme's optional capabilities,
+	// probed once at compile time (through any delegation wrapper): nil
+	// for the paper's plain schemes, so the load-oblivious hot path
+	// stays free of interface probes per packet.
+	stateful selection.Stateful
+	resteer  selection.Resteerer
 	syns     uint64
 }
 
@@ -188,7 +194,13 @@ func (lb *LoadBalancer) compileVIPs() {
 		if fb == nil {
 			fb = cfg.MissFallback
 		}
-		lb.vips[i] = vipEntry{addr: vc.Addr, scheme: vc.Scheme, fallback: fb}
+		lb.vips[i] = vipEntry{
+			addr:     vc.Addr,
+			scheme:   vc.Scheme,
+			fallback: fb,
+			stateful: selection.AsStateful(vc.Scheme),
+			resteer:  selection.AsResteerer(vc.Scheme),
+		}
 		lb.vipIndex[vc.Addr] = int32(i)
 	}
 }
@@ -345,6 +357,14 @@ func (lb *LoadBalancer) handleReturn(pkt *packet.Packet) {
 		clientFlow := pkt.Flow().Reverse()
 		lb.flows.Insert(lb.sim.Now(), clientFlow, server)
 		lb.Counts.Inc("flows_learned")
+		// A stateful scheme tracks its own placements (the in-flight
+		// delta between feedback reports); the flow's VIP is the client
+		// flow's destination.
+		if id, ok := lb.vipIndex[clientFlow.Dst]; ok {
+			if st := lb.vips[id].stateful; st != nil {
+				st.Observe(server, +1)
+			}
+		}
 	}
 	// Strip the SRH: the client is SR-oblivious.
 	pkt.SRH = nil
@@ -353,10 +373,35 @@ func (lb *LoadBalancer) handleReturn(pkt *packet.Packet) {
 	lb.net.Send(pkt)
 }
 
-// handleSteered forwards mid-flow client packets to the accepting server.
+// handleSteered forwards mid-flow client packets to the accepting
+// server. When the VIP's scheme can re-steer (flowlet-grained
+// balancing), the lookup also reads the flow's idle gap and offers
+// eligible packets to the scheme at flowlet boundaries; a move rebinds
+// the flowtable entry in place, so the packet and every successor
+// steer to the new server.
 func (lb *LoadBalancer) handleSteered(pkt *packet.Packet, e *vipEntry) {
+	now := lb.sim.Now()
 	flow := pkt.Flow()
-	server, ok := lb.flows.Lookup(lb.sim.Now(), flow)
+	isRST := pkt.TCP.Flags.Has(tcpseg.FlagRST)
+	var server netip.Addr
+	var ok bool
+	if e.resteer != nil {
+		var idle time.Duration
+		server, idle, ok = lb.flows.LookupIdle(now, flow)
+		if ok && selection.ResteerEligible(pkt.IsSYN(), isRST) {
+			if next, move := e.resteer.Resteer(now, flow, idle, server); move && next != server {
+				lb.flows.Rebind(now, flow, next)
+				if st := e.stateful; st != nil {
+					st.Observe(server, -1)
+					st.Observe(next, +1)
+				}
+				server = next
+				lb.Counts.Inc("flowlet_resteer")
+			}
+		}
+	} else {
+		server, ok = lb.flows.Lookup(now, flow)
+	}
 	if !ok {
 		if fb := e.fallback; fb != nil {
 			if cands := fb.Pick(flow); len(cands) > 0 {
@@ -370,8 +415,12 @@ func (lb *LoadBalancer) handleSteered(pkt *packet.Packet, e *vipEntry) {
 			return
 		}
 	}
-	if pkt.TCP.Flags.Has(tcpseg.FlagFIN) || pkt.TCP.Flags.Has(tcpseg.FlagRST) {
-		lb.flows.MarkClosing(lb.sim.Now(), flow)
+	if pkt.TCP.Flags.Has(tcpseg.FlagFIN) || isRST {
+		if lb.flows.MarkClosing(now, flow) {
+			if st := e.stateful; st != nil {
+				st.Observe(server, -1)
+			}
+		}
 		lb.Counts.Inc("closing_observed")
 	}
 	vip := pkt.IP.Dst

@@ -16,6 +16,7 @@ import (
 
 	"srlb/internal/agent"
 	"srlb/internal/appserver"
+	"srlb/internal/feedback"
 	"srlb/internal/rng"
 	"srlb/internal/selection"
 	"srlb/internal/sketch"
@@ -32,6 +33,12 @@ type PolicySpec struct {
 	// NewAgent builds a fresh acceptance policy per server (SRdyn keeps
 	// per-server adaptive state, so one instance per server).
 	NewAgent func() agent.Policy
+	// Scheme, when non-nil, overrides candidate selection entirely: it
+	// builds the VIP's scheme from the pool, the per-VIP rng stream, and
+	// the VIP's feedback view (nil when the cluster's feedback plane is
+	// disabled — load-aware schemes must then degrade to their oblivious
+	// fallback). Candidates and ConsistentHash are ignored when set.
+	Scheme testbed.FeedbackSchemeFn
 }
 
 // RR is the paper's baseline: one random server, no Service Hunting.
@@ -77,6 +84,76 @@ func PaperPolicies() []PolicySpec {
 	return []PolicySpec{RR(), SRc(4), SRc(8), SRc(16), SRdyn()}
 }
 
+// Random2 is plain power-of-two random placement with no acceptance
+// gating — the load-oblivious anchor of the policy ablation (the scheme
+// every load-aware policy degrades to when its signal goes stale).
+func Random2() PolicySpec {
+	return PolicySpec{
+		Name:       "random2",
+		Candidates: 2,
+		NewAgent:   func() agent.Policy { return agent.Always{} },
+	}
+}
+
+// CHash2 selects two candidates from the Maglev consistent-hash table —
+// the connection-affine anchor of the policy ablation.
+func CHash2() PolicySpec {
+	return PolicySpec{
+		Name: "chash2",
+		Scheme: func(servers []netip.Addr, _ *rand.Rand, _ *feedback.VIPView) selection.Scheme {
+			s, err := selection.NewConsistentHash(servers, 0)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		},
+		NewAgent: func() agent.Policy { return agent.Always{} },
+	}
+}
+
+// WeightedLeastLoadPolicy re-ranks two random candidates by the servers'
+// reported load (Charon-style weighted least-load over the feedback
+// plane); with the plane disabled or any report stale it degrades to
+// random2.
+func WeightedLeastLoadPolicy() PolicySpec {
+	return PolicySpec{
+		Name: "wleastload",
+		Scheme: func(servers []netip.Addr, r *rand.Rand, view *feedback.VIPView) selection.Scheme {
+			var lv selection.LoadView
+			if view != nil {
+				lv = view
+			}
+			return selection.NewWeightedLeastLoad(servers, 2, r, lv)
+		},
+		NewAgent: func() agent.Policy { return agent.Always{} },
+	}
+}
+
+// FlowletPolicy places like random2 but re-steers established flows at
+// flowlet-gap boundaries onto less-loaded servers (gap ≤ 0 takes
+// selection.DefaultFlowletGap). With the feedback plane disabled flows
+// never move.
+func FlowletPolicy(gap time.Duration) PolicySpec {
+	return PolicySpec{
+		Name: "flowlet",
+		Scheme: func(servers []netip.Addr, r *rand.Rand, view *feedback.VIPView) selection.Scheme {
+			var lv selection.LoadView
+			if view != nil {
+				lv = view
+			}
+			return selection.NewFlowlet(servers, gap, r, lv)
+		},
+		NewAgent: func() agent.Policy { return agent.Always{} },
+	}
+}
+
+// AblationPolicies returns the four-way scheme ablation of RunPolicies:
+// {random2, chash2, wleastload, flowlet}, all with Always-accepting
+// servers so the comparison isolates candidate selection.
+func AblationPolicies() []PolicySpec {
+	return []PolicySpec{Random2(), CHash2(), WeightedLeastLoadPolicy(), FlowletPolicy(0)}
+}
+
 // ClusterConfig fixes the testbed parameters shared by all experiments.
 // The zero value is the paper's platform: 12 servers × (32 workers,
 // 2 cores, backlog 128, abort-on-overflow).
@@ -104,6 +181,13 @@ type ClusterConfig struct {
 	// Events is the lifecycle schedule (server drain/add/fail, replica
 	// fail/recover) applied at virtual times during each run.
 	Events []testbed.Event
+
+	// Feedback enables the server-load telemetry plane: servers publish
+	// load reports every Feedback.Interval and load-aware policy schemes
+	// (WeightedLeastLoadPolicy, FlowletPolicy) read them through a
+	// freshness-tracked view. A zero Horizon is filled in per run with
+	// the cell's own simulation horizon.
+	Feedback feedback.Config
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -152,7 +236,16 @@ func (c ClusterConfig) vipSpec(spec PolicySpec) testbed.VIPSpec {
 		}
 		return s
 	}
-	if c.ConsistentHash && k == 2 {
+	if spec.Scheme != nil {
+		// The policy carries its own scheme constructor. Both forms are
+		// installed: FeedbackScheme serves feedback-enabled topologies,
+		// the plain form (nil view — the scheme's oblivious fallback)
+		// serves everything else.
+		vip.FeedbackScheme = spec.Scheme
+		vip.Scheme = func(servers []netip.Addr, r *rand.Rand) selection.Scheme {
+			return spec.Scheme(servers, r, nil)
+		}
+	} else if c.ConsistentHash && k == 2 {
 		vip.Scheme = func(servers []netip.Addr, _ *rand.Rand) selection.Scheme {
 			return chash(servers)
 		}
@@ -178,6 +271,7 @@ func (c ClusterConfig) topology(spec PolicySpec) testbed.Topology {
 		Clients:  c.Clients,
 		VIPs:     []testbed.VIPSpec{c.vipSpec(spec)},
 		Events:   c.Events,
+		Feedback: c.Feedback,
 	}
 }
 

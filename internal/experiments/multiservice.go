@@ -352,6 +352,25 @@ type MultiServiceWorkload struct {
 	// inherit the cluster's; a nil Policy takes the PolicySpec under
 	// test (one agent per physical server, shared by every service).
 	Pools []testbed.PoolSpec
+	// CloseAck makes clients acknowledge responses with a final ACK+FIN
+	// (testbed.Generator.CloseAck) — the extra steered packet arrives a
+	// service time after the request, giving flowlet-grained policies a
+	// boundary to act on. Off by default: the extra frame shifts the
+	// shared network rng stream of pinned experiments.
+	CloseAck bool
+}
+
+// MultiServiceStats is MultiServiceWorkload's CellOutcome.Extra payload:
+// the cluster-side counters a policy ablation wants alongside the
+// latency aggregates. (CellStats drops Extra — read these off the raw
+// SweepResult cells.)
+type MultiServiceStats struct {
+	// Resteers counts flowlet re-steers (mid-connection candidate
+	// rewrites) summed across LB replicas.
+	Resteers uint64
+	// Rebinds is the flow-table view of the same events, summed across
+	// replicas — equal to Resteers unless a rebind raced an expiry.
+	Rebinds uint64
 }
 
 // ResolveLoads returns the per-service loads at the sweep's load point,
@@ -458,8 +477,13 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 		Pools:    pools,
 		VIPs:     specs,
 		Events:   testbed.ResolveEvents(cluster.Events, span),
+		Feedback: cluster.Feedback,
+	}
+	if top.Feedback.Enabled && top.Feedback.Horizon <= 0 {
+		top.Feedback.Horizon = span + 2*time.Minute
 	}
 	tb := testbed.Build(top)
+	tb.Gen.CloseAck = w.CloseAck
 
 	// Aggregate and per-VIP accounting: the sink demultiplexes by
 	// Result.VIP, with every service pre-registered in service order so
@@ -517,6 +541,12 @@ func (w MultiServiceWorkload) Run(ctx context.Context, cluster ClusterConfig, sp
 			Unfinished: int(vs.Counters.Unfinished),
 		}
 	}
+	var ms MultiServiceStats
+	for _, lb := range tb.LBs {
+		ms.Resteers += lb.Counts.Get("flowlet_resteer")
+		ms.Rebinds += lb.FlowStats().Rebinds
+	}
+	out.Extra = ms
 	return out, err
 }
 

@@ -1,0 +1,359 @@
+// Policy ablation over the load-feedback telemetry plane: the four-way
+// scheme comparison {random2, chash2, wleastload, flowlet} run over the
+// cross-service interference workload (steady web victim + bursty batch
+// aggressor on one shared pool) and its pool-churn variant, with the
+// feedback plane enabled so the load-aware schemes actually see the
+// surge. Clients close connections explicitly (CloseAck) so every
+// connection carries one late steered packet — the flowlet boundary the
+// flowlet policy re-steers at.
+//
+// The measurement is the usual victim view (p99 and completion per
+// service as the aggressor ramps) plus the mechanism counter the
+// ablation is really about: how many established flows the flowlet
+// policy moved mid-connection (Resteers), while per-VIP conservation
+// (offered == ok + refused + unfinished) still holds.
+//
+// RunPolicies is the canonical instance behind
+// `srlb-bench -experiment policies`.
+
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"srlb/internal/feedback"
+	"srlb/internal/metrics"
+	"srlb/internal/plot"
+	"srlb/internal/testbed"
+)
+
+// PoliciesConfig parameterizes the experiment.
+type PoliciesConfig struct {
+	Cluster ClusterConfig
+	// Lambda0 is the shared pool's calibrated capacity rate (0 ⇒
+	// measured via CalibrateCached on the base cluster).
+	Lambda0 float64
+	// WebRho is the victim's pinned load fraction (default 0.55).
+	WebRho float64
+	// BatchRhos is the aggressor axis (default {0.05, 0.2, 0.35, 0.5}).
+	BatchRhos []float64
+	// Queries is the web VIP's arrivals per cell (default 20000).
+	Queries int
+	// BatchPeak is the batch service's ON-state burst factor (default 4).
+	BatchPeak float64
+	// FlowletGap is the flowlet policy's idle gap (0 ⇒
+	// selection.DefaultFlowletGap). Used only when Policies is empty.
+	FlowletGap time.Duration
+	// Feedback overrides the telemetry plane's tuning; Enabled is forced
+	// on (the ablation is about the plane).
+	Feedback feedback.Config
+	// ChurnBy is how many shared-pool servers the churn variant drains
+	// mid-run and later re-adds (default a third of the pool, at least 1).
+	ChurnBy int
+	// Policies defaults to AblationPolicies() with FlowletGap applied.
+	Policies []PolicySpec
+	// Seeds is the replication axis (default: the cluster seed alone).
+	Seeds    []uint64
+	Workers  int
+	Progress func(string)
+}
+
+// PoliciesRow is one (variant, batch-load, policy, service) outcome
+// aggregated across the replication axis; Service "all" is the
+// aggregate over both services.
+type PoliciesRow struct {
+	// Variant is "steady" or "churn"; BatchRho the aggressor's load (the
+	// sweep knob); Load the row's service's own resolved load.
+	Variant  string
+	BatchRho float64
+	Policy   string
+	Service  string
+	Load     float64
+	// N counts completed replicates.
+	N                            int
+	Mean, MeanCI95, P99, P99CI95 time.Duration
+	OKFrac, OKFracCI95           float64
+	// Offered, Refused and Unfinished are across-seed mean counts.
+	Offered, Refused, Unfinished float64
+	// Resteers is the across-seed mean count of flowlet re-steers
+	// (mid-connection candidate rewrites, whole cluster — reported on
+	// the "all" rows, zero elsewhere and for non-flowlet policies).
+	Resteers float64
+}
+
+// PoliciesResult holds the full grid.
+type PoliciesResult struct {
+	Lambda0 float64
+	WebRho  float64
+	// BatchRhos is the swept aggressor axis.
+	BatchRhos []float64
+	Seeds     []uint64
+	// Variants lists the topology variants ("steady", "churn");
+	// Services the service names in spec order (web, batch).
+	Variants []string
+	Services []string
+	// Stats is the underlying replicated sweep — the machine-readable
+	// artifact's source (schema v7 adds the variant axis rows).
+	Stats SweepStats
+	Rows  []PoliciesRow
+}
+
+// RunPolicies executes the experiment.
+func RunPolicies(cfg PoliciesConfig) PoliciesResult {
+	return RunPoliciesCtx(context.Background(), cfg)
+}
+
+// RunPoliciesCtx is RunPolicies with cancellation; cancelled cells are
+// dropped from the aggregates.
+func RunPoliciesCtx(ctx context.Context, cfg PoliciesConfig) PoliciesResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if cfg.WebRho == 0 {
+		cfg.WebRho = 0.55
+	}
+	if len(cfg.BatchRhos) == 0 {
+		cfg.BatchRhos = []float64{0.05, 0.2, 0.35, 0.5}
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.BatchPeak == 0 {
+		cfg.BatchPeak = 4
+	}
+	if cfg.ChurnBy == 0 {
+		cfg.ChurnBy = max(1, cfg.Cluster.Servers/3)
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{
+			Random2(), CHash2(), WeightedLeastLoadPolicy(), FlowletPolicy(cfg.FlowletGap),
+		}
+	}
+	if cfg.Lambda0 == 0 {
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+	// The ablation is about the telemetry plane — it is always on here;
+	// per-policy degradation to the oblivious fallback happens through
+	// staleness, not through the config.
+	cfg.Cluster.Feedback = cfg.Feedback
+	cfg.Cluster.Feedback.Enabled = true
+
+	// Same shape as RunInterference: the victim's span fixes the window,
+	// the aggressor is time-bounded to it. CloseAck gives every
+	// connection its late steered packet — the flowlet boundary.
+	span := time.Duration(float64(cfg.Queries) / (cfg.WebRho * cfg.Lambda0) * float64(time.Second))
+	workload := MultiServiceWorkload{
+		Services: []ServiceSpec{
+			{Name: "web", Pool: "shared", Workload: PoissonService{Lambda0: cfg.Lambda0, Queries: cfg.Queries}},
+			{Name: "batch", Pool: "shared", Workload: BurstyService{
+				Lambda0: cfg.Lambda0, Horizon: span, PeakFactor: cfg.BatchPeak,
+			}},
+		},
+		ServiceLoads: []ServiceLoad{{Fixed: cfg.WebRho}, {}},
+		Pools:        []testbed.PoolSpec{{Name: "shared"}},
+		CloseAck:     true,
+	}
+	variants := []ClusterVariant{
+		{Name: "steady"},
+		{Name: "churn", Apply: func(c ClusterConfig) ClusterConfig {
+			c.Events = poolChurnEvents("shared", cfg.ChurnBy, 0.3, 0.65)
+			return c
+		}},
+	}
+
+	raw, _ := Runner{Workers: cfg.Workers, Progress: cfg.Progress}.RunSweep(ctx, Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		Variants: variants,
+		Loads:    cfg.BatchRhos,
+		Seeds:    cfg.Seeds,
+		Workload: workload,
+	})
+	agg := raw.Aggregate()
+
+	res := PoliciesResult{
+		Lambda0:   cfg.Lambda0,
+		WebRho:    cfg.WebRho,
+		BatchRhos: cfg.BatchRhos,
+		Seeds:     agg.Seeds,
+		Stats:     agg,
+	}
+	for _, va := range variants {
+		res.Variants = append(res.Variants, va.Name)
+	}
+	for _, svc := range workload.Services {
+		res.Services = append(res.Services, svc.Name)
+	}
+	for vi, variant := range res.Variants {
+		for li, rho := range cfg.BatchRhos {
+			for pi, spec := range cfg.Policies {
+				cs := agg.CellAt(pi, vi, li)
+				if cs.N() == 0 {
+					continue
+				}
+				var offered float64
+				for _, vs := range cs.VIPs {
+					offered += vs.Offered.Dist.Mean
+				}
+				// Aggregate drops CellOutcome.Extra, so the mechanism
+				// counter comes off the raw replicate cells.
+				var resteers float64
+				var done int
+				for si := range agg.Seeds {
+					cell := raw.CellAt(pi, vi, li, si)
+					if cell.Err != nil {
+						continue
+					}
+					if ms, ok := cell.Outcome.Extra.(MultiServiceStats); ok {
+						resteers += float64(ms.Resteers)
+						done++
+					}
+				}
+				if done > 0 {
+					resteers /= float64(done)
+				}
+				res.Rows = append(res.Rows, PoliciesRow{
+					Variant: variant, BatchRho: rho, Policy: spec.Name, Service: "all", Load: rho, N: cs.N(),
+					Mean: secDur(cs.Mean.Dist.Mean), MeanCI95: secDur(cs.Mean.Dist.CI95),
+					P99: secDur(cs.P99.Dist.Mean), P99CI95: secDur(cs.P99.Dist.CI95),
+					OKFrac: cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+					Offered:    offered,
+					Refused:    cs.Refused.Dist.Mean,
+					Unfinished: cs.Unfinished.Dist.Mean,
+					Resteers:   resteers,
+				})
+				for _, vs := range cs.VIPs {
+					res.Rows = append(res.Rows, PoliciesRow{
+						Variant: variant, BatchRho: rho, Policy: spec.Name, Service: vs.Name, Load: vs.Load, N: cs.N(),
+						Mean: secDur(vs.Mean.Dist.Mean), MeanCI95: secDur(vs.Mean.Dist.CI95),
+						P99: secDur(vs.P99.Dist.Mean), P99CI95: secDur(vs.P99.Dist.CI95),
+						OKFrac: vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.CI95,
+						Offered:    vs.Offered.Dist.Mean,
+						Refused:    vs.Refused.Dist.Mean,
+						Unfinished: vs.Unfinished.Dist.Mean,
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// poolChurnEvents is churnEvents retargeted at a named shared pool:
+// churnBy drains starting at drainFrac of the span, churnBy adds at
+// growFrac, each phase staggered by 1% per server.
+func poolChurnEvents(pool string, churnBy int, drainFrac, growFrac float64) []testbed.Event {
+	frac := func(f float64) float64 {
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	events := make([]testbed.Event, 0, 2*churnBy)
+	for g := 0; g < churnBy; g++ {
+		events = append(events, testbed.DrainPoolServer(0, pool, g).AtFraction(frac(drainFrac+float64(g)*0.01)))
+	}
+	for g := 0; g < churnBy; g++ {
+		events = append(events, testbed.AddPoolServer(0, pool).AtFraction(frac(growFrac+float64(g)*0.01)))
+	}
+	return events
+}
+
+// Row returns the row for (variant, policy, service) at the batch load
+// closest to the requested one.
+func (r PoliciesResult) Row(variant, policy, service string, batchRho float64) (PoliciesRow, error) {
+	var best PoliciesRow
+	bestDiff := -1.0
+	for _, row := range r.Rows {
+		if row.Variant != variant || row.Policy != policy || row.Service != service {
+			continue
+		}
+		d := row.BatchRho - batchRho
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			bestDiff = d
+			best = row
+		}
+	}
+	if bestDiff < 0 {
+		return PoliciesRow{}, fmt.Errorf("policies: no row for (%q, %q, %q)", variant, policy, service)
+	}
+	return best, nil
+}
+
+// TotalResteers sums the across-seed mean re-steer counts of the
+// policy's cells in the given variant — the experiment's mechanism
+// check (> 0 means the flowlet policy really moved established flows).
+func (r PoliciesResult) TotalResteers(variant, policy string) float64 {
+	var total float64
+	for _, row := range r.Rows {
+		if row.Variant == variant && row.Policy == policy && row.Service == "all" {
+			total += row.Resteers
+		}
+	}
+	return total
+}
+
+// PlotFacets renders one facet per (variant, service): p99 vs batch
+// load, one series per policy with across-seed ci95 whiskers.
+func (r PoliciesResult) PlotFacets() []plot.Facet {
+	facets := make([]plot.Facet, 0, len(r.Variants)*len(r.Services))
+	for _, variant := range r.Variants {
+		for _, svc := range r.Services {
+			byPolicy := make(map[string]*plot.Series)
+			var order []string
+			for _, row := range r.Rows {
+				if row.Variant != variant || row.Service != svc {
+					continue
+				}
+				ser, ok := byPolicy[row.Policy]
+				if !ok {
+					ser = &plot.Series{Name: row.Policy}
+					byPolicy[row.Policy] = ser
+					order = append(order, row.Policy)
+				}
+				ser.X = append(ser.X, row.BatchRho)
+				ser.Y = append(ser.Y, row.P99.Seconds())
+				ser.YErr = append(ser.YErr, row.P99CI95.Seconds())
+			}
+			series := make([]plot.Series, 0, len(order))
+			for _, name := range order {
+				series = append(series, *byPolicy[name])
+			}
+			facets = append(facets, plot.Facet{
+				Title:  fmt.Sprintf("Policies[%s]: %s p99 (s) vs batch load (web pinned at rho=%.2f)", variant, svc, r.WebRho),
+				Series: series,
+			})
+		}
+	}
+	return facets
+}
+
+// WriteTSV renders the grid: one row per (variant, batch_rho, policy,
+// service), the aggregate first.
+func (r PoliciesResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Policy ablation with load feedback: web pinned at rho=%.2f, batch swept, steady+churn variants; lambda0=%.1f q/s\n",
+		r.WebRho, r.Lambda0); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "variant\tbatch_rho\tpolicy\tservice\trho_svc\toffered\tmean_s\tmean_ci95_s\tp99_s\tp99_ci95_s\tok_frac\tok_ci95\tresteers\trefused\tunfinished\tn"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s\t%.2f\t%s\t%s\t%.2f\t%.0f\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.1f\t%.0f\t%.0f\t%d\n",
+			row.Variant, row.BatchRho, row.Policy, row.Service, row.Load, row.Offered,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.MeanCI95),
+			metrics.FormatDuration(row.P99),
+			metrics.FormatDuration(row.P99CI95),
+			row.OKFrac, row.OKFracCI95, row.Resteers,
+			row.Refused, row.Unfinished, row.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -273,6 +273,11 @@ func runOpenLoop(ctx context.Context, cluster ClusterConfig, spec PolicySpec, ar
 	span := time.Duration(float64(queries) / meanRate * float64(time.Second))
 	top := cluster.topology(spec)
 	top.Events = testbed.ResolveEvents(top.Events, span)
+	if top.Feedback.Enabled && top.Feedback.Horizon <= 0 {
+		// Publish through the run's own horizon (the drain window
+		// included), then stop so the idle simulator can terminate.
+		top.Feedback.Horizon = span + 2*time.Minute
+	}
 	tb := testbed.Build(top)
 	tb.Gen.RetransmitRTO = rto
 

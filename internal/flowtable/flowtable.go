@@ -52,6 +52,7 @@ type entry struct {
 	key      packet.FlowKey
 	backend  netip.Addr
 	deadline time.Duration // absolute expiry
+	seen     time.Duration // last packet time (idle-gap queries)
 	closing  bool
 	// Intrusive LRU links. The list is circular through the table's
 	// sentinel: head side = most recently used. A free entry reuses next
@@ -66,6 +67,7 @@ type Stats struct {
 	Inserts   uint64
 	Evictions uint64
 	Expiries  uint64
+	Rebinds   uint64
 }
 
 // Table maps flows to backends with TTL + LRU eviction. Not safe for
@@ -131,6 +133,7 @@ func (t *Table) Insert(now time.Duration, key packet.FlowKey, backend netip.Addr
 	if e, ok := t.entries[key]; ok {
 		e.backend = backend
 		e.deadline = now + t.cfg.IdleTTL
+		e.seen = now
 		e.closing = false
 		t.moveToFront(e)
 		return
@@ -142,6 +145,7 @@ func (t *Table) Insert(now time.Duration, key packet.FlowKey, backend netip.Addr
 	e.key = key
 	e.backend = backend
 	e.deadline = now + t.cfg.IdleTTL
+	e.seen = now
 	t.pushFront(e)
 	t.entries[key] = e
 	t.stats.Inserts++
@@ -164,20 +168,68 @@ func (t *Table) Lookup(now time.Duration, key packet.FlowKey) (netip.Addr, bool)
 	if !e.closing {
 		e.deadline = now + t.cfg.IdleTTL
 	}
+	e.seen = now
 	t.moveToFront(e)
 	t.stats.Hits++
 	return e.backend, true
 }
 
-// MarkClosing shortens the entry's remaining lifetime to FinLinger —
-// called when the LB observes FIN or RST on the flow.
-func (t *Table) MarkClosing(now time.Duration, key packet.FlowKey) {
-	if e, ok := t.entries[key]; ok {
-		e.closing = true
-		if d := now + t.cfg.FinLinger; d < e.deadline {
-			e.deadline = d
-		}
+// LookupIdle is Lookup plus the flow's idle gap: how long since the
+// entry last saw a packet, measured before this one refreshes it — the
+// flowlet-boundary signal. Semantics otherwise match Lookup (TTL
+// refresh, LRU touch, expiry-as-miss).
+func (t *Table) LookupIdle(now time.Duration, key packet.FlowKey) (backend netip.Addr, idle time.Duration, ok bool) {
+	e, found := t.entries[key]
+	if !found {
+		t.stats.Misses++
+		return netip.Addr{}, 0, false
 	}
+	if now > e.deadline {
+		t.removeEntry(e)
+		t.stats.Expiries++
+		t.stats.Misses++
+		return netip.Addr{}, 0, false
+	}
+	idle = now - e.seen
+	if !e.closing {
+		e.deadline = now + t.cfg.IdleTTL
+	}
+	e.seen = now
+	t.moveToFront(e)
+	t.stats.Hits++
+	return e.backend, idle, true
+}
+
+// Rebind moves an existing flow to a new backend — the mid-connection
+// candidate rewrite behind flowlet re-steering. Unlike Insert it
+// touches nothing else: closing state and the deadline are preserved
+// (the triggering packet's LookupIdle already refreshed them), and a
+// missing key is a no-op returning false.
+func (t *Table) Rebind(now time.Duration, key packet.FlowKey, backend netip.Addr) bool {
+	e, ok := t.entries[key]
+	if !ok {
+		return false
+	}
+	e.backend = backend
+	t.stats.Rebinds++
+	return true
+}
+
+// MarkClosing shortens the entry's remaining lifetime to FinLinger —
+// called when the LB observes FIN or RST on the flow. It reports
+// whether this call newly marked the entry (false for retransmitted
+// FINs and unknown flows), so the caller can run exactly-once teardown
+// bookkeeping.
+func (t *Table) MarkClosing(now time.Duration, key packet.FlowKey) bool {
+	e, ok := t.entries[key]
+	if !ok || e.closing {
+		return false
+	}
+	e.closing = true
+	if d := now + t.cfg.FinLinger; d < e.deadline {
+		e.deadline = d
+	}
+	return true
 }
 
 // Delete removes the entry immediately.

@@ -1,0 +1,164 @@
+package testbed
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"srlb/internal/feedback"
+	"srlb/internal/selection"
+)
+
+// wllFeedbackScheme is the load-aware constructor the experiments use,
+// minus the typed-nil dance (the view is always real here).
+func wllFeedbackScheme(servers []netip.Addr, r *rand.Rand, view *feedback.VIPView) selection.Scheme {
+	var lv selection.LoadView
+	if view != nil {
+		lv = view
+	}
+	return selection.NewWeightedLeastLoad(servers, 2, r, lv)
+}
+
+// Staleness end to end: a server that stops publishing (here: fails)
+// goes stale in the shared view one TTL after its last report, while the
+// survivors stay fresh through the periodic ticks — so every load-aware
+// scheme demotes to its oblivious fallback exactly for the silent
+// server. A later fresh report recovers it.
+func TestFeedbackStalenessAndRecovery(t *testing.T) {
+	const servers = 3
+	failAt := 20 * time.Millisecond
+	tb := Build(Topology{
+		Seed: 41,
+		VIPs: []VIPSpec{{
+			Servers:        servers,
+			Scheme:         func(s []netip.Addr, r *rand.Rand) selection.Scheme { return selection.NewRandom(s, 2, r) },
+			FeedbackScheme: wllFeedbackScheme,
+		}},
+		// Horizon 0: no automatic ticker — the test drives publication.
+		Feedback: feedback.Config{Enabled: true},
+		Events:   []Event{FailServer(failAt, 0, 1)},
+	})
+	if tb.Feedback == nil {
+		t.Fatal("feedback plane not built")
+	}
+	cfg := tb.Feedback.Config()
+	vip := tb.VIPAddrOf(0)
+	view := tb.Feedback.For(vip)
+	victim := PoolServerAddr(0, 1)
+
+	type probe struct {
+		at     time.Duration
+		fresh  map[netip.Addr]bool
+		sample bool
+	}
+	var got []probe
+	check := func(at time.Duration, sample bool) {
+		tb.Sim.At(at, func() {
+			if sample {
+				tb.PublishFeedback()
+			}
+			p := probe{at: at, fresh: make(map[netip.Addr]bool, servers), sample: sample}
+			for i := 0; i < servers; i++ {
+				a := PoolServerAddr(0, i)
+				_, fresh := view.ServerLoad(a)
+				p.fresh[a] = fresh
+			}
+			got = append(got, p)
+		})
+	}
+
+	// t=10ms: everyone publishes. t=10ms+TTL+1ms: the victim has failed
+	// (the declared Event) and published nothing since, survivors
+	// republished — the victim alone must be stale. A later fresh report
+	// (direct ingest: failed servers can't publish) recovers it.
+	check(10*time.Millisecond, true)
+	staleAt := 10*time.Millisecond + cfg.TTL + time.Millisecond
+	check(staleAt-2*time.Millisecond, true) // survivors refresh; victim silent
+	check(staleAt, false)
+	recoverAt := staleAt + time.Millisecond
+	tb.Sim.At(recoverAt, func() {
+		tb.Feedback.Ingest(vip, victim, feedback.Report{Util: 0.1, At: tb.Sim.Now()})
+	})
+	check(recoverAt+time.Millisecond, false)
+	tb.Sim.Run()
+
+	if len(got) != 4 {
+		t.Fatalf("%d probes ran, want 4", len(got))
+	}
+	for i := 0; i < servers; i++ {
+		if !got[0].fresh[PoolServerAddr(0, i)] {
+			t.Fatalf("server %d not fresh right after the first publish", i)
+		}
+	}
+	for i := 0; i < servers; i++ {
+		a := PoolServerAddr(0, i)
+		wantFresh := a != victim
+		if got[2].fresh[a] != wantFresh {
+			t.Fatalf("at TTL expiry: server %d fresh=%v, want %v (victim is silent)",
+				i, got[2].fresh[a], wantFresh)
+		}
+	}
+	if !got[3].fresh[victim] {
+		t.Fatal("fresh report did not recover the stale server")
+	}
+}
+
+// The periodic publishing ticker: with a positive horizon, reports land
+// every interval without any workload, the simulation still terminates,
+// and ticks stop at the horizon — plus every replica's scheme reads the
+// same shared view.
+func TestFeedbackPublishingTicker(t *testing.T) {
+	horizon := time.Second
+	tb := Build(Topology{
+		Seed:     43,
+		Replicas: 2,
+		VIPs: []VIPSpec{{
+			Servers:        2,
+			Scheme:         func(s []netip.Addr, r *rand.Rand) selection.Scheme { return selection.NewRandom(s, 2, r) },
+			FeedbackScheme: wllFeedbackScheme,
+		}},
+		Feedback: feedback.Config{Enabled: true, Interval: 100 * time.Millisecond, Horizon: horizon},
+	})
+	tb.Sim.Run()
+	if end := tb.Sim.Now(); end > horizon {
+		t.Fatalf("ticker ran past its horizon: sim ended at %v", end)
+	}
+	// 10 ticks × 2 servers × 1 VIP.
+	if got := tb.Feedback.Stats().Ingests; got != 20 {
+		t.Fatalf("Ingests = %d, want 20 (10 bounded ticks over 2 servers)", got)
+	}
+	// One shared view: both replicas' schemes see the same projection.
+	view := tb.Feedback.For(tb.VIPAddrOf(0))
+	for i := 0; i < 2; i++ {
+		if _, ok := view.Report(PoolServerAddr(0, i)); !ok {
+			t.Fatalf("server %d never reported through the ticker", i)
+		}
+	}
+}
+
+// Feedback disabled is the zero-cost default: no view, and VIPs with a
+// FeedbackScheme fall back to their plain Scheme.
+func TestFeedbackDisabledUsesPlainScheme(t *testing.T) {
+	built := 0
+	tb := Build(Topology{
+		Seed: 47,
+		VIPs: []VIPSpec{{
+			Servers: 2,
+			Scheme: func(s []netip.Addr, r *rand.Rand) selection.Scheme {
+				built++
+				return selection.NewRandom(s, 2, r)
+			},
+			FeedbackScheme: func([]netip.Addr, *rand.Rand, *feedback.VIPView) selection.Scheme {
+				t.Fatal("FeedbackScheme invoked with the plane disabled")
+				return nil
+			},
+		}},
+	})
+	if tb.Feedback != nil {
+		t.Fatal("view built with feedback disabled")
+	}
+	if built != 1 {
+		t.Fatalf("plain scheme built %d times, want 1", built)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"srlb/internal/appserver"
 	"srlb/internal/core"
 	"srlb/internal/des"
+	"srlb/internal/feedback"
 	"srlb/internal/flowtable"
 	"srlb/internal/ipv6"
 	"srlb/internal/metrics"
@@ -200,6 +201,9 @@ type Testbed struct {
 	Routers []*vrouter.Router
 	Servers []*appserver.Server
 	Gen     *Generator
+	// Feedback is the cluster's load-report view, shared by every LB
+	// replica; nil unless Topology.Feedback.Enabled.
+	Feedback *feedback.View
 
 	vips []*vipState
 	// pools lists every compiled pool — implicit per-VIP pools in VIP
@@ -293,6 +297,14 @@ type Generator struct {
 	// MaxTries bounds total SYN transmissions when RetransmitRTO > 0
 	// (default 4).
 	MaxTries int
+	// CloseAck makes the client acknowledge the response with a final
+	// ACK+FIN. Off by default: the legacy client sends nothing after
+	// its request, and the extra frame would shift the shared network
+	// rng stream of every pinned experiment. Flowlet-grained policies
+	// enable it — the close-ACK arrives a service time after the
+	// request, so it is the one steered packet that naturally crosses
+	// flowlet-gap boundaries.
+	CloseAck bool
 	OnResult func(Result)
 	Counts   *metrics.Counter
 	nextSrc  int
@@ -462,6 +474,25 @@ func (g *Generator) Handle(pkt *packet.Packet) {
 	case len(pkt.TCP.Payload) > 0 || pkt.TCP.Flags.Has(tcpseg.FlagFIN):
 		// The response.
 		g.Counts.Inc("responses_rx")
+		if g.CloseAck {
+			// Close the connection actively: the ACK+FIN travels the
+			// steered path through the LB (marking the flow closing
+			// there), and — arriving a full service time after the
+			// request — is the packet flowlet policies see at a
+			// boundary. The response time was measured above; whatever
+			// server the FIN lands on cannot change the outcome.
+			fin := &g.scratch
+			*fin = packet.Packet{
+				IP: ipv6.Header{Src: flow.Src, Dst: flow.Dst},
+				TCP: tcpseg.Segment{
+					SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+					Seq: 2, Ack: pkt.TCP.Seq + 1,
+					Flags: tcpseg.FlagACK | tcpseg.FlagFIN,
+				},
+			}
+			g.Counts.Inc("close_acks_tx")
+			g.net.Send(fin)
+		}
 		g.finish(pq, Result{
 			ID: pq.q.ID, Class: pq.q.Class, IssuedAt: pq.sentAt,
 			RT: g.sim.Now() - pq.sentAt, OK: true,

@@ -27,6 +27,7 @@ import (
 	"srlb/internal/appserver"
 	"srlb/internal/core"
 	"srlb/internal/des"
+	"srlb/internal/feedback"
 	"srlb/internal/flowtable"
 	"srlb/internal/netsim"
 	"srlb/internal/packet"
@@ -81,8 +82,16 @@ func SharedPoolServerAddr(p, i int) netip.Addr {
 // SchemeFn builds a candidate-selection scheme over the current server
 // pool. When an Event changes the pool, the function is invoked again
 // with the new pool and the *same* rng, so the scheme's random stream
-// continues deterministically across churn.
+// continues deterministically across churn. (Stateful schemes are
+// instead kept and re-pointed via selection.Stateful.Update, preserving
+// their accumulated state.)
 type SchemeFn func(servers []netip.Addr, r *rand.Rand) selection.Scheme
+
+// FeedbackSchemeFn builds a load-aware scheme over the current pool,
+// additionally receiving the VIP's projection of the replica-shared
+// feedback view. Used only when Topology.Feedback.Enabled; VIPs without
+// one fall back to their plain SchemeFn.
+type FeedbackSchemeFn func(servers []netip.Addr, r *rand.Rand, view *feedback.VIPView) selection.Scheme
 
 // FallbackFn builds the miss-fallback scheme over the current pool — the
 // steering path for packets whose flow the replica never learned
@@ -142,6 +151,12 @@ type VIPSpec struct {
 	// 2 uniform-random candidates, the paper's). Per VIP even on a
 	// shared pool: each service hunts with its own scheme instance.
 	Scheme SchemeFn
+	// FeedbackScheme, when non-nil and the topology's feedback plane is
+	// enabled, builds the VIP's scheme with access to the load-report
+	// view; it replaces Scheme under those conditions and is ignored
+	// otherwise (so one VIPSpec serves both oblivious and load-aware
+	// runs of the same topology).
+	FeedbackScheme FeedbackSchemeFn
 	// Fallback, when non-nil, builds the VIP's miss-fallback scheme.
 	Fallback FallbackFn
 	// Demand builds server i's demand function (default DefaultDemand).
@@ -172,6 +187,14 @@ type Topology struct {
 	// Events is the lifecycle schedule, applied at virtual times during
 	// the run. Events at the same instant apply in slice order.
 	Events []Event
+	// Feedback configures the server-load telemetry plane. Disabled by
+	// default: servers publish nothing and VIPSpec.FeedbackScheme is
+	// ignored, so existing topologies run exactly as before. When
+	// enabled with a positive Horizon, every live server publishes a
+	// report each Interval (DES-scheduled, deterministic) until the
+	// horizon; with Horizon ≤ 0 nothing is scheduled and tests drive
+	// publication manually via Testbed.PublishFeedback.
+	Feedback feedback.Config
 }
 
 // EventKind enumerates topology lifecycle actions.
@@ -525,6 +548,9 @@ type serverSlot struct {
 	server  *appserver.Server
 	drained bool
 	failed  bool
+	// pub is the slot's feedback publisher (EWMA state), nil when the
+	// topology's telemetry plane is disabled.
+	pub *feedback.Publisher
 }
 
 // poolState is the runtime side of one pool — named and shared, or the
@@ -580,7 +606,11 @@ type replicaState struct {
 
 // mutableScheme delegates to the pool's current scheme; lifecycle events
 // swap the underlying scheme when the pool changes, so the LB's VIP map
-// never has to be rebuilt.
+// never has to be rebuilt. It forwards the optional Stateful/Resteerer
+// capabilities with a per-call type check, and implements
+// selection.Wrapper so the LB's compile-time capability probe sees the
+// inner scheme — a VIP whose scheme is plain keeps nil capability
+// handles (and the zero-cost hot path) even through this wrapper.
 type mutableScheme struct{ cur selection.Scheme }
 
 // Pick implements selection.Scheme.
@@ -588,6 +618,31 @@ func (m *mutableScheme) Pick(flow packet.FlowKey) []netip.Addr { return m.cur.Pi
 
 // Name implements selection.Scheme.
 func (m *mutableScheme) Name() string { return m.cur.Name() }
+
+// Unwrap implements selection.Wrapper.
+func (m *mutableScheme) Unwrap() selection.Scheme { return m.cur }
+
+// Observe implements selection.Stateful by forwarding.
+func (m *mutableScheme) Observe(server netip.Addr, delta int) {
+	if st, ok := m.cur.(selection.Stateful); ok {
+		st.Observe(server, delta)
+	}
+}
+
+// Update implements selection.Stateful by forwarding.
+func (m *mutableScheme) Update(servers []netip.Addr) {
+	if st, ok := m.cur.(selection.Stateful); ok {
+		st.Update(servers)
+	}
+}
+
+// Resteer implements selection.Resteerer by forwarding.
+func (m *mutableScheme) Resteer(now time.Duration, flow packet.FlowKey, idle time.Duration, current netip.Addr) (netip.Addr, bool) {
+	if rs, ok := m.cur.(selection.Resteerer); ok {
+		return rs.Resteer(now, flow, idle, current)
+	}
+	return current, false
+}
 
 // Build compiles the topology into wired nodes. It panics on malformed
 // topologies: cluster construction is static experiment setup, and an
@@ -614,6 +669,14 @@ func Build(top Topology) *Testbed {
 	sim := des.New()
 	net := netsim.New(sim, top.Net)
 	tb := &Testbed{Sim: sim, Net: net}
+	if top.Feedback.Enabled {
+		// One view shared by every replica: in the single-threaded
+		// simulation all replicas would receive identical reports at
+		// identical instants anyway, so one copy of the state serves all
+		// of them (and the schemes of each replica read it through their
+		// VIP's projection).
+		tb.Feedback = feedback.NewView(top.Feedback, sim.Now)
+	}
 
 	// Compile the pool table: implicit per-VIP pools in VIP order (the
 	// legacy layout, so legacy topologies keep their construction order
@@ -695,7 +758,7 @@ func Build(top Topology) *Testbed {
 			stream := uint64(1) + uint64(r)*uint64(len(top.VIPs)) + uint64(v)
 			selRng := rng.Split(top.Seed, stream)
 			rs.rngs[v] = selRng
-			ms := &mutableScheme{cur: vs.spec.Scheme(clonePool(vs.pool.pool), selRng)}
+			ms := &mutableScheme{cur: tb.buildScheme(vs, clonePool(vs.pool.pool), selRng)}
 			rs.schemes[v] = ms
 			list[v] = core.VIPConfig{Addr: vs.addr, Scheme: ms}
 			if vs.spec.Fallback != nil {
@@ -733,6 +796,25 @@ func Build(top Topology) *Testbed {
 	}
 	tb.Gen = newGenerator(sim, net, top.Clients, tb.vips[0].addr)
 
+	// Feedback publishing: one DES-scheduled tick for the whole cluster,
+	// walking pools and slots in table order (deterministic), bounded by
+	// the configured horizon — the SampleLoads idiom, so an idle
+	// simulation still terminates. Failed servers stop publishing and go
+	// stale naturally; the first reports land one interval in.
+	if tb.Feedback != nil {
+		if h := tb.Feedback.Config().Horizon; h > 0 {
+			interval := tb.Feedback.Config().Interval
+			var tick func()
+			tick = func() {
+				tb.PublishFeedback()
+				if tb.Sim.Now()+interval <= h {
+					tb.Sim.After(interval, tick)
+				}
+			}
+			tb.Sim.After(interval, tick)
+		}
+	}
+
 	// Lifecycle schedule. Same-instant events fire in slice order, and
 	// before workload events scheduled later for the same instant.
 	for _, ev := range top.Events {
@@ -740,6 +822,41 @@ func Build(top Topology) *Testbed {
 		sim.At(ev.At, func() { tb.apply(ev) })
 	}
 	return tb
+}
+
+// buildScheme constructs VIP vs's scheme over servers for one replica:
+// the load-aware constructor (with the VIP's view projection) when the
+// feedback plane is on and the spec provides one, the plain SchemeFn
+// otherwise.
+func (tb *Testbed) buildScheme(vs *vipState, servers []netip.Addr, r *rand.Rand) selection.Scheme {
+	if tb.Feedback != nil && vs.spec.FeedbackScheme != nil {
+		return vs.spec.FeedbackScheme(servers, r, tb.Feedback.For(vs.addr))
+	}
+	return vs.spec.Scheme(servers, r)
+}
+
+// PublishFeedback samples every live server's scoreboard once and
+// ingests one report per (VIP, server) into the shared view — the body
+// of the periodic publishing tick, exported so staleness tests can
+// drive reports at instants of their choosing. No-op when the feedback
+// plane is disabled.
+func (tb *Testbed) PublishFeedback() {
+	if tb.Feedback == nil {
+		return
+	}
+	now := tb.Sim.Now()
+	for _, pool := range tb.pools {
+		for _, slot := range pool.all {
+			if slot.failed || slot.router.Down() {
+				continue
+			}
+			srv := slot.server
+			rpt := slot.pub.Sample(now, srv.BusyWorkers(), srv.TotalWorkers(), slot.router.OpenConns())
+			for _, vs := range pool.vips {
+				tb.Feedback.Ingest(vs.addr, slot.addr, rpt)
+			}
+		}
+	}
 }
 
 func clonePool(pool []netip.Addr) []netip.Addr {
@@ -811,6 +928,9 @@ func (tb *Testbed) buildServer(pool *poolState, i int) *serverSlot {
 	tb.Servers = append(tb.Servers, srv)
 	tb.Routers = append(tb.Routers, rt)
 	slot := &serverSlot{addr: rt.Addr(), router: rt, server: srv}
+	if tb.Feedback != nil {
+		slot.pub = feedback.NewPublisher(tb.Feedback.Config().Alpha)
+	}
 	pool.all = append(pool.all, slot)
 	return slot
 }
@@ -875,13 +995,14 @@ func (tb *Testbed) apply(ev Event) {
 		rs.down = false
 		// Stateless restart: flow state is gone, schemes resync to the
 		// pool as it is now (it may have churned while the replica was
-		// dark).
+		// dark). Stateful schemes are reconstructed too — a restarted
+		// process has lost its in-flight counters along with its flows.
 		rs.lb.ResetFlows()
 		// Schemes resync per replica; fallbacks are shared across replicas
 		// and already track the pool (rebuildSchemes updates them at churn
 		// time), so recovery leaves them alone.
 		for v, vs := range tb.vips {
-			rs.schemes[v].cur = vs.spec.Scheme(clonePool(vs.pool.pool), rs.rngs[v])
+			rs.schemes[v].cur = tb.buildScheme(vs, clonePool(vs.pool.pool), rs.rngs[v])
 		}
 		if len(tb.replicas) > 1 {
 			for _, vs := range tb.vips {
@@ -907,7 +1028,15 @@ func (tb *Testbed) rebuildSchemes(pool *poolState) {
 	for _, vs := range pool.vips {
 		v := vs.index
 		for _, rs := range tb.replicas {
-			rs.schemes[v].cur = vs.spec.Scheme(clonePool(pool.pool), rs.rngs[v])
+			// A stateful scheme is re-pointed at the new candidate set
+			// (selection.Stateful.Update, draw-free by contract) so its
+			// accumulated load state survives churn; plain schemes are
+			// reconstructed as always.
+			if st, ok := rs.schemes[v].cur.(selection.Stateful); ok {
+				st.Update(clonePool(pool.pool))
+			} else {
+				rs.schemes[v].cur = tb.buildScheme(vs, clonePool(pool.pool), rs.rngs[v])
+			}
 		}
 		if vs.fallback != nil {
 			vs.fallback.cur = vs.spec.Fallback(clonePool(pool.pool))

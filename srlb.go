@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"srlb/internal/experiments"
+	"srlb/internal/feedback"
 	"srlb/internal/stats"
 	"srlb/internal/testbed"
 	"srlb/internal/trace"
@@ -144,6 +145,23 @@ type (
 	InterferenceConfig = experiments.InterferenceConfig
 	InterferenceResult = experiments.InterferenceResult
 	InterferenceRow    = experiments.InterferenceRow
+	// PoliciesConfig/Result: the load-feedback policy ablation —
+	// {random2, chash2, wleastload, flowlet} over the interference
+	// workload and its pool-churn variant, with the telemetry plane
+	// enabled and flowlet re-steer counts reported per cell.
+	PoliciesConfig = experiments.PoliciesConfig
+	PoliciesResult = experiments.PoliciesResult
+	PoliciesRow    = experiments.PoliciesRow
+	// MultiServiceStats is a multi-service cell's Extra payload: the
+	// cluster-side flowlet re-steer/rebind counters.
+	MultiServiceStats = experiments.MultiServiceStats
+
+	// FeedbackConfig tunes the server-load telemetry plane
+	// (Cluster.Feedback / Topology.Feedback): publish interval, report
+	// TTL, EWMA smoothing.
+	FeedbackConfig = feedback.Config
+	// FeedbackReport is one server's published load sample.
+	FeedbackReport = feedback.Report
 
 	// VIPScaleConfig/Result: per-packet dispatch cost vs advertised
 	// service count (100 → 10k VIPs) per selection scheme, on generated
@@ -199,6 +217,15 @@ var (
 	// PaperPolicies returns {RR, SR4, SR8, SR16, SRdyn} — the lines of
 	// figures 2, 3 and 5.
 	PaperPolicies = experiments.PaperPolicies
+	// Random2/CHash2 are the load-oblivious anchors of the policy
+	// ablation; WeightedLeastLoadPolicy and FlowletPolicy are the
+	// load-aware schemes over the feedback plane. AblationPolicies
+	// returns all four.
+	Random2                 = experiments.Random2
+	CHash2                  = experiments.CHash2
+	WeightedLeastLoadPolicy = experiments.WeightedLeastLoadPolicy
+	FlowletPolicy           = experiments.FlowletPolicy
+	AblationPolicies        = experiments.AblationPolicies
 )
 
 // Replicated pairs a metric's raw per-replicate values with the Dist of
@@ -311,6 +338,15 @@ func RunMultiService(cfg MultiServiceConfig) MultiServiceResult {
 // about.
 func RunInterference(cfg InterferenceConfig) InterferenceResult {
 	return experiments.RunInterference(cfg)
+}
+
+// RunPolicies runs the load-feedback policy ablation: {random2, chash2,
+// wleastload, flowlet} over the cross-service interference workload and
+// its pool-churn variant, with the telemetry plane enabled and clients
+// closing connections explicitly so flowlet boundaries exist. Reports
+// the per-victim p99/completion grid plus flowlet re-steer counts.
+func RunPolicies(cfg PoliciesConfig) PoliciesResult {
+	return experiments.RunPolicies(cfg)
 }
 
 // RunVIPScale sweeps the advertised service count (default 100 → 10k
