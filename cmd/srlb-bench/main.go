@@ -20,7 +20,7 @@
 // With -seeds N > 1 every Poisson-family experiment (calibrate, figures
 // 2–5, ablations, hetero, bursty, failover, churn, multiservice,
 // interference, policies) replicates its cells across N derived seeds and
-// reports mean ± 95% CI; BENCH_sweep.json (schema v7, see
+// reports mean ± 95% CI; BENCH_sweep.json (schema v8, see
 // docs/RESULTS_SCHEMA.md) carries the per-cell aggregates — for multi-VIP
 // cells, with one per-VIP row per service inside each cell, each carrying
 // that service's own resolved load. The wiki replay (figures 6–8) stays
@@ -135,6 +135,22 @@ type policiesRowJSON struct {
 	Resteers float64 `json:"resteers"`
 }
 
+// resilienceRowJSON is one (scenario, mode) cell of the resilience
+// ablation (schema v8): completion rate with CI, response-time
+// aggregates, and the refused/unfinished accounting.
+type resilienceRowJSON struct {
+	Scenario   string  `json:"scenario"`
+	Mode       string  `json:"mode"`
+	N          int     `json:"n"`
+	OKFrac     float64 `json:"ok_fraction"`
+	OKFracCI95 float64 `json:"ok_fraction_ci95"`
+	MeanMS     float64 `json:"mean_ms"`
+	MeanCI95MS float64 `json:"mean_ci95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	Refused    float64 `json:"refused"`
+	Unfinished float64 `json:"unfinished"`
+}
+
 type sweepJSON struct {
 	SchemaVersion int             `json:"schema_version"`
 	Lambda0       float64         `json:"lambda0_qps,omitempty"`
@@ -149,11 +165,14 @@ type sweepJSON struct {
 	// Policies carries the policy-ablation rows (schema v7); absent for
 	// the other sweeps.
 	Policies []policiesRowJSON `json:"policies,omitempty"`
+	// Resilience carries the warm-handoff resilience rows (schema v8);
+	// absent for the other sweeps.
+	Resilience []resilienceRowJSON `json:"resilience,omitempty"`
 }
 
-// sweepSchemaVersion is BENCH_sweep.json's current schema (v7: the
-// policies-experiment rows; see docs/RESULTS_SCHEMA.md).
-const sweepSchemaVersion = 7
+// sweepSchemaVersion is BENCH_sweep.json's current schema (v8: the
+// resilience-ablation rows; see docs/RESULTS_SCHEMA.md).
+const sweepSchemaVersion = 8
 
 // appserverDefaultWithBacklog returns the paper's server config with a
 // shallower accept queue.
@@ -165,7 +184,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|churn|multiservice|interference|policies|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|resilience|churn|multiservice|interference|policies|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -186,13 +205,14 @@ func main() {
 		flag.PrintDefaults()
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
-machine-readable summary of the fig2/multiservice/interference/policies
-sweeps (schema v7: n, mean, ci95, p50, p99 per cell, the
+machine-readable summary of the fig2/multiservice/interference/policies/
+resilience sweeps (schema v8: n, mean, ci95, p50, p99 per cell, the
 topology-variant label, per-VIP rows — each with its service's own
 resolved load — for multi-service cells, vipscale dispatch-cost rows,
-and policies rows with flowlet re-steer counts; documented
-field-by-field in docs/RESULTS_SCHEMA.md). The topology experiments
-(failover, churn, multiservice, interference, policies, vipscale) and
+policies rows with flowlet re-steer counts, and resilience rows with
+per-(scenario, mode) completion rates; documented field-by-field in
+docs/RESULTS_SCHEMA.md). The topology experiments (failover,
+resilience, churn, multiservice, interference, policies, vipscale) and
 the bursty sweep are described in docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
@@ -467,6 +487,36 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 		})
 	}
 
+	if want("resilience") {
+		needLambda0()
+		run("extension: warm-handoff resilience ablation (stateless/chash/warm)", func() error {
+			start := time.Now()
+			res := srlb.RunResilience(srlb.ResilienceConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Seeds: seeds, Workers: *workers, Progress: progress,
+			})
+			for _, mode := range []string{"warm", "chash", "stateless"} {
+				if row, err := res.Row("kill", mode); err == nil {
+					fmt.Printf("   kill/%-10s ok=%.4f±%.4f refused=%.0f unfinished=%.0f (n=%d)\n",
+						mode, row.OKFrac, row.OKFracCI95, row.Refused, row.Unfinished, row.N)
+				}
+			}
+			fmt.Printf("   replica kill at %.0f%% of span, recover at %.0f%%; rack loses %.0f%% of servers\n",
+				100*res.KillFrac, 100*res.RecoverFrac, 100*res.RackFrac)
+			// As with multiservice: standalone runs own BENCH_sweep.json;
+			// under -experiment all the figure-2 sweep keeps that name.
+			jsonName := "BENCH_sweep.json"
+			if *experiment == "all" {
+				jsonName = "BENCH_resilience.json"
+			}
+			if err := writeResilienceJSON(*out, jsonName, lambda0, *workers, time.Since(start), res); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s (schema v8: resilience rows with completion-rate CIs)\n", filepath.Join(*out, jsonName))
+			return writeFile("extension_resilience.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
 	if want("multiservice") {
 		needLambda0()
 		run("extension: concurrent multi-service mix (web+wiki+batch)", func() error {
@@ -501,7 +551,7 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v7: per-VIP rows)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v8: per-VIP rows)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				facets := make([]plot.Facet, 0, len(res.Services))
 				for _, svc := range res.Services {
@@ -544,7 +594,7 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v7: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v8: per-VIP rows with per-service loads)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "batch rho", YLabel: "p99(s)"}, res.PlotFacets()...); err != nil {
 					return err
@@ -582,7 +632,7 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 			if err := writePoliciesJSON(*out, jsonName, lambda0, *workers, time.Since(start), res); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v7: policies rows with re-steer counts)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v8: policies rows with re-steer counts)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "batch rho", YLabel: "p99(s)"}, res.PlotFacets()...); err != nil {
 					return err
@@ -645,7 +695,7 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 			if err := writeVIPScaleJSON(*out, jsonName, time.Since(start), res); err != nil {
 				return err
 			}
-			fmt.Printf("   wrote %s (schema v7: vipscale rows)\n", filepath.Join(*out, jsonName))
+			fmt.Printf("   wrote %s (schema v8: vipscale rows)\n", filepath.Join(*out, jsonName))
 			if *asciiPlot {
 				if err := plot.RenderFacets(os.Stdout, plot.Config{XLabel: "#services", YLabel: "ns/pkt"}, res.Plot()...); err != nil {
 					return err
@@ -730,7 +780,7 @@ func burstyRhos(points int) []float64 {
 }
 
 // writeVIPScaleJSON renders the vipscale dispatch-cost sweep in the
-// BENCH_sweep.json envelope (schema v7, vipscale rows; see
+// BENCH_sweep.json envelope (schema v8, vipscale rows; see
 // docs/RESULTS_SCHEMA.md).
 func writeVIPScaleJSON(dir, name string, total time.Duration, res srlb.VIPScaleResult) error {
 	doc := sweepJSON{
@@ -757,7 +807,7 @@ func writeVIPScaleJSON(dir, name string, total time.Duration, res srlb.VIPScaleR
 // of its replicates, plus the per-service breakdown (with per-service
 // resolved loads) for multi-VIP cells.
 func writeSweepJSON(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats) error {
-	return writeSweepDoc(dir, name, lambda0, workers, total, agg, nil)
+	return writeSweepDoc(dir, name, lambda0, workers, total, agg, nil, nil)
 }
 
 // writePoliciesJSON is writeSweepJSON plus the policy-ablation rows
@@ -781,10 +831,33 @@ func writePoliciesJSON(dir, name string, lambda0 float64, workers int, total tim
 			Resteers: row.Resteers,
 		})
 	}
-	return writeSweepDoc(dir, name, lambda0, workers, total, res.Stats, rows)
+	return writeSweepDoc(dir, name, lambda0, workers, total, res.Stats, rows, nil)
 }
 
-func writeSweepDoc(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats, policies []policiesRowJSON) error {
+// writeResilienceJSON is writeSweepJSON plus the resilience-ablation
+// rows (schema v8): the per-cell aggregates come from the underlying
+// 3×3 sweep, the resilience section carries the per-(scenario, mode)
+// completion-rate rows.
+func writeResilienceJSON(dir, name string, lambda0 float64, workers int, total time.Duration, res srlb.ResilienceResult) error {
+	rows := make([]resilienceRowJSON, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		rows = append(rows, resilienceRowJSON{
+			Scenario:   row.Scenario,
+			Mode:       row.Mode,
+			N:          row.N,
+			OKFrac:     row.OKFrac,
+			OKFracCI95: row.OKFracCI95,
+			MeanMS:     row.MeanRT * 1e3,
+			MeanCI95MS: row.MeanRTCI95 * 1e3,
+			P99MS:      row.P99 * 1e3,
+			Refused:    row.Refused,
+			Unfinished: row.Unfinished,
+		})
+	}
+	return writeSweepDoc(dir, name, lambda0, workers, total, res.Stats, nil, rows)
+}
+
+func writeSweepDoc(dir, name string, lambda0 float64, workers int, total time.Duration, agg srlb.SweepStats, policies []policiesRowJSON, resilience []resilienceRowJSON) error {
 	doc := sweepJSON{
 		SchemaVersion: sweepSchemaVersion,
 		Lambda0:       lambda0,
@@ -793,6 +866,7 @@ func writeSweepDoc(dir, name string, lambda0 float64, workers int, total time.Du
 		Seeds:         agg.Seeds,
 		TotalWallMS:   float64(total.Microseconds()) / 1e3,
 		Policies:      policies,
+		Resilience:    resilience,
 	}
 	for _, c := range agg.Cells {
 		if c.N() == 0 {

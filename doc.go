@@ -68,7 +68,9 @@
 // deployment model that §II-B's consistent-hash selection enables), and
 // schedules lifecycle Events (AddServer, DrainServer, FailServer and
 // their pool-targeted forms AddPoolServer/DrainPoolServer/
-// FailPoolServer, FailReplica, RecoverReplica) at virtual times during
+// FailPoolServer, FailReplica, RecoverReplica, the correlated
+// FailPoolRack, the state-inheriting RecoverReplicaWarm, and the
+// RollingUpgradeEvents schedule helper) at virtual times during
 // the run. BuildTopology compiles the value to wired nodes; Cluster
 // remains the one-line single-LB/single-VIP wrapper, so existing
 // figures are untouched. Sweeps gain the matching axis: Sweep.Variants
@@ -84,6 +86,18 @@
 // each policy's churn penalty with CIs, and RunMultiService drives
 // heterogeneous services concurrently through the shared balancer
 // (below).
+//
+// Failover deepens into warm handoff: flowtable.Snapshot/Restore (and
+// the core.LoadBalancer ExportFlows/ImportFlows wrappers) merge flow
+// bindings with their deadlines and closing state — never overwriting
+// a newer local entry — so a recovering replica can inherit a
+// survivor's table at the recover instant instead of restarting cold.
+// RunResilience (`srlb-bench -experiment resilience`) ablates
+// {stateless restart, consistent-hash miss-fallback, warm handoff}
+// through replica-kill, rack-loss and rolling-upgrade schedules under
+// client SYN retransmission, emitting completion-rate facets with CIs
+// (extension_resilience.tsv, schema-v8 BENCH_sweep.json `resilience`
+// rows).
 //
 // Event times compose with load sweeps by being declared rate-relative:
 // Event.AtFraction(f) schedules the event at fraction f of the run's

@@ -246,6 +246,23 @@ func (lb *LoadBalancer) SeedFlow(flow packet.FlowKey, server netip.Addr) {
 	lb.flows.Insert(lb.sim.Now(), flow, server)
 }
 
+// ExportFlows snapshots every live flow binding at the current virtual
+// time — the donor half of a warm handoff. The snapshot carries
+// absolute deadlines and closing marks, so a receiver importing it
+// later inherits exactly the state that is still alive then.
+func (lb *LoadBalancer) ExportFlows() []flowtable.FlowBinding {
+	return lb.flows.Snapshot(lb.sim.Now())
+}
+
+// ImportFlows merges an exported snapshot into this replica's flow
+// table — the receiving half of a warm handoff. Bindings that expired
+// since the export are dropped, a newer local entry is never
+// overwritten, and the table's capacity bound still holds. Returns the
+// number of bindings applied.
+func (lb *LoadBalancer) ImportFlows(bindings []flowtable.FlowBinding) int {
+	return lb.flows.Restore(lb.sim.Now(), bindings)
+}
+
 // SweepNow immediately collects expired flow entries and returns how many
 // were removed.
 func (lb *LoadBalancer) SweepNow() int {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"srlb/internal/ipv6"
+	"srlb/internal/packet"
+	"srlb/internal/tcpseg"
+)
+
+func midFlow(port uint16, flags tcpseg.Flags) *packet.Packet {
+	return &packet.Packet{
+		IP:  ipv6.Header{Src: client, Dst: vip},
+		TCP: tcpseg.Segment{SrcPort: port, DstPort: 80, Flags: flags},
+	}
+}
+
+// The warm-handoff contract: a replica seeded via ImportFlows is
+// stream-identical to one that learned the same bindings from SYN-ACKs.
+// Both rigs then face the same mid-flow traffic — data ACKs on every
+// flow, a FIN teardown, a post-FIN retransmit — and must steer every
+// packet to the same server with identical flow-table accounting.
+func TestImportFlowsStreamIdentical(t *testing.T) {
+	ports := []uint16{40000, 40001, 40002, 40003}
+	servers := []netip.Addr{sAddr1, sAddr2, sAddr2, sAddr1}
+
+	// The teacher learns each flow the SRv6 way: the accepting server's
+	// SYN-ACK transits the LB.
+	teacher := newRig(t, Config{})
+	for i, p := range ports {
+		teacher.net.Send(serverSYNACK(servers[i], p))
+	}
+	teacher.sim.Run()
+	if got := teacher.lb.FlowCount(); got != len(ports) {
+		t.Fatalf("teacher learned %d flows, want %d", got, len(ports))
+	}
+
+	// The student inherits the teacher's table wholesale.
+	student := newRig(t, Config{})
+	if n := student.lb.ImportFlows(teacher.lb.ExportFlows()); n != len(ports) {
+		t.Fatalf("student imported %d bindings, want %d", n, len(ports))
+	}
+	if got := student.lb.FlowCount(); got != len(ports) {
+		t.Fatalf("student holds %d flows, want %d", got, len(ports))
+	}
+
+	drive := func(g *rig) map[uint16]netip.Addr {
+		base1, base2 := len(g.s1.pkts), len(g.s2.pkts)
+		for _, p := range ports {
+			g.net.Send(midFlow(p, tcpseg.FlagACK))
+		}
+		g.net.Send(midFlow(ports[0], tcpseg.FlagFIN|tcpseg.FlagACK))
+		g.net.Send(midFlow(ports[0], tcpseg.FlagACK)) // retransmit in the linger
+		g.sim.Run()
+		dst := make(map[uint16]netip.Addr)
+		for _, pkt := range g.s1.pkts[base1:] {
+			dst[pkt.TCP.SrcPort] = sAddr1
+		}
+		for _, pkt := range g.s2.pkts[base2:] {
+			dst[pkt.TCP.SrcPort] = sAddr2
+		}
+		return dst
+	}
+	taught := drive(teacher)
+	imported := drive(student)
+
+	for i, p := range ports {
+		if taught[p] != servers[i] {
+			t.Fatalf("teacher steered port %d to %v, want the accepting server %v", p, taught[p], servers[i])
+		}
+		if imported[p] != servers[i] {
+			t.Fatalf("student steered port %d to %v, want the accepting server %v", p, imported[p], servers[i])
+		}
+	}
+	// Identical books: the import counted one insert per binding — the
+	// same as SYN-ACK learning — and the drive produced the same hits,
+	// closing transition and zero misses on both sides.
+	if ts, ss := teacher.lb.FlowStats(), student.lb.FlowStats(); ts != ss {
+		t.Fatalf("flow-table stats diverge:\nteacher %+v\nstudent %+v", ts, ss)
+	}
+	for _, counter := range []string{"steered", "closing_observed", "miss_dropped"} {
+		if tc, sc := teacher.lb.Counts.Get(counter), student.lb.Counts.Get(counter); tc != sc {
+			t.Fatalf("%s: teacher %d, student %d", counter, tc, sc)
+		}
+	}
+	if got := teacher.lb.FlowCount(); got != student.lb.FlowCount() {
+		t.Fatalf("flow counts diverge: teacher %d, student %d", got, student.lb.FlowCount())
+	}
+}

@@ -184,6 +184,22 @@ func (v *View) Ingest(vip, server netip.Addr, rpt Report) {
 	v.stats.Ingests++
 }
 
+// Reset forgets every report the view has accumulated — a replica
+// restarting after a failure comes back with no telemetry, exactly as a
+// real process would, and every server answers stale until it reports
+// again. Projections are cleared in place: the VIPView pointers handed
+// out by For stay valid, so schemes built before the reset keep
+// working (and correctly see nothing but staleness until the next
+// publish tick). Stats are preserved — they count the view's lifetime,
+// not the current contents.
+func (v *View) Reset() {
+	for _, vv := range v.vips {
+		for server := range vv.slots {
+			delete(vv.slots, server)
+		}
+	}
+}
+
 // VIPView is the per-VIP projection schemes consume; it implements
 // selection.LoadView.
 type VIPView struct {

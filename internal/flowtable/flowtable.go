@@ -204,10 +204,17 @@ func (t *Table) LookupIdle(now time.Duration, key packet.FlowKey) (backend netip
 // candidate rewrite behind flowlet re-steering. Unlike Insert it
 // touches nothing else: closing state and the deadline are preserved
 // (the triggering packet's LookupIdle already refreshed them), and a
-// missing key is a no-op returning false.
+// missing key is a no-op returning false. An expired entry is treated
+// exactly as Lookup treats it — removed, counted as an expiry, and
+// reported missing — so a dead flow can never be re-steered.
 func (t *Table) Rebind(now time.Duration, key packet.FlowKey, backend netip.Addr) bool {
 	e, ok := t.entries[key]
 	if !ok {
+		return false
+	}
+	if now > e.deadline {
+		t.removeEntry(e)
+		t.stats.Expiries++
 		return false
 	}
 	e.backend = backend
@@ -219,10 +226,20 @@ func (t *Table) Rebind(now time.Duration, key packet.FlowKey, backend netip.Addr
 // called when the LB observes FIN or RST on the flow. It reports
 // whether this call newly marked the entry (false for retransmitted
 // FINs and unknown flows), so the caller can run exactly-once teardown
-// bookkeeping.
+// bookkeeping. An entry already past its deadline is removed and
+// reported missing, matching Lookup — the flow's state is gone, so
+// there is no teardown left to account for.
 func (t *Table) MarkClosing(now time.Duration, key packet.FlowKey) bool {
 	e, ok := t.entries[key]
-	if !ok || e.closing {
+	if !ok {
+		return false
+	}
+	if now > e.deadline {
+		t.removeEntry(e)
+		t.stats.Expiries++
+		return false
+	}
+	if e.closing {
 		return false
 	}
 	e.closing = true
@@ -254,6 +271,82 @@ func (t *Table) Sweep(now time.Duration) int {
 		e = prev
 	}
 	return removed
+}
+
+// FlowBinding is one flow's externalized state: everything another
+// table needs to reproduce the entry — backend, absolute deadline,
+// last-seen time and closing mark. Times are the donor's virtual clock;
+// since every replica in a simulation shares that clock, deadlines
+// transfer unchanged and entries that expired while a snapshot sat idle
+// are dropped on Restore.
+type FlowBinding struct {
+	Key      packet.FlowKey
+	Backend  netip.Addr
+	Deadline time.Duration
+	Seen     time.Duration
+	Closing  bool
+}
+
+// Snapshot exports every live binding at time now, ordered least- to
+// most-recently used, so that a Restore replaying the slice in order
+// reproduces the donor's LRU order. Entries already expired are skipped
+// (but left for Lookup/Sweep to collect — Snapshot has no side
+// effects).
+func (t *Table) Snapshot(now time.Duration) []FlowBinding {
+	out := make([]FlowBinding, 0, len(t.entries))
+	for e := t.lru.prev; e != &t.lru; e = e.prev {
+		if now > e.deadline {
+			continue
+		}
+		out = append(out, FlowBinding{
+			Key: e.key, Backend: e.backend,
+			Deadline: e.deadline, Seen: e.seen, Closing: e.closing,
+		})
+	}
+	return out
+}
+
+// Restore merges a snapshot into the table at time now — the receiving
+// half of a warm handoff. Bindings expired by now are dropped (a
+// snapshot can never resurrect a dead flow), and the merge never
+// overwrites newer local state: a local entry with a later-or-equal
+// deadline, or one already marked closing (teardown knowledge the
+// snapshot predates), wins over the imported binding. New entries
+// respect the capacity bound, evicting LRU like Insert. Returns the
+// number of bindings applied.
+func (t *Table) Restore(now time.Duration, bindings []FlowBinding) int {
+	applied := 0
+	for _, b := range bindings {
+		if now > b.Deadline {
+			continue
+		}
+		if e, ok := t.entries[b.Key]; ok {
+			if e.closing || e.deadline >= b.Deadline {
+				continue
+			}
+			e.backend = b.Backend
+			e.deadline = b.Deadline
+			e.seen = b.Seen
+			e.closing = b.Closing
+			t.moveToFront(e)
+			applied++
+			continue
+		}
+		if len(t.entries) >= t.cfg.MaxEntries {
+			t.evictLRU()
+		}
+		e := t.newEntry()
+		e.key = b.Key
+		e.backend = b.Backend
+		e.deadline = b.Deadline
+		e.seen = b.Seen
+		e.closing = b.Closing
+		t.pushFront(e)
+		t.entries[b.Key] = e
+		t.stats.Inserts++
+		applied++
+	}
+	return applied
 }
 
 func (t *Table) evictLRU() {

@@ -104,6 +104,61 @@ func TestMarkClosingNeverExtends(t *testing.T) {
 	}
 }
 
+// Regression: Rebind used to ignore `now` and re-steer entries already
+// past their deadline — a dead flow would move to a new backend instead
+// of expiring. Expired entries must behave exactly as they do in
+// Lookup: removed, counted, reported missing.
+func TestRebindExpiredEntryIsMiss(t *testing.T) {
+	tb := New(Config{IdleTTL: 10 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	if tb.Rebind(20*time.Second, key(1), backend2) {
+		t.Fatal("Rebind re-steered an expired flow")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("expired entry not removed by Rebind")
+	}
+	st := tb.Stats()
+	if st.Expiries != 1 || st.Rebinds != 0 {
+		t.Fatalf("stats = %+v, want 1 expiry and 0 rebinds", st)
+	}
+	// And the entry is really gone, not merely skipped.
+	if tb.Rebind(20*time.Second, key(1), backend2) {
+		t.Fatal("rebind found a removed entry")
+	}
+}
+
+func TestRebindLiveEntry(t *testing.T) {
+	tb := New(Config{IdleTTL: 10 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	if !tb.Rebind(5*time.Second, key(1), backend2) {
+		t.Fatal("rebind of a live entry failed")
+	}
+	got, ok := tb.Lookup(5*time.Second, key(1))
+	if !ok || got != backend2 {
+		t.Fatalf("lookup after rebind = %v, %v", got, ok)
+	}
+	if tb.Stats().Rebinds != 1 {
+		t.Fatal("rebind not counted")
+	}
+}
+
+// Regression: MarkClosing used to run its exactly-once transition on
+// entries already past their deadline, so the caller's teardown
+// bookkeeping fired for a flow whose state was gone.
+func TestMarkClosingExpiredEntryIsMiss(t *testing.T) {
+	tb := New(Config{IdleTTL: 10 * time.Second, FinLinger: 2 * time.Second})
+	tb.Insert(0, key(1), backend1)
+	if tb.MarkClosing(20*time.Second, key(1)) {
+		t.Fatal("MarkClosing claimed exactly-once teardown for an expired flow")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("expired entry not removed by MarkClosing")
+	}
+	if st := tb.Stats(); st.Expiries != 1 {
+		t.Fatalf("stats = %+v, want 1 expiry", st)
+	}
+}
+
 func TestDelete(t *testing.T) {
 	tb := New(Config{})
 	tb.Insert(0, key(1), backend1)

@@ -1,0 +1,191 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+)
+
+// checkTable verifies the structural invariants every public operation
+// must preserve: the entry map and the intrusive LRU list agree
+// exactly, capacity is respected, and the free list is finite and
+// disjoint from the live list.
+func checkTable(t *testing.T, tb *Table) {
+	t.Helper()
+	live := map[*entry]bool{}
+	n := 0
+	for e := tb.lru.next; e != &tb.lru; e = e.next {
+		n++
+		if n > len(tb.entries) {
+			t.Fatal("LRU list longer than entry map")
+		}
+		if tb.entries[e.key] != e {
+			t.Fatal("LRU entry not indexed under its key")
+		}
+		if e.next.prev != e || e.prev.next != e {
+			t.Fatal("LRU links inconsistent")
+		}
+		live[e] = true
+	}
+	if n != len(tb.entries) {
+		t.Fatalf("LRU list has %d entries, map has %d", n, len(tb.entries))
+	}
+	if len(tb.entries) > tb.cfg.MaxEntries {
+		t.Fatalf("table over capacity: %d > %d", len(tb.entries), tb.cfg.MaxEntries)
+	}
+	fn := 0
+	for e := tb.free; e != nil; e = e.next {
+		fn++
+		if live[e] {
+			t.Fatal("entry on both the free list and the LRU list")
+		}
+		if fn > 1<<16 {
+			t.Fatal("free list runaway (cycle?)")
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := New(Config{IdleTTL: 60 * time.Second, FinLinger: 2 * time.Second})
+	for i := 0; i < 5; i++ {
+		src.Insert(time.Duration(i)*time.Second, key(i), backend1)
+	}
+	src.MarkClosing(5*time.Second, key(2)) // linger deadline: 7s
+
+	snap := src.Snapshot(5 * time.Second)
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d bindings, want 5", len(snap))
+	}
+	if src.Len() != 5 {
+		t.Fatal("Snapshot mutated the source table")
+	}
+
+	dst := New(Config{MaxEntries: 5, IdleTTL: 60 * time.Second})
+	if n := dst.Restore(5*time.Second, snap); n != 5 {
+		t.Fatalf("restored %d bindings, want 5", n)
+	}
+	checkTable(t, dst)
+	for i := 0; i < 5; i++ {
+		got, ok := dst.Lookup(5*time.Second, key(i))
+		if !ok || got != backend1 {
+			t.Fatalf("key %d after restore: %v, %v", i, got, ok)
+		}
+	}
+	// Closing state transferred: entry 2 dies at its linger deadline,
+	// not at the idle TTL.
+	if _, ok := dst.Lookup(20*time.Second, key(2)); ok {
+		t.Fatal("closing mark lost in transfer")
+	}
+}
+
+// Restore replays the snapshot in the donor's LRU order, so the
+// receiver inherits the donor's eviction order too.
+func TestRestorePreservesLRUOrder(t *testing.T) {
+	src := New(Config{})
+	for i := 0; i < 3; i++ {
+		src.Insert(0, key(i), backend1)
+	}
+	src.Lookup(time.Second, key(0)) // key(1) is now the donor's LRU
+
+	dst := New(Config{MaxEntries: 3})
+	dst.Restore(time.Second, src.Snapshot(time.Second))
+	dst.Insert(2*time.Second, key(9), backend2) // evicts the inherited LRU
+	if _, ok := dst.Lookup(2*time.Second, key(1)); ok {
+		t.Fatal("donor's LRU entry survived the eviction")
+	}
+	for _, k := range []int{0, 2, 9} {
+		if _, ok := dst.Lookup(2*time.Second, key(k)); !ok {
+			t.Fatalf("key %d wrongly evicted", k)
+		}
+	}
+}
+
+func TestSnapshotSkipsExpired(t *testing.T) {
+	src := New(Config{IdleTTL: 10 * time.Second})
+	src.Insert(0, key(1), backend1)             // dead at 10s
+	src.Insert(5*time.Second, key(2), backend1) // dead at 15s
+	snap := src.Snapshot(12 * time.Second)
+	if len(snap) != 1 || snap[0].Key != key(2) {
+		t.Fatalf("snapshot = %+v, want only key(2)", snap)
+	}
+	// Snapshot is side-effect-free: the expired entry is still the
+	// sweeper's to collect.
+	if src.Len() != 2 {
+		t.Fatalf("len = %d after snapshot, want 2", src.Len())
+	}
+}
+
+// A snapshot ages while its owner is down: bindings whose deadline
+// passed during the downtime must not come back.
+func TestRestoreDropsExpired(t *testing.T) {
+	src := New(Config{IdleTTL: 10 * time.Second})
+	src.Insert(0, key(1), backend1)             // deadline 10s
+	src.Insert(8*time.Second, key(2), backend1) // deadline 18s
+	snap := src.Snapshot(8 * time.Second)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d bindings, want 2", len(snap))
+	}
+
+	dst := New(Config{IdleTTL: 10 * time.Second})
+	if n := dst.Restore(15*time.Second, snap); n != 1 {
+		t.Fatalf("restored %d bindings, want 1", n)
+	}
+	if _, ok := dst.Lookup(15*time.Second, key(1)); ok {
+		t.Fatal("restore resurrected an expired flow")
+	}
+	if _, ok := dst.Lookup(15*time.Second, key(2)); !ok {
+		t.Fatal("still-live binding dropped")
+	}
+}
+
+func TestRestoreNeverOverwritesNewerLocal(t *testing.T) {
+	cfg := Config{IdleTTL: 10 * time.Second, FinLinger: 2 * time.Second}
+	donor := New(cfg)
+	donor.Insert(0, key(1), backend2)             // deadline 10s
+	donor.Insert(5*time.Second, key(2), backend2) // deadline 15s
+	donor.Insert(5*time.Second, key(3), backend2) // deadline 15s
+	snap := donor.Snapshot(5 * time.Second)
+
+	local := New(cfg)
+	local.Insert(5*time.Second, key(1), backend1) // deadline 15s: newer than donor's
+	local.Insert(0, key(2), backend1)             // deadline 10s: older than donor's
+	local.Insert(5*time.Second, key(3), backend1)
+	local.MarkClosing(5*time.Second, key(3)) // teardown seen locally
+
+	if n := local.Restore(6*time.Second, snap); n != 1 {
+		t.Fatalf("restore applied %d bindings, want 1 (only the older local)", n)
+	}
+	if got, _ := local.Lookup(6*time.Second, key(1)); got != backend1 {
+		t.Fatal("restore overwrote a newer local entry")
+	}
+	if got, _ := local.Lookup(6*time.Second, key(2)); got != backend2 {
+		t.Fatal("older local entry not refreshed from the snapshot")
+	}
+	// The closing entry keeps its mark and its linger deadline (7s).
+	if _, ok := local.Lookup(9*time.Second, key(3)); ok {
+		t.Fatal("restore resurrected a locally-closing flow")
+	}
+}
+
+func TestRestoreRespectsCapacity(t *testing.T) {
+	src := New(Config{})
+	for i := 0; i < 5; i++ {
+		src.Insert(time.Duration(i)*time.Second, key(i), backend1)
+	}
+	snap := src.Snapshot(5 * time.Second)
+
+	dst := New(Config{MaxEntries: 3})
+	dst.Restore(5*time.Second, snap)
+	checkTable(t, dst)
+	if dst.Len() != 3 {
+		t.Fatalf("len = %d, want the capacity bound 3", dst.Len())
+	}
+	if dst.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", dst.Stats().Evictions)
+	}
+	// The donor's three most-recent bindings survive.
+	for _, k := range []int{2, 3, 4} {
+		if _, ok := dst.Lookup(5*time.Second, key(k)); !ok {
+			t.Fatalf("key %d missing; capacity eviction dropped the wrong end", k)
+		}
+	}
+}

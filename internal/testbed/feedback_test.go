@@ -106,8 +106,8 @@ func TestFeedbackStalenessAndRecovery(t *testing.T) {
 
 // The periodic publishing ticker: with a positive horizon, reports land
 // every interval without any workload, the simulation still terminates,
-// and ticks stop at the horizon — plus every replica's scheme reads the
-// same shared view.
+// and ticks stop at the horizon — plus every replica owns its own view
+// and each receives every tick's reports.
 func TestFeedbackPublishingTicker(t *testing.T) {
 	horizon := time.Second
 	tb := Build(Topology{
@@ -124,16 +124,100 @@ func TestFeedbackPublishingTicker(t *testing.T) {
 	if end := tb.Sim.Now(); end > horizon {
 		t.Fatalf("ticker ran past its horizon: sim ended at %v", end)
 	}
-	// 10 ticks × 2 servers × 1 VIP.
+	// 10 ticks × 2 servers × 1 VIP, delivered to each replica's view.
 	if got := tb.Feedback.Stats().Ingests; got != 20 {
 		t.Fatalf("Ingests = %d, want 20 (10 bounded ticks over 2 servers)", got)
 	}
-	// One shared view: both replicas' schemes see the same projection.
-	view := tb.Feedback.For(tb.VIPAddrOf(0))
-	for i := 0; i < 2; i++ {
-		if _, ok := view.Report(PoolServerAddr(0, i)); !ok {
-			t.Fatalf("server %d never reported through the ticker", i)
+	// Per-replica views: distinct subscriptions, identical contents.
+	if tb.FeedbackOf(0) != tb.Feedback {
+		t.Fatal("Testbed.Feedback is not replica 0's view")
+	}
+	if tb.FeedbackOf(1) == tb.FeedbackOf(0) {
+		t.Fatal("replicas share one view; each must own its subscription")
+	}
+	if got := tb.FeedbackOf(1).Stats().Ingests; got != 20 {
+		t.Fatalf("replica 1 Ingests = %d, want 20 (same reports as replica 0)", got)
+	}
+	vip := tb.VIPAddrOf(0)
+	for r := 0; r < 2; r++ {
+		view := tb.FeedbackOf(r).For(vip)
+		for i := 0; i < 2; i++ {
+			if _, ok := view.Report(PoolServerAddr(0, i)); !ok {
+				t.Fatalf("server %d never reported to replica %d through the ticker", i, r)
+			}
 		}
+	}
+}
+
+// A recovering replica comes back with no telemetry: its view resets,
+// so it answers stale for every server until the next publish tick —
+// even though its pre-crash reports would still be within TTL — while
+// the surviving replica stays fresh throughout. Warm handoff transfers
+// flows, not telemetry, so both recover kinds pin the same staleness.
+func TestFeedbackStalenessAfterReplicaRecover(t *testing.T) {
+	recovers := []struct {
+		name string
+		ev   Event
+	}{
+		{"stateless", RecoverReplica(50*time.Millisecond, 1)},
+		{"warm", RecoverReplicaWarm(50*time.Millisecond, 1, 0)},
+	}
+	for _, rec := range recovers {
+		t.Run(rec.name, func(t *testing.T) {
+			const servers = 2
+			tb := Build(Topology{
+				Seed:     53,
+				Replicas: 2,
+				VIPs: []VIPSpec{{
+					Servers:        servers,
+					Scheme:         func(s []netip.Addr, r *rand.Rand) selection.Scheme { return selection.NewRandom(s, 2, r) },
+					FeedbackScheme: wllFeedbackScheme,
+				}},
+				// Horizon 0: no automatic ticker — the test publishes.
+				Feedback: feedback.Config{Enabled: true},
+				Events:   []Event{FailReplica(30*time.Millisecond, 1), rec.ev},
+			})
+			vip := tb.VIPAddrOf(0)
+			freshCount := func(r int) int {
+				n := 0
+				view := tb.FeedbackOf(r).For(vip)
+				for i := 0; i < servers; i++ {
+					if _, fresh := view.ServerLoad(PoolServerAddr(0, i)); fresh {
+						n++
+					}
+				}
+				return n
+			}
+			publish := func(at time.Duration) { tb.Sim.At(at, tb.PublishFeedback) }
+			probe := func(at time.Duration, want0, want1 int, what string) {
+				tb.Sim.At(at, func() {
+					if got := freshCount(0); got != want0 {
+						t.Errorf("%s: replica 0 has %d fresh servers, want %d", what, got, want0)
+					}
+					if got := freshCount(1); got != want1 {
+						t.Errorf("%s: replica 1 has %d fresh servers, want %d", what, got, want1)
+					}
+				})
+			}
+			publish(20 * time.Millisecond)
+			probe(25*time.Millisecond, servers, servers, "before the kill")
+			publish(40 * time.Millisecond) // replica 1 down: replica 0 only
+			// The recover at 50ms resets replica 1's view. Its 20ms reports
+			// are still well inside the default 300ms TTL — the reset, not
+			// the TTL, is what makes the restarted replica stale.
+			probe(55*time.Millisecond, servers, 0, "after recover, before any publish")
+			publish(60 * time.Millisecond)
+			probe(61*time.Millisecond, servers, servers, "after the first post-recover publish")
+			tb.Sim.Run()
+			// Replica 0 received all three publishes; replica 1 missed the
+			// one during its downtime.
+			if got := tb.FeedbackOf(0).Stats().Ingests; got != 3*servers {
+				t.Fatalf("replica 0 Ingests = %d, want %d", got, 3*servers)
+			}
+			if got := tb.FeedbackOf(1).Stats().Ingests; got != 2*servers {
+				t.Fatalf("replica 1 Ingests = %d, want %d", got, 2*servers)
+			}
+		})
 	}
 }
 

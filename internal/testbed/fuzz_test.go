@@ -68,10 +68,11 @@ func decodeFuzzTopology(data []byte) Topology {
 	nevents := c.next(8)
 	for e := 0; e < nevents; e++ {
 		ev := Event{
-			Kind:    EventKind(c.next(6)),
+			Kind:    EventKind(c.next(7)),
 			VIP:     c.next(nvips + 2),
 			Server:  c.next(8),
 			Replica: c.next(4),
+			From:    c.next(4),
 		}
 		if c.next(2) == 1 {
 			ev.Pool = GenPoolName(c.next(5))

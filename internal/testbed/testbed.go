@@ -201,8 +201,9 @@ type Testbed struct {
 	Routers []*vrouter.Router
 	Servers []*appserver.Server
 	Gen     *Generator
-	// Feedback is the cluster's load-report view, shared by every LB
-	// replica; nil unless Topology.Feedback.Enabled.
+	// Feedback is replica 0's load-report view — each replica owns its
+	// own subscription (FeedbackOf reaches the others); nil unless
+	// Topology.Feedback.Enabled.
 	Feedback *feedback.View
 
 	vips []*vipState

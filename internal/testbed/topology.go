@@ -18,6 +18,7 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"net/netip"
 	"sort"
@@ -217,6 +218,11 @@ const (
 	// EventReplicaRecover re-attaches a failed replica — stateless, its
 	// flow table cleared, as a restarted process would come back.
 	EventReplicaRecover
+	// EventReplicaRecoverWarm re-attaches a failed replica with a warm
+	// handoff: instead of coming back stateless it imports the donor
+	// replica's flow bindings (Event.From) — a surviving replica's live
+	// table, or its own pre-fail snapshot aged by the downtime.
+	EventReplicaRecoverWarm
 )
 
 // Event is one scheduled lifecycle action. Use the constructors.
@@ -242,6 +248,10 @@ type Event struct {
 	Server int
 	// Replica indexes the LB replicas (replica events).
 	Replica int
+	// From indexes the donor replica of a warm recover
+	// (EventReplicaRecoverWarm); From == Replica means the replica
+	// inherits its own pre-fail snapshot.
+	From int
 	// Frac is the rate-relative time in [0, 1] (fraction of the arrival
 	// span); meaningful only when Relative is set.
 	Frac float64
@@ -338,6 +348,69 @@ func FailReplica(at time.Duration, r int) Event {
 // at time at.
 func RecoverReplica(at time.Duration, r int) Event {
 	return Event{At: at, Kind: EventReplicaRecover, Replica: r}
+}
+
+// RecoverReplicaWarm returns an event re-attaching LB replica r at time
+// at with a warm handoff: the replica imports replica from's flow
+// bindings instead of restarting stateless. A donor that is alive at
+// the recover instant exports its table then; a dead donor — including
+// from == r, a replica handing its own state forward across the restart
+// — contributes the snapshot captured when it failed, aged by the
+// downtime (deadlines are absolute virtual times, so bindings that
+// expired while the replica was dark are dropped on import).
+func RecoverReplicaWarm(at time.Duration, r, from int) Event {
+	return Event{At: at, Kind: EventReplicaRecoverWarm, Replica: r, From: from}
+}
+
+// FailPoolRack returns a correlated-failure schedule: the first
+// ceil(fraction × servers) slots of the named pool (pool == "" targets
+// VIP 0's implicit pool) all fail-stop at the same rate-relative
+// instant atFrac — one rack dropping off the fabric at once. Victims
+// are resolved deterministically as slots 0..k-1, and the count is
+// clamped to leave at least one server alive (Validate rejects
+// schedules that empty a pool).
+func FailPoolRack(pool string, servers int, fraction, atFrac float64) []Event {
+	k := int(math.Ceil(fraction * float64(servers)))
+	if k < 1 {
+		k = 1
+	}
+	if k > servers-1 {
+		k = servers - 1
+	}
+	events := make([]Event, 0, k)
+	for i := 0; i < k; i++ {
+		events = append(events, Event{Kind: EventServerFail, Pool: pool, Server: i}.AtFraction(atFrac))
+	}
+	return events
+}
+
+// RollingUpgradeEvents sequences a rolling LB upgrade: replica r goes
+// down at fraction startFrac + r·strideFrac of the arrival span and
+// comes back downFrac later, so with strideFrac > downFrac at most one
+// replica is dark at a time. With warm set, each replica recovers via
+// RecoverReplicaWarm from its successor (r+1 mod replicas — a live
+// donor whenever the downtimes don't overlap; a single replica hands
+// its own snapshot forward); otherwise recovery is stateless. All
+// fractions are clamped to 1.
+func RollingUpgradeEvents(replicas int, startFrac, strideFrac, downFrac float64, warm bool) []Event {
+	clamp := func(f float64) float64 {
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	events := make([]Event, 0, 2*replicas)
+	for r := 0; r < replicas; r++ {
+		failF := clamp(startFrac + float64(r)*strideFrac)
+		recF := clamp(startFrac + float64(r)*strideFrac + downFrac)
+		events = append(events, FailReplica(0, r).AtFraction(failF))
+		if warm {
+			events = append(events, RecoverReplicaWarm(0, r, (r+1)%replicas).AtFraction(recF))
+		} else {
+			events = append(events, RecoverReplica(0, r).AtFraction(recF))
+		}
+	}
+	return events
 }
 
 func (t Topology) withDefaults() Topology {
@@ -530,9 +603,12 @@ func (t Topology) validate() error {
 						i, ev.Server, p.label, ev.At)
 				}
 			}
-		case EventReplicaFail, EventReplicaRecover:
+		case EventReplicaFail, EventReplicaRecover, EventReplicaRecoverWarm:
 			if ev.Replica < 0 || ev.Replica >= t.Replicas {
 				return fmt.Errorf("event %d: replica %d out of range (%d replicas)", i, ev.Replica, t.Replicas)
+			}
+			if ev.Kind == EventReplicaRecoverWarm && (ev.From < 0 || ev.From >= t.Replicas) {
+				return fmt.Errorf("event %d: warm-recover donor %d out of range (%d replicas)", i, ev.From, t.Replicas)
 			}
 		default:
 			return fmt.Errorf("event %d: unknown kind %d", i, ev.Kind)
@@ -602,6 +678,16 @@ type replicaState struct {
 	down    bool
 	schemes []*mutableScheme // per VIP
 	rngs    []*rand.Rand     // per VIP; persists across pool rebuilds
+	// view is this replica's subscription to the telemetry plane (nil
+	// when feedback is disabled) — per replica, per the feedback
+	// package's contract. A down replica receives no reports and a
+	// recovering one resets its view: a restarted process has no memory
+	// of pre-crash load, and answers stale until servers report again.
+	view *feedback.View
+	// preFail is the flow snapshot captured the instant the replica
+	// failed — the donor state for a warm self-recovery, and for a warm
+	// recovery whose donor is itself dark at the recover instant.
+	preFail []flowtable.FlowBinding
 }
 
 // mutableScheme delegates to the pool's current scheme; lifecycle events
@@ -669,14 +755,6 @@ func Build(top Topology) *Testbed {
 	sim := des.New()
 	net := netsim.New(sim, top.Net)
 	tb := &Testbed{Sim: sim, Net: net}
-	if top.Feedback.Enabled {
-		// One view shared by every replica: in the single-threaded
-		// simulation all replicas would receive identical reports at
-		// identical instants anyway, so one copy of the state serves all
-		// of them (and the schemes of each replica read it through their
-		// VIP's projection).
-		tb.Feedback = feedback.NewView(top.Feedback, sim.Now)
-	}
 
 	// Compile the pool table: implicit per-VIP pools in VIP order (the
 	// legacy layout, so legacy topologies keep their construction order
@@ -750,6 +828,14 @@ func Build(top Topology) *Testbed {
 			schemes: make([]*mutableScheme, len(top.VIPs)),
 			rngs:    make([]*rand.Rand, len(top.VIPs)),
 		}
+		if top.Feedback.Enabled {
+			// One view per replica — the View is "one LB replica's
+			// subscription" by the feedback package's contract. In steady
+			// state every replica receives identical reports at identical
+			// instants, but a down replica receives nothing and a
+			// recovering one starts from scratch.
+			rs.view = feedback.NewView(top.Feedback, sim.Now)
+		}
 		// The indexed config form: VIP v gets dense id v in every replica,
 		// so construction is one slice walk — no per-replica maps, and the
 		// LB compiles it without sorting.
@@ -758,7 +844,7 @@ func Build(top Topology) *Testbed {
 			stream := uint64(1) + uint64(r)*uint64(len(top.VIPs)) + uint64(v)
 			selRng := rng.Split(top.Seed, stream)
 			rs.rngs[v] = selRng
-			ms := &mutableScheme{cur: tb.buildScheme(vs, clonePool(vs.pool.pool), selRng)}
+			ms := &mutableScheme{cur: tb.buildScheme(rs, vs, clonePool(vs.pool.pool), selRng)}
 			rs.schemes[v] = ms
 			list[v] = core.VIPConfig{Addr: vs.addr, Scheme: ms}
 			if vs.spec.Fallback != nil {
@@ -784,6 +870,9 @@ func Build(top Topology) *Testbed {
 		tb.LBs[r] = rs.lb
 	}
 	tb.LB = tb.LBs[0]
+	// The exported Feedback field is replica 0's view (the legacy
+	// single-replica surface); FeedbackOf reaches the others.
+	tb.Feedback = tb.replicas[0].view
 
 	// Servers, pool by pool in table order (implicit pools first — the
 	// legacy construction order).
@@ -824,22 +913,25 @@ func Build(top Topology) *Testbed {
 	return tb
 }
 
-// buildScheme constructs VIP vs's scheme over servers for one replica:
-// the load-aware constructor (with the VIP's view projection) when the
-// feedback plane is on and the spec provides one, the plain SchemeFn
-// otherwise.
-func (tb *Testbed) buildScheme(vs *vipState, servers []netip.Addr, r *rand.Rand) selection.Scheme {
-	if tb.Feedback != nil && vs.spec.FeedbackScheme != nil {
-		return vs.spec.FeedbackScheme(servers, r, tb.Feedback.For(vs.addr))
+// buildScheme constructs VIP vs's scheme over servers for replica rs:
+// the load-aware constructor (with the replica's own view projection)
+// when the feedback plane is on and the spec provides one, the plain
+// SchemeFn otherwise.
+func (tb *Testbed) buildScheme(rs *replicaState, vs *vipState, servers []netip.Addr, r *rand.Rand) selection.Scheme {
+	if rs.view != nil && vs.spec.FeedbackScheme != nil {
+		return vs.spec.FeedbackScheme(servers, r, rs.view.For(vs.addr))
 	}
 	return vs.spec.Scheme(servers, r)
 }
 
 // PublishFeedback samples every live server's scoreboard once and
-// ingests one report per (VIP, server) into the shared view — the body
-// of the periodic publishing tick, exported so staleness tests can
-// drive reports at instants of their choosing. No-op when the feedback
-// plane is disabled.
+// ingests one report per (VIP, server) into each live replica's view —
+// the body of the periodic publishing tick, exported so staleness tests
+// can drive reports at instants of their choosing. Each server samples
+// once (one EWMA step per tick), every subscriber sees the same
+// numbers; a down replica receives nothing, so its view goes stale
+// exactly as a dead process's would. No-op when the feedback plane is
+// disabled.
 func (tb *Testbed) PublishFeedback() {
 	if tb.Feedback == nil {
 		return
@@ -853,7 +945,12 @@ func (tb *Testbed) PublishFeedback() {
 			srv := slot.server
 			rpt := slot.pub.Sample(now, srv.BusyWorkers(), srv.TotalWorkers(), slot.router.OpenConns())
 			for _, vs := range pool.vips {
-				tb.Feedback.Ingest(vs.addr, slot.addr, rpt)
+				for _, rs := range tb.replicas {
+					if rs.down {
+						continue
+					}
+					rs.view.Ingest(vs.addr, slot.addr, rpt)
+				}
 			}
 		}
 	}
@@ -974,6 +1071,12 @@ func (tb *Testbed) apply(ev Event) {
 		if rs.down {
 			return
 		}
+		// Capture the dying replica's flow bindings first: the warm-recover
+		// donor state when this replica later hands its own snapshot
+		// forward, or when another replica recovers warm while this donor
+		// is still dark. Deadlines are absolute, so the snapshot ages
+		// naturally while it sits here.
+		rs.preFail = rs.lb.ExportFlows()
 		rs.down = true
 		if len(tb.replicas) > 1 {
 			for _, vs := range tb.vips {
@@ -992,29 +1095,57 @@ func (tb *Testbed) apply(ev Event) {
 		if !rs.down {
 			return
 		}
-		rs.down = false
-		// Stateless restart: flow state is gone, schemes resync to the
-		// pool as it is now (it may have churned while the replica was
-		// dark). Stateful schemes are reconstructed too — a restarted
-		// process has lost its in-flight counters along with its flows.
+		// Stateless restart: flow state is gone.
 		rs.lb.ResetFlows()
-		// Schemes resync per replica; fallbacks are shared across replicas
-		// and already track the pool (rebuildSchemes updates them at churn
-		// time), so recovery leaves them alone.
-		for v, vs := range tb.vips {
-			rs.schemes[v].cur = tb.buildScheme(vs, clonePool(vs.pool.pool), rs.rngs[v])
+		tb.recoverReplica(rs)
+
+	case EventReplicaRecoverWarm:
+		rs := tb.replicas[ev.Replica]
+		if !rs.down {
+			return
 		}
-		if len(tb.replicas) > 1 {
-			for _, vs := range tb.vips {
-				tb.Net.AttachAnycast(rs.lb, vs.addr)
-			}
-			tb.Net.AttachAnycast(rs.lb, LBAddr)
-		} else {
-			for _, vs := range tb.vips {
-				tb.Net.Attach(rs.lb, vs.addr)
-			}
-			tb.Net.Attach(rs.lb, LBAddr)
+		// Warm handoff: restart, then import the donor's bindings. A live
+		// donor exports its table right now; a dark donor (including the
+		// replica itself) contributes its pre-fail snapshot, which the
+		// import ages — bindings that expired during the downtime stay
+		// dead.
+		rs.lb.ResetFlows()
+		donor := tb.replicas[ev.From]
+		snap := donor.preFail
+		if ev.From != ev.Replica && !donor.down {
+			snap = donor.lb.ExportFlows()
 		}
+		rs.lb.ImportFlows(snap)
+		tb.recoverReplica(rs)
+	}
+}
+
+// recoverReplica re-attaches a failed replica: schemes resync to the
+// pool as it is now (it may have churned while the replica was dark),
+// stateful schemes are reconstructed — a restarted process has lost its
+// in-flight counters — and the replica's telemetry view resets (load
+// reports predate the crash; freshness returns with the next publish
+// tick). Flow state is the caller's affair: the stateless path clears
+// it, the warm path imports a snapshot. Fallbacks are shared across
+// replicas and already track the pool, so recovery leaves them alone.
+func (tb *Testbed) recoverReplica(rs *replicaState) {
+	rs.down = false
+	if rs.view != nil {
+		rs.view.Reset()
+	}
+	for v, vs := range tb.vips {
+		rs.schemes[v].cur = tb.buildScheme(rs, vs, clonePool(vs.pool.pool), rs.rngs[v])
+	}
+	if len(tb.replicas) > 1 {
+		for _, vs := range tb.vips {
+			tb.Net.AttachAnycast(rs.lb, vs.addr)
+		}
+		tb.Net.AttachAnycast(rs.lb, LBAddr)
+	} else {
+		for _, vs := range tb.vips {
+			tb.Net.Attach(rs.lb, vs.addr)
+		}
+		tb.Net.Attach(rs.lb, LBAddr)
 	}
 }
 
@@ -1035,7 +1166,7 @@ func (tb *Testbed) rebuildSchemes(pool *poolState) {
 			if st, ok := rs.schemes[v].cur.(selection.Stateful); ok {
 				st.Update(clonePool(pool.pool))
 			} else {
-				rs.schemes[v].cur = tb.buildScheme(vs, clonePool(pool.pool), rs.rngs[v])
+				rs.schemes[v].cur = tb.buildScheme(rs, vs, clonePool(pool.pool), rs.rngs[v])
 			}
 		}
 		if vs.fallback != nil {
@@ -1075,3 +1206,7 @@ func (tb *Testbed) ServerOf(v, i int) *appserver.Server { return tb.vips[v].pool
 
 // RouterOf returns the virtual router of pool slot i of VIP v's pool.
 func (tb *Testbed) RouterOf(v, i int) *vrouter.Router { return tb.vips[v].pool.all[i].router }
+
+// FeedbackOf returns replica r's telemetry view (nil when the plane is
+// disabled). Testbed.Feedback is shorthand for FeedbackOf(0).
+func (tb *Testbed) FeedbackOf(r int) *feedback.View { return tb.replicas[r].view }

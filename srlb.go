@@ -128,6 +128,12 @@ type (
 	// replica mid-run; Maglev fallback vs random selection).
 	FailoverConfig = experiments.FailoverConfig
 	FailoverResult = experiments.FailoverResult
+	// ResilienceConfig/Result/Row: the warm-handoff resilience ablation
+	// — {stateless, chash, warm} recovery disciplines through replica
+	// kill, rack loss, and rolling-upgrade schedules.
+	ResilienceConfig = experiments.ResilienceConfig
+	ResilienceResult = experiments.ResilienceResult
+	ResilienceRow    = experiments.ResilienceRow
 	// ChurnConfig/Result: the pool churn/autoscale study (drain and
 	// re-add servers under load).
 	ChurnConfig = experiments.ChurnConfig
@@ -197,6 +203,16 @@ var (
 	FailReplica = testbed.FailReplica
 	// RecoverReplica re-attaches a failed replica, stateless.
 	RecoverReplica = testbed.RecoverReplica
+	// RecoverReplicaWarm re-attaches a failed replica with a warm flow
+	// table: a surviving donor's live snapshot, or (donor == replica)
+	// the replica's own pre-fail snapshot aged by its downtime.
+	RecoverReplicaWarm = testbed.RecoverReplicaWarm
+	// FailPoolRack fails several of a pool's servers at one
+	// rate-relative instant — the correlated top-of-rack loss.
+	FailPoolRack = testbed.FailPoolRack
+	// RollingUpgradeEvents sequences a fail/recover pair per replica —
+	// the rolling-upgrade maintenance schedule, warm or stateless.
+	RollingUpgradeEvents = testbed.RollingUpgradeEvents
 	// ResolveEvents resolves rate-relative event times (Event.AtFraction)
 	// against an arrival span. Workloads resolve their cluster's events
 	// automatically per load point; call this only when handing a
@@ -316,6 +332,11 @@ func RunHetero(cfg HeteroConfig) HeteroResult { return experiments.RunHetero(cfg
 // transient, comparing consistent-hash selection + miss-fallback against
 // random selection — the stateless-failover story of §II-B, measured.
 func RunFailover(cfg FailoverConfig) FailoverResult { return experiments.RunFailover(cfg) }
+
+// RunResilience ablates {stateless restart, chash miss-fallback, warm
+// handoff} through replica-kill, rack-loss and rolling-upgrade
+// schedules, reporting completion rates with CIs per (scenario, mode).
+func RunResilience(cfg ResilienceConfig) ResilienceResult { return experiments.RunResilience(cfg) }
 
 // RunChurn drains and re-adds part of the server pool under load,
 // comparing how much of the capacity squeeze each policy passes through
