@@ -54,12 +54,15 @@ type distJSON struct {
 	Max  float64 `json:"max"`
 }
 
+// ReportedCI95 maps the "unknown interval" sentinel (+Inf at n < 2) to
+// 0 — json.Marshal rejects non-finite values, and the schema's
+// convention is that a zero ci95 reads "unknown".
 func distMS(d srlb.Dist) distJSON {
-	return distJSON{Mean: d.Mean * 1e3, CI95: d.CI95 * 1e3, Min: d.Min * 1e3, Max: d.Max * 1e3}
+	return distJSON{Mean: d.Mean * 1e3, CI95: d.ReportedCI95() * 1e3, Min: d.Min * 1e3, Max: d.Max * 1e3}
 }
 
 func dist(d srlb.Dist) distJSON {
-	return distJSON{Mean: d.Mean, CI95: d.CI95, Min: d.Min, Max: d.Max}
+	return distJSON{Mean: d.Mean, CI95: d.ReportedCI95(), Min: d.Min, Max: d.Max}
 }
 
 // sweepCellJSON is one row of BENCH_sweep.json: a logical (policy, load)
@@ -67,10 +70,17 @@ func dist(d srlb.Dist) distJSON {
 // wall-clock, so successive PRs can track both the simulated results and
 // the harness's own speed.
 type sweepCellJSON struct {
-	Policy     string   `json:"policy"`
-	Workload   string   `json:"workload"`
-	Variant    string   `json:"variant,omitempty"`
-	Load       float64  `json:"load"`
+	Policy   string  `json:"policy"`
+	Workload string  `json:"workload"`
+	Variant  string  `json:"variant,omitempty"`
+	Load     float64 `json:"load"`
+	// LoadVec is the per-service load vector of a grid-sweep cell
+	// (schema v9); absent for scalar sweeps.
+	LoadVec []float64 `json:"load_vec,omitempty"`
+	// StopReason is the adaptive replication controller's per-cell
+	// verdict (schema v9: "converged" or "max-seeds"); absent under
+	// fixed replication. N and Seeds then vary per cell.
+	StopReason string   `json:"stop_reason,omitempty"`
 	N          int      `json:"n"`
 	Seeds      []uint64 `json:"seeds"`
 	MeanMS     distJSON `json:"mean_ms"`
@@ -170,9 +180,10 @@ type sweepJSON struct {
 	Resilience []resilienceRowJSON `json:"resilience,omitempty"`
 }
 
-// sweepSchemaVersion is BENCH_sweep.json's current schema (v8: the
-// resilience-ablation rows; see docs/RESULTS_SCHEMA.md).
-const sweepSchemaVersion = 8
+// sweepSchemaVersion is BENCH_sweep.json's current schema (v9: grid
+// rows — per-cell load_vec, stop_reason and ragged n/seeds from
+// adaptive replication; see docs/RESULTS_SCHEMA.md).
+const sweepSchemaVersion = 9
 
 // appserverDefaultWithBacklog returns the paper's server config with a
 // shallower accept queue.
@@ -184,7 +195,7 @@ func appserverDefaultWithBacklog(backlog int) appserver.Config {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|resilience|churn|multiservice|interference|policies|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
+		experiment = flag.String("experiment", "all", "calibrate|fig2|fig3|fig4|fig5|wiki|ablations|bursty|failover|resilience|churn|multiservice|interference|policies|rhogrid|vipscale|horizon|all (wiki covers figures 6-8; horizon runs only when named)")
 		out        = flag.String("out", "results", "output directory for TSV artifacts")
 		seed       = flag.Uint64("seed", 1, "master RNG seed")
 		seedCount  = flag.Int("seeds", 1, "replicates per cell (derived from -seed; >1 reports mean ± 95% CI)")
@@ -195,6 +206,8 @@ func main() {
 		horizonQ   = flag.Uint64("horizon-queries", 100_000_000, "queries for -experiment horizon (constant-memory soak)")
 		horizonRho = flag.Float64("horizon-rho", 0.85, "normalized load for -experiment horizon")
 		workers    = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
+		ciTarget   = flag.Float64("ci-target", 0.2, "rhogrid: adaptive relative CI95 stop target (<= 0 runs fixed -seeds replication)")
+		maxSeeds   = flag.Int("max-seeds", 8, "rhogrid: adaptive per-cell replicate cap")
 		verbose    = flag.Bool("v", false, "log per-point progress")
 		asciiPlot  = flag.Bool("plot", false, "render ASCII charts of figures 2 and 8 to stdout")
 	)
@@ -206,14 +219,16 @@ func main() {
 		fmt.Fprintln(flag.CommandLine.Output(), `
 Artifacts land in -out as TSV, plus BENCH_sweep.json — the per-cell
 machine-readable summary of the fig2/multiservice/interference/policies/
-resilience sweeps (schema v8: n, mean, ci95, p50, p99 per cell, the
+resilience sweeps (schema v9: n, mean, ci95, p50, p99 per cell, the
 topology-variant label, per-VIP rows — each with its service's own
 resolved load — for multi-service cells, vipscale dispatch-cost rows,
-policies rows with flowlet re-steer counts, and resilience rows with
-per-(scenario, mode) completion rates; documented field-by-field in
-docs/RESULTS_SCHEMA.md). The topology experiments (failover,
-resilience, churn, multiservice, interference, policies, vipscale) and
-the bursty sweep are described in docs/TOPOLOGY.md.`)
+policies rows with flowlet re-steer counts, resilience rows with
+per-(scenario, mode) completion rates, and rhogrid cells with load_vec,
+per-cell n and stop_reason from adaptive replication; documented
+field-by-field in docs/RESULTS_SCHEMA.md). The topology experiments
+(failover, resilience, churn, multiservice, interference, policies,
+rhogrid, vipscale) and the bursty sweep are described in
+docs/TOPOLOGY.md.`)
 	}
 	flag.Parse()
 	// The replication axis, shared by every Poisson-family experiment
@@ -479,7 +494,7 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 			})
 			for _, m := range res.Modes {
 				fmt.Printf("   %-16s ok=%.4f±%.4f refused=%.0f unfinished=%.0f (n=%d)\n",
-					m.Name, m.Stats.OKFraction.Dist.Mean, m.Stats.OKFraction.Dist.CI95,
+					m.Name, m.Stats.OKFraction.Dist.Mean, m.Stats.OKFraction.Dist.ReportedCI95(),
 					m.Stats.Refused.Dist.Mean, m.Stats.Unfinished.Dist.Mean, m.Stats.N())
 			}
 			fmt.Printf("   replica 0 of %d killed at t=%.1fs\n", res.Replicas, res.KillAt.Seconds())
@@ -639,6 +654,57 @@ the bursty sweep are described in docs/TOPOLOGY.md.`)
 				}
 			}
 			return writeFile("extension_policies.tsv", func(f *os.File) error { return res.WriteTSV(f) })
+		})
+	}
+
+	if want("rhogrid") {
+		needLambda0()
+		run("extension: rho-grid policy ablation (web-rho × batch-rho matrix, adaptive replication)", func() error {
+			start := time.Now()
+			res := srlb.RunRhoGrid(srlb.RhoGridConfig{
+				Cluster: cluster, Lambda0: lambda0, Queries: *queries,
+				Seeds: seeds,
+				Adaptive: srlb.Adaptive{
+					CITarget: *ciTarget,
+					MaxSeeds: *maxSeeds,
+				},
+				Workers: *workers, Progress: progress,
+			})
+			fmt.Printf("   grid: %d web-rho × %d batch-rho points, %d policies\n",
+				len(res.WebRhos), len(res.BatchRhos), len(res.Stats.Policies))
+			if res.Adaptive {
+				fmt.Printf("   adaptive budget: %d/%d replicates spent (%.0f%% of fixed; ci-target %.2f, max-seeds %d)\n",
+					res.TotalReplicates(), res.FixedBudget(),
+					100*float64(res.TotalReplicates())/float64(res.FixedBudget()),
+					*ciTarget, res.MaxSeeds)
+			}
+			// As with multiservice: standalone runs own BENCH_sweep.json;
+			// under -experiment all the figure-2 sweep keeps that name.
+			jsonName := "BENCH_sweep.json"
+			if *experiment == "all" {
+				jsonName = "BENCH_rhogrid.json"
+			}
+			if err := writeSweepJSON(*out, jsonName, lambda0, *workers, time.Since(start), res.Stats); err != nil {
+				return err
+			}
+			fmt.Printf("   wrote %s (schema v9: grid cells with load_vec, per-cell n, stop_reason)\n", filepath.Join(*out, jsonName))
+			if err := writeFile("rhogrid_heatmaps.txt", func(f *os.File) error {
+				if err := plot.RenderHeatmaps(f, res.Heatmaps("p99")...); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintln(f); err != nil {
+					return err
+				}
+				return plot.RenderHeatmaps(f, res.Heatmaps("n")...)
+			}); err != nil {
+				return err
+			}
+			if *asciiPlot {
+				if err := plot.RenderHeatmaps(os.Stdout, res.Heatmaps("p99")...); err != nil {
+					return err
+				}
+			}
+			return writeFile("extension_rhogrid.tsv", func(f *os.File) error { return res.WriteTSV(f) })
 		})
 	}
 
@@ -877,6 +943,8 @@ func writeSweepDoc(dir, name string, lambda0 float64, workers int, total time.Du
 			Workload:   c.Workload,
 			Variant:    c.Variant,
 			Load:       c.Load,
+			LoadVec:    c.LoadVec,
+			StopReason: c.StopReason,
 			N:          c.N(),
 			Seeds:      c.Seeds,
 			MeanMS:     distMS(c.Mean.Dist),

@@ -181,6 +181,27 @@
 // FeedbackConfig/FeedbackReport re-exports; docs/TOPOLOGY.md covers the
 // plane).
 //
+// # Grid sweeps and adaptive replication
+//
+// Sweep.LoadGrid generalizes the scalar load axis to a vector one: the
+// grid is the cross product of per-service ρ-axes, each point a
+// ρ-vector dispatched through VectorWorkload.RunVector (implemented by
+// MultiServiceWorkload, which pins every service to its entry). One
+// sweep then enumerates a full web-ρ × batch-ρ matrix instead of
+// pinning the victim. Because the matrix multiplies cells, Sweep.
+// Adaptive sizes each cell's replication on the fly: a mandatory floor
+// of MinSeeds (≥ 3) replicates, then one seed per round until the
+// relative CI95 of the cell's mean response time drops under CITarget
+// or MaxSeeds is hit, with policy-crossover-boundary cells held to a
+// tighter target. Stop decisions are taken at round barriers from
+// completed-seed data in canonical cell order, and every cell's round-k
+// replicate uses the k-th seed of one shared universe, so results stay
+// byte-identical at any worker count. RunRhoGrid packages the four-way
+// policy ablation over the grid as `srlb-bench -experiment rhogrid`
+// (extension_rhogrid.tsv, per-policy ASCII heatmaps via
+// plot.RenderHeatmaps, schema-v9 BENCH_sweep.json cells with load_vec
+// and stop_reason).
+//
 // # Streaming measurement: sketches and the horizon soak
 //
 // Experiment cells measure through internal/sketch: a mergeable
@@ -210,8 +231,11 @@
 //   - A CellStats metric (Mean, Median, P95, P99) is the across-seed
 //     mean of the per-seed statistic; its Dist.CI95 is the Student-t
 //     95% half-width. Report "mean ± ci95 (n=seeds)".
-//   - N == 1 reports CI95 = 0. That means "unknown", not "exact" — a
-//     single replicate carries no dispersion information.
+//   - N == 1 carries no dispersion information, so its raw Dist.CI95 is
+//     +Inf — "unknown", impossible to mistake for a tight interval (the
+//     adaptive stopper relies on this). Reporting boundaries (JSON,
+//     TSV, plots; Dist.ReportedCI95 and CellStats.MeanCI95) map the
+//     non-finite sentinel to 0.
 //   - Two policies differ meaningfully when their intervals separate.
 //     Overlapping intervals at n=3 are an instruction to add seeds, not
 //     a conclusion of equality.

@@ -59,7 +59,7 @@ func main() {
 		for pi := range agg.Policies {
 			cell := agg.Cell(pi, li)
 			fmt.Printf("  %6.3f ±%5.3f",
-				cell.Mean.Dist.Mean, cell.Mean.Dist.CI95)
+				cell.Mean.Dist.Mean, cell.Mean.Dist.ReportedCI95())
 		}
 		fmt.Println()
 	}

@@ -141,7 +141,7 @@ func (cfg *AblationConfig) runStudy(ctx context.Context, study string, scenarios
 			P95:      secDur(cs.P95.Dist.Mean),
 			Refused:  int(math.Round(cs.Refused.Dist.Mean)),
 			N:        cs.N(),
-			MeanCI95: secDur(cs.Mean.Dist.CI95),
+			MeanCI95: secDur(cs.Mean.Dist.ReportedCI95()),
 		})
 	}
 	return res

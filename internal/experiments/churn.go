@@ -129,9 +129,9 @@ func RunChurnCtx(ctx context.Context, cfg ChurnConfig) ChurnResult {
 				res.Rows = append(res.Rows, ChurnRow{
 					Policy: spec.Name, Rho: rho, Mode: mode, N: cs.N(),
 					Mean:     secDur(cs.Mean.Dist.Mean),
-					MeanCI95: secDur(cs.Mean.Dist.CI95),
+					MeanCI95: secDur(cs.Mean.Dist.ReportedCI95()),
 					P99:      secDur(cs.P99.Dist.Mean),
-					OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+					OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.ReportedCI95(),
 					Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
 				})
 			}

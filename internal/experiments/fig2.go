@@ -143,9 +143,9 @@ func RunFig2Ctx(ctx context.Context, cfg Fig2Config) Fig2Result {
 				OKFrac:     cs.OKFraction.Dist.Mean,
 				Refused:    int(math.Round(cs.Refused.Dist.Mean)),
 				N:          cs.N(),
-				MeanCI95:   secDur(cs.Mean.Dist.CI95),
-				MedianCI95: secDur(cs.Median.Dist.CI95),
-				P95CI95:    secDur(cs.P95.Dist.CI95),
+				MeanCI95:   secDur(cs.Mean.Dist.ReportedCI95()),
+				MedianCI95: secDur(cs.Median.Dist.ReportedCI95()),
+				P95CI95:    secDur(cs.P95.Dist.ReportedCI95()),
 			}
 		}
 	}

@@ -185,7 +185,7 @@ func (r CDFResult) WriteTSV(w io.Writer) error {
 	for i, spec := range r.Policies {
 		fmt.Fprintf(w, "# policy: %s (n=%d, median=%s", spec.Name, r.RT[i].Count(), metrics.FormatDuration(r.RT[i].Median()))
 		if len(r.Stats) > i && r.Stats[i].N() > 1 {
-			fmt.Fprintf(w, " ± %s over %d seeds", metrics.FormatDuration(secDur(r.Stats[i].Median.Dist.CI95)), r.Stats[i].N())
+			fmt.Fprintf(w, " ± %s over %d seeds", metrics.FormatDuration(secDur(r.Stats[i].Median.Dist.ReportedCI95())), r.Stats[i].N())
 		}
 		fmt.Fprintln(w, ")")
 		banded := len(r.Bands) > i && len(r.Bands[i].Fraction) > 0

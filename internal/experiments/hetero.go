@@ -124,7 +124,7 @@ func RunHeteroCtx(ctx context.Context, cfg HeteroConfig) HeteroResult {
 			P95:      secDur(cs.P95.Dist.Mean),
 			Refused:  int(math.Round(cs.Refused.Dist.Mean)),
 			N:        cs.N(),
-			MeanCI95: secDur(cs.Mean.Dist.CI95),
+			MeanCI95: secDur(cs.Mean.Dist.ReportedCI95()),
 		}
 		var shares []float64
 		for si := range sweep.Seeds {

@@ -173,18 +173,18 @@ func RunInterferenceCtx(ctx context.Context, cfg InterferenceConfig) Interferenc
 			}
 			rows := []InterferenceRow{{
 				BatchRho: rho, Policy: spec.Name, Service: "all", Load: rho, N: cs.N(),
-				Mean: secDur(cs.Mean.Dist.Mean), MeanCI95: secDur(cs.Mean.Dist.CI95),
-				P99: secDur(cs.P99.Dist.Mean), P99CI95: secDur(cs.P99.Dist.CI95),
-				OKFrac: cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+				Mean: secDur(cs.Mean.Dist.Mean), MeanCI95: secDur(cs.Mean.Dist.ReportedCI95()),
+				P99: secDur(cs.P99.Dist.Mean), P99CI95: secDur(cs.P99.Dist.ReportedCI95()),
+				OKFrac: cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.ReportedCI95(),
 				Offered: offered,
 				Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
 			}}
 			for _, vs := range cs.VIPs {
 				rows = append(rows, InterferenceRow{
 					BatchRho: rho, Policy: spec.Name, Service: vs.Name, Load: vs.Load, N: cs.N(),
-					Mean: secDur(vs.Mean.Dist.Mean), MeanCI95: secDur(vs.Mean.Dist.CI95),
-					P99: secDur(vs.P99.Dist.Mean), P99CI95: secDur(vs.P99.Dist.CI95),
-					OKFrac: vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.CI95,
+					Mean: secDur(vs.Mean.Dist.Mean), MeanCI95: secDur(vs.Mean.Dist.ReportedCI95()),
+					P99: secDur(vs.P99.Dist.Mean), P99CI95: secDur(vs.P99.Dist.ReportedCI95()),
+					OKFrac: vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.ReportedCI95(),
 					Offered: vs.Offered.Dist.Mean,
 					Refused: vs.Refused.Dist.Mean, Unfinished: vs.Unfinished.Dist.Mean,
 				})

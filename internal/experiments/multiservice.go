@@ -373,6 +373,25 @@ type MultiServiceStats struct {
 	Rebinds uint64
 }
 
+// RunVector implements VectorWorkload: a grid sweep's per-service
+// ρ-vector rides the ServiceLoads plumbing — service d is pinned at
+// loads[d] (ServiceLoad.Fixed) and the scalar load knob is inert. Any
+// ServiceLoads already set on the workload are replaced for the cell.
+func (w MultiServiceWorkload) RunVector(ctx context.Context, cluster ClusterConfig, spec PolicySpec, loads []float64) (CellOutcome, error) {
+	if len(loads) != len(w.Services) {
+		panic(fmt.Sprintf("experiments: %d-dimensional load vector for %d services", len(loads), len(w.Services)))
+	}
+	sl := make([]ServiceLoad, len(loads))
+	for i, l := range loads {
+		if l <= 0 {
+			panic(fmt.Sprintf("experiments: grid load %g for service %d must be > 0", l, i))
+		}
+		sl[i] = ServiceLoad{Fixed: l}
+	}
+	w.ServiceLoads = sl
+	return w.Run(ctx, cluster, spec, 1)
+}
+
 // ResolveLoads returns the per-service loads at the sweep's load point,
 // in service order.
 func (w MultiServiceWorkload) ResolveLoads(load float64) []float64 {
@@ -683,20 +702,20 @@ func RunMultiServiceCtx(ctx context.Context, cfg MultiServiceConfig) MultiServic
 				Rho: rho, Policy: spec.Name, Service: "all", N: cs.N(),
 				Offered:  offered,
 				Mean:     secDur(cs.Mean.Dist.Mean),
-				MeanCI95: secDur(cs.Mean.Dist.CI95),
+				MeanCI95: secDur(cs.Mean.Dist.ReportedCI95()),
 				P50:      secDur(cs.Median.Dist.Mean),
 				P99:      secDur(cs.P99.Dist.Mean),
-				OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
+				OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.ReportedCI95(),
 				Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
 			})
 			for _, vs := range cs.VIPs {
 				res.Rows = append(res.Rows, MultiServiceRow{
 					Rho: rho, Policy: spec.Name, Service: vs.Name, N: cs.N(),
 					Mean:     secDur(vs.Mean.Dist.Mean),
-					MeanCI95: secDur(vs.Mean.Dist.CI95),
+					MeanCI95: secDur(vs.Mean.Dist.ReportedCI95()),
 					P50:      secDur(vs.Median.Dist.Mean),
 					P99:      secDur(vs.P99.Dist.Mean),
-					OKFrac:   vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.CI95,
+					OKFrac:   vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.ReportedCI95(),
 					Offered: vs.Offered.Dist.Mean,
 					Refused: vs.Refused.Dist.Mean, Unfinished: vs.Unfinished.Dist.Mean,
 				})

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"srlb/internal/plot"
@@ -16,8 +17,10 @@ import (
 // float64 projection (durations project to seconds).
 //
 // A CellStats over a single seed degenerates gracefully: the point
-// estimates equal the underlying cell's and every CI95 is zero
-// ("unknown", not "exact" — see the stats package documentation).
+// estimates equal the underlying cell's and every CI95 is +Inf
+// ("unknown", not "exact" — see the stats package documentation;
+// serialization boundaries report the sentinel as 0 via
+// stats.Dist.ReportedCI95).
 type CellStats struct {
 	// Name, Policy, Workload, Variant, Load identify the logical cell.
 	Name     string
@@ -25,6 +28,13 @@ type CellStats struct {
 	Workload string
 	Variant  string
 	Load     float64
+	// LoadVec is the cell's per-service load vector for grid sweeps
+	// (Sweep.LoadGrid); nil for scalar sweeps.
+	LoadVec []float64
+	// StopReason records why adaptive replication stopped adding seeds
+	// to this cell (StopConverged, StopMaxSeeds); empty under fixed
+	// replication.
+	StopReason string
 	// Seeds lists the replicates that ran to completion. Cancelled
 	// replicates — skipped or interrupted mid-run — are dropped, so N()
 	// can be smaller than the sweep's seed count.
@@ -71,11 +81,17 @@ func (c CellStats) N() int { return len(c.Seeds) }
 // MeanRT returns the across-seed mean of per-seed mean response times.
 func (c CellStats) MeanRT() time.Duration { return secDur(c.Mean.Dist.Mean) }
 
-// MeanCI95 returns the CI half-width of MeanRT.
-func (c CellStats) MeanCI95() time.Duration { return secDur(c.Mean.Dist.CI95) }
+// MeanCI95 returns the CI half-width of MeanRT (0 when the interval is
+// unknown, i.e. fewer than two completed replicates).
+func (c CellStats) MeanCI95() time.Duration { return secDur(c.Mean.Dist.ReportedCI95()) }
 
-// secDur converts seconds to a duration.
+// secDur converts seconds to a duration. Non-finite input — the
+// "unknown interval" sentinel of stats.Dist.CI95 at n < 2 — maps to 0
+// rather than overflowing into a garbage duration.
 func secDur(sec float64) time.Duration {
+	if math.IsInf(sec, 0) || math.IsNaN(sec) {
+		return 0
+	}
 	return time.Duration(sec * float64(time.Second))
 }
 
@@ -106,6 +122,7 @@ func newCellStats(cells []CellResult) CellStats {
 		}
 		if len(cs.Seeds) == 0 {
 			cs.Name, cs.Policy, cs.Workload, cs.Variant, cs.Load = c.Name, c.Policy, c.Workload, c.Variant, c.Load
+			cs.LoadVec = c.LoadVec
 		}
 		cs.Seeds = append(cs.Seeds, c.Seed)
 		means = append(means, c.Outcome.RT.Mean())
@@ -204,8 +221,12 @@ type SweepStats struct {
 	Policies []PolicySpec
 	Variants []ClusterVariant
 	Loads    []float64
-	// Seeds is the sweep's replication axis (the requested seeds; a
-	// cell's own Seeds field lists the ones that completed).
+	// LoadVecs is the vector load axis of a grid sweep (nil for scalar
+	// sweeps); when set, Loads holds each point's scalar label.
+	LoadVecs [][]float64
+	// Seeds is the sweep's replication axis (the requested seeds — for
+	// an adaptive run, the full seed universe up to MaxSeeds; a cell's
+	// own Seeds field lists the ones that actually ran and completed).
 	Seeds []uint64
 	// Cells holds one aggregate per (policy, variant, load),
 	// policy-major — the same order as SweepResult with the seed axis
@@ -228,29 +249,36 @@ func (s SweepStats) Cell(pi, li int) CellStats {
 }
 
 // CellAt returns the aggregate at (policy pi, variant vi, load li).
+// Out-of-range indexes panic with a description instead of silently
+// reading a neighboring cell.
 func (s SweepStats) CellAt(pi, vi, li int) CellStats {
-	return s.Cells[(pi*s.variants()+vi)*len(s.Loads)+li]
+	v, l := s.variants(), len(s.Loads)
+	if pi < 0 || pi >= len(s.Policies) || vi < 0 || vi >= v || li < 0 || li >= l {
+		panic(fmt.Sprintf(
+			"experiments: cell (policy %d, variant %d, load %d) out of range for %d policies × %d variants × %d loads",
+			pi, vi, li, len(s.Policies), v, l))
+	}
+	return s.Cells[(pi*v+vi)*l+li]
 }
 
-// Aggregate folds the replication axis: every group of len(Seeds)
-// adjacent replicates becomes one CellStats. This is the step that
-// turns a replicated sweep into per-cell mean ± CI.
+// Aggregate folds the replication axis: each logical cell's replicates
+// — len(Seeds) adjacent cells for a uniform sweep, the cell's own
+// CellSeeds group for a ragged (adaptive) one — become one CellStats.
+// This is the step that turns a replicated sweep into per-cell
+// mean ± CI.
 func (r SweepResult) Aggregate() SweepStats {
 	agg := SweepStats{
 		Policies: r.Policies,
 		Variants: r.Variants,
 		Loads:    r.Loads,
+		LoadVecs: r.LoadVecs,
 		Seeds:    r.Seeds,
 		Cells:    make([]CellStats, 0, len(r.Policies)*r.variants()*len(r.Loads)),
 	}
 	for pi := range r.Policies {
 		for vi := 0; vi < r.variants(); vi++ {
 			for li := range r.Loads {
-				group := make([]CellResult, 0, len(r.Seeds))
-				for si := range r.Seeds {
-					group = append(group, r.CellAt(pi, vi, li, si))
-				}
-				agg.Cells = append(agg.Cells, newCellStats(group))
+				agg.Cells = append(agg.Cells, newCellStats(r.Replicates(pi, vi, li)))
 			}
 		}
 	}
@@ -260,8 +288,10 @@ func (r SweepResult) Aggregate() SweepStats {
 // PlotSeries renders the aggregate as mean-RT-vs-load lines — one
 // plot.Series per (policy, variant), y in seconds, with the per-point
 // Student-t 95% half-width as the error bar. Replicated sweeps thus
-// plot their CIs; single-seed sweeps degrade to plain lines (every
-// half-width is zero).
+// plot their CIs; single-seed sweeps degrade to plain lines (an
+// unknown half-width reports as zero). Grid sweeps should render as
+// heatmaps instead — here every grid row collapses onto the last-axis
+// label.
 func (s SweepStats) PlotSeries() []plot.Series {
 	out := make([]plot.Series, 0, len(s.Policies)*s.variants())
 	for pi, spec := range s.Policies {
@@ -283,7 +313,7 @@ func (s SweepStats) PlotSeries() []plot.Series {
 				}
 				ser.X = append(ser.X, load)
 				ser.Y = append(ser.Y, cs.Mean.Dist.Mean)
-				ser.YErr = append(ser.YErr, cs.Mean.Dist.CI95)
+				ser.YErr = append(ser.YErr, cs.Mean.Dist.ReportedCI95())
 			}
 			out = append(out, ser)
 		}
@@ -293,10 +323,16 @@ func (s SweepStats) PlotSeries() []plot.Series {
 
 // RunSweepStats expands and executes the sweep, then aggregates the
 // replication axis — the one-call way to get per-cell mean ± CI out of
-// a Sweep with several Seeds. The error mirrors RunSweep's: non-nil
+// a Sweep with several Seeds. When the sweep carries an enabled
+// Adaptive config the replication axis is grown adaptively instead of
+// run wholesale (see Adaptive). The error mirrors RunSweep's: non-nil
 // only on cancellation, with the aggregates over the cells that did
 // finish.
 func (r Runner) RunSweepStats(ctx context.Context, s Sweep) (SweepStats, error) {
+	if s.Adaptive.enabled() {
+		_, agg, err := r.RunSweepAdaptive(ctx, s)
+		return agg, err
+	}
 	res, err := r.RunSweep(ctx, s)
 	return res.Aggregate(), err
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"math"
 	"testing"
 	"time"
 )
@@ -69,8 +70,11 @@ func TestAggregateSingleSeedDegenerates(t *testing.T) {
 	if cs.N() != 1 {
 		t.Fatalf("n = %d, want 1", cs.N())
 	}
-	if cs.Mean.Dist.CI95 != 0 {
-		t.Fatal("single replicate must report zero (unknown) CI")
+	if !math.IsInf(cs.Mean.Dist.CI95, 1) {
+		t.Fatal("single replicate must carry an unknown (+Inf) CI, not a finite one")
+	}
+	if cs.MeanCI95() != 0 {
+		t.Fatal("the duration-typed reporting accessor must map the unknown CI to 0")
 	}
 	// The point estimate must be the underlying cell's, to duration
 	// rounding.

@@ -221,8 +221,8 @@ func RunResilienceCtx(ctx context.Context, cfg ResilienceConfig) ResilienceResul
 			Scenario: scenario,
 			Mode:     mode,
 			N:        cs.N(),
-			OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.CI95,
-			MeanRT: cs.Mean.Dist.Mean, MeanRTCI95: cs.Mean.Dist.CI95,
+			OKFrac:   cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.ReportedCI95(),
+			MeanRT: cs.Mean.Dist.Mean, MeanRTCI95: cs.Mean.Dist.ReportedCI95(),
 			P99:     cs.P99.Dist.Mean,
 			Refused: cs.Refused.Dist.Mean, Unfinished: cs.Unfinished.Dist.Mean,
 		})

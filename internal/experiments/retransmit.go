@@ -147,8 +147,8 @@ func RunRetransmitAblationCtx(ctx context.Context, cfg RetransmitConfig) Retrans
 			TimedOut:    int(math.Round(float64(timedOut) / float64(n))),
 			Retransmits: uint64(math.Round(retransmits / float64(n))),
 			N:           n,
-			MedianCI95:  secDur(cs.Median.Dist.CI95),
-			P99CI95:     secDur(cs.P99.Dist.CI95),
+			MedianCI95:  secDur(cs.Median.Dist.ReportedCI95()),
+			P99CI95:     secDur(cs.P99.Dist.ReportedCI95()),
 		})
 	}
 	return res

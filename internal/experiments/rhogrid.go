@@ -1,0 +1,395 @@
+// ρ-grid sweep: the four-way policy ablation {random2, chash2,
+// wleastload, flowlet} run over a full web-ρ × batch-ρ load matrix on
+// one shared pool, instead of pinning the web victim at a single load
+// the way RunInterference and RunPolicies do. Every (ρ_w, ρ_b) grid
+// point is one logical cell with its own replication axis, so the
+// output is a per-policy heatmap of the victim's tail with per-cell
+// confidence intervals attached.
+//
+// The grid is where adaptive replication (Sweep.Adaptive) earns its
+// keep: the matrix multiplies cells by |web axis|, and most of them —
+// deep in the underloaded corner, or hopelessly saturated — converge at
+// the minimum replicate count, while the cells near policy crossovers
+// soak up the saved budget. The experiment keeps the Runner's
+// determinism contract: the grid, the per-cell seed counts and every
+// statistic are byte-identical at 1 worker and N.
+//
+// RunRhoGrid is the canonical instance behind
+// `srlb-bench -experiment rhogrid`.
+
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"srlb/internal/feedback"
+	"srlb/internal/metrics"
+	"srlb/internal/plot"
+	"srlb/internal/testbed"
+)
+
+// RhoGridConfig parameterizes the experiment.
+type RhoGridConfig struct {
+	Cluster ClusterConfig
+	// Lambda0 is the shared pool's calibrated capacity rate (0 ⇒
+	// measured via CalibrateCached on the base cluster).
+	Lambda0 float64
+	// WebRhos is the web (victim) load axis (default {0.3, 0.55, 0.8}).
+	WebRhos []float64
+	// BatchRhos is the batch (aggressor) load axis (default
+	// {0.05, 0.2, 0.35, 0.5}).
+	BatchRhos []float64
+	// Queries sizes the fixed measurement window: every cell simulates
+	// span = Queries/Lambda0 seconds (the ρ=1 window), so the web VIP
+	// offers ≈ ρ_w × Queries arrivals and all grid cells measure the
+	// same wall of simulated time (default 20000).
+	Queries int
+	// BatchPeak is the batch service's ON-state burst factor (default 4).
+	BatchPeak float64
+	// FlowletGap is the flowlet policy's idle gap (0 ⇒
+	// selection.DefaultFlowletGap). Used only when Policies is empty.
+	FlowletGap time.Duration
+	// Feedback overrides the telemetry plane's tuning; Enabled is forced
+	// on (the load-aware schemes need it).
+	Feedback feedback.Config
+	// Policies defaults to the four-way ablation
+	// {Random2, CHash2, WeightedLeastLoadPolicy, FlowletPolicy}.
+	Policies []PolicySpec
+	// Seeds is the replication axis (default: the cluster seed alone;
+	// adaptive runs extend it to Adaptive.MaxSeeds).
+	Seeds []uint64
+	// Adaptive configures adaptive replication (CITarget <= 0 runs the
+	// fixed Seeds axis everywhere).
+	Adaptive Adaptive
+	Workers  int
+	Progress func(string)
+}
+
+// RhoGridRow is one (web-ρ, batch-ρ, policy, service) outcome
+// aggregated across the replication axis; Service "all" covers both
+// services together.
+type RhoGridRow struct {
+	WebRho   float64
+	BatchRho float64
+	Policy   string
+	Service  string
+	// Load is the row's service's own resolved load (WebRho or BatchRho;
+	// the larger of the two on "all" rows).
+	Load float64
+	// N counts completed replicates; StopReason is the adaptive
+	// controller's verdict for the cell ("converged", "max-seeds";
+	// empty under fixed replication).
+	N                            int
+	StopReason                   string
+	Mean, MeanCI95, P99, P99CI95 time.Duration
+	OKFrac, OKFracCI95           float64
+	// Offered, Refused and Unfinished are across-seed mean counts.
+	Offered, Refused, Unfinished float64
+}
+
+// RhoGridResult holds the full matrix.
+type RhoGridResult struct {
+	Lambda0   float64
+	WebRhos   []float64
+	BatchRhos []float64
+	// Seeds is the full seed universe (up to Adaptive.MaxSeeds for
+	// adaptive runs); per-cell completion counts live on the rows.
+	Seeds []uint64
+	// Services lists the service names in spec order (web, batch).
+	Services []string
+	// MaxSeeds is the per-cell replicate cap the run was budgeted
+	// against (len(Seeds)); the fixed-replication budget is
+	// grid cells × MaxSeeds replicates.
+	MaxSeeds int
+	// Adaptive reports whether the run used adaptive replication.
+	Adaptive bool
+	// Stats is the underlying replicated sweep — the machine-readable
+	// artifact's source (schema v9 adds load_vec, per-cell n and
+	// stop_reason).
+	Stats SweepStats
+	Rows  []RhoGridRow
+}
+
+// RunRhoGrid executes the experiment.
+func RunRhoGrid(cfg RhoGridConfig) RhoGridResult {
+	return RunRhoGridCtx(context.Background(), cfg)
+}
+
+// RunRhoGridCtx is RunRhoGrid with cancellation; cancelled cells are
+// dropped from the aggregates.
+func RunRhoGridCtx(ctx context.Context, cfg RhoGridConfig) RhoGridResult {
+	cfg.Cluster = cfg.Cluster.withDefaults()
+	if len(cfg.WebRhos) == 0 {
+		cfg.WebRhos = []float64{0.3, 0.55, 0.8}
+	}
+	if len(cfg.BatchRhos) == 0 {
+		cfg.BatchRhos = []float64{0.05, 0.2, 0.35, 0.5}
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20000
+	}
+	if cfg.BatchPeak == 0 {
+		cfg.BatchPeak = 4
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []PolicySpec{
+			Random2(), CHash2(), WeightedLeastLoadPolicy(), FlowletPolicy(cfg.FlowletGap),
+		}
+	}
+	if cfg.Lambda0 == 0 {
+		cal := CalibrateCached(CalibrationConfig{Cluster: cfg.Cluster})
+		cfg.Lambda0 = cal.Lambda0
+	}
+	cfg.Cluster.Feedback = cfg.Feedback
+	cfg.Cluster.Feedback.Enabled = true
+
+	// Unlike RunPolicies, the web load is swept too, so no single
+	// victim span exists; instead every cell simulates the same fixed
+	// window (the ρ=1 span) with both services time-bounded to it.
+	span := time.Duration(float64(cfg.Queries) / cfg.Lambda0 * float64(time.Second))
+	workload := MultiServiceWorkload{
+		Services: []ServiceSpec{
+			{Name: "web", Pool: "shared", Workload: PoissonService{Lambda0: cfg.Lambda0, Horizon: span}},
+			{Name: "batch", Pool: "shared", Workload: BurstyService{
+				Lambda0: cfg.Lambda0, Horizon: span, PeakFactor: cfg.BatchPeak,
+			}},
+		},
+		Pools:    []testbed.PoolSpec{{Name: "shared"}},
+		CloseAck: true,
+	}
+
+	sweep := Sweep{
+		Cluster:  cfg.Cluster,
+		Policies: cfg.Policies,
+		LoadGrid: LoadGrid{
+			AxisNames: []string{"web", "batch"},
+			Axes:      [][]float64{cfg.WebRhos, cfg.BatchRhos},
+		},
+		Seeds:    cfg.Seeds,
+		Adaptive: cfg.Adaptive,
+		Workload: workload,
+	}
+	runner := Runner{Workers: cfg.Workers, Progress: cfg.Progress}
+	var agg SweepStats
+	if cfg.Adaptive.enabled() {
+		_, agg, _ = runner.RunSweepAdaptive(ctx, sweep)
+	} else {
+		agg, _ = runner.RunSweepStats(ctx, sweep)
+	}
+
+	res := RhoGridResult{
+		Lambda0:   cfg.Lambda0,
+		WebRhos:   cfg.WebRhos,
+		BatchRhos: cfg.BatchRhos,
+		Seeds:     agg.Seeds,
+		MaxSeeds:  len(agg.Seeds),
+		Adaptive:  cfg.Adaptive.enabled(),
+		Stats:     agg,
+	}
+	for _, svc := range workload.Services {
+		res.Services = append(res.Services, svc.Name)
+	}
+	for wi, webRho := range cfg.WebRhos {
+		for bi, batchRho := range cfg.BatchRhos {
+			li := wi*len(cfg.BatchRhos) + bi
+			for pi, spec := range cfg.Policies {
+				cs := agg.CellAt(pi, 0, li)
+				if cs.N() == 0 {
+					continue
+				}
+				var offered float64
+				for _, vs := range cs.VIPs {
+					offered += vs.Offered.Dist.Mean
+				}
+				res.Rows = append(res.Rows, RhoGridRow{
+					WebRho: webRho, BatchRho: batchRho, Policy: spec.Name, Service: "all",
+					Load: math.Max(webRho, batchRho), N: cs.N(), StopReason: cs.StopReason,
+					Mean: secDur(cs.Mean.Dist.Mean), MeanCI95: secDur(cs.Mean.Dist.ReportedCI95()),
+					P99: secDur(cs.P99.Dist.Mean), P99CI95: secDur(cs.P99.Dist.ReportedCI95()),
+					OKFrac: cs.OKFraction.Dist.Mean, OKFracCI95: cs.OKFraction.Dist.ReportedCI95(),
+					Offered:    offered,
+					Refused:    cs.Refused.Dist.Mean,
+					Unfinished: cs.Unfinished.Dist.Mean,
+				})
+				for _, vs := range cs.VIPs {
+					res.Rows = append(res.Rows, RhoGridRow{
+						WebRho: webRho, BatchRho: batchRho, Policy: spec.Name, Service: vs.Name,
+						Load: vs.Load, N: cs.N(), StopReason: cs.StopReason,
+						Mean: secDur(vs.Mean.Dist.Mean), MeanCI95: secDur(vs.Mean.Dist.ReportedCI95()),
+						P99: secDur(vs.P99.Dist.Mean), P99CI95: secDur(vs.P99.Dist.ReportedCI95()),
+						OKFrac: vs.OKFraction.Dist.Mean, OKFracCI95: vs.OKFraction.Dist.ReportedCI95(),
+						Offered:    vs.Offered.Dist.Mean,
+						Refused:    vs.Refused.Dist.Mean,
+						Unfinished: vs.Unfinished.Dist.Mean,
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Row returns the row for (policy, service) at the grid point closest
+// to (webRho, batchRho).
+func (r RhoGridResult) Row(policy, service string, webRho, batchRho float64) (RhoGridRow, error) {
+	var best RhoGridRow
+	bestDiff := -1.0
+	for _, row := range r.Rows {
+		if row.Policy != policy || row.Service != service {
+			continue
+		}
+		d := math.Abs(row.WebRho-webRho) + math.Abs(row.BatchRho-batchRho)
+		if bestDiff < 0 || d < bestDiff {
+			bestDiff = d
+			best = row
+		}
+	}
+	if bestDiff < 0 {
+		return RhoGridRow{}, fmt.Errorf("rhogrid: no row for (%q, %q)", policy, service)
+	}
+	return best, nil
+}
+
+// TotalReplicates sums the completed replicates over the grid's "all"
+// rows — the measurement budget the run actually spent. Compare with
+// FixedBudget to see what adaptive replication saved.
+func (r RhoGridResult) TotalReplicates() int {
+	total := 0
+	for _, row := range r.Rows {
+		if row.Service == "all" {
+			total += row.N
+		}
+	}
+	return total
+}
+
+// FixedBudget is the replicate count a fixed-replication run over the
+// same grid would spend: cells × MaxSeeds.
+func (r RhoGridResult) FixedBudget() int {
+	return len(r.WebRhos) * len(r.BatchRhos) * len(r.Stats.Policies) * r.MaxSeeds
+}
+
+// gridMetric projects a row onto the named heatmap metric.
+func gridMetric(row RhoGridRow, metric string) float64 {
+	switch metric {
+	case "p99":
+		return row.P99.Seconds()
+	case "mean":
+		return row.Mean.Seconds()
+	case "ok":
+		return row.OKFrac
+	case "n":
+		return float64(row.N)
+	default:
+		panic(fmt.Sprintf("rhogrid: unknown heatmap metric %q", metric))
+	}
+}
+
+// Heatmaps renders the victim view of one metric as a per-policy facet
+// sequence: each facet is the web service's metric over the
+// web-ρ (rows) × batch-ρ (columns) grid, all facets pinned to one
+// shared color scale so glyphs compare across policies. metric is one
+// of "p99", "mean", "ok" or "n" (per-cell replicate count — the
+// adaptive controller's budget map; service-independent).
+func (r RhoGridResult) Heatmaps(metric string) []plot.Heatmap {
+	service := "web"
+	unit := "s"
+	switch metric {
+	case "ok":
+		unit = "frac"
+	case "n":
+		unit = "replicates"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	zs := make([][][]float64, len(r.Stats.Policies))
+	for pi := range r.Stats.Policies {
+		z := make([][]float64, len(r.WebRhos))
+		for wi := range r.WebRhos {
+			z[wi] = make([]float64, len(r.BatchRhos))
+			for bi := range r.BatchRhos {
+				z[wi][bi] = math.NaN()
+			}
+		}
+		zs[pi] = z
+	}
+	policyIdx := make(map[string]int, len(r.Stats.Policies))
+	for pi, spec := range r.Stats.Policies {
+		policyIdx[spec.Name] = pi
+	}
+	axisIdx := func(axis []float64, v float64) int {
+		for i, a := range axis {
+			if a == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, row := range r.Rows {
+		if row.Service != service {
+			continue
+		}
+		pi, ok := policyIdx[row.Policy]
+		wi, bi := axisIdx(r.WebRhos, row.WebRho), axisIdx(r.BatchRhos, row.BatchRho)
+		if !ok || wi < 0 || bi < 0 {
+			continue
+		}
+		v := gridMetric(row, metric)
+		zs[pi][wi][bi] = v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > hi {
+		lo, hi = 0, 0
+	}
+	out := make([]plot.Heatmap, 0, len(r.Stats.Policies))
+	for pi, spec := range r.Stats.Policies {
+		out = append(out, plot.Heatmap{
+			Title:  fmt.Sprintf("RhoGrid[%s]: %s %s (%s) over web-rho × batch-rho", spec.Name, service, metric, unit),
+			XLabel: "batch rho",
+			YLabel: "web rho",
+			X:      r.BatchRhos,
+			Y:      r.WebRhos,
+			Z:      zs[pi],
+			Min:    lo,
+			Max:    hi,
+		})
+	}
+	return out
+}
+
+// WriteTSV renders the matrix: one row per (web_rho, batch_rho,
+// policy, service), the aggregate first.
+func (r RhoGridResult) WriteTSV(w io.Writer) error {
+	mode := "fixed"
+	if r.Adaptive {
+		mode = "adaptive"
+	}
+	if _, err := fmt.Fprintf(w, "# Rho-grid policy ablation: web-rho × batch-rho matrix on one shared pool, %s replication (budget %d/%d replicates); lambda0=%.1f q/s\n",
+		mode, r.TotalReplicates(), r.FixedBudget(), r.Lambda0); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "web_rho\tbatch_rho\tpolicy\tservice\trho_svc\tn\tstop_reason\toffered\tmean_s\tmean_ci95_s\tp99_s\tp99_ci95_s\tok_frac\tok_ci95\trefused\tunfinished"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		stop := row.StopReason
+		if stop == "" {
+			stop = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%.2f\t%.2f\t%s\t%s\t%.2f\t%d\t%s\t%.0f\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.0f\t%.0f\n",
+			row.WebRho, row.BatchRho, row.Policy, row.Service, row.Load, row.N, stop, row.Offered,
+			metrics.FormatDuration(row.Mean),
+			metrics.FormatDuration(row.MeanCI95),
+			metrics.FormatDuration(row.P99),
+			metrics.FormatDuration(row.P99CI95),
+			row.OKFrac, row.OKFracCI95,
+			row.Refused, row.Unfinished); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -54,7 +54,7 @@ func (r Runner) Run(ctx context.Context, scenarios []Scenario) ([]CellResult, er
 	for i := range results {
 		results[i] = CellResult{Index: i, Name: scenarios[i].label(), Policy: scenarios[i].Policy.Name,
 			Workload: scenarios[i].Workload.Label(), Variant: scenarios[i].Variant,
-			Load: scenarios[i].load(), Seed: scenarios[i].seed()}
+			Load: scenarios[i].load(), LoadVec: scenarios[i].LoadVec, Seed: scenarios[i].seed()}
 	}
 	if n == 0 {
 		return results, ctx.Err()
@@ -130,5 +130,9 @@ feed:
 func (r Runner) RunSweep(ctx context.Context, s Sweep) (SweepResult, error) {
 	s = s.withDefaults()
 	cells, err := r.Run(ctx, s.Scenarios())
-	return SweepResult{Policies: s.Policies, Variants: s.Variants, Loads: s.Loads, Seeds: s.Seeds, Cells: cells}, err
+	return SweepResult{
+		Policies: s.Policies, Variants: s.Variants,
+		Loads: s.loadLabels(), LoadVecs: s.LoadGrid.Points(),
+		Seeds: s.Seeds, Cells: cells,
+	}, err
 }

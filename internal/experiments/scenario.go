@@ -21,6 +21,11 @@ type Scenario struct {
 	Variant string
 	// Load is the workload intensity (default 1).
 	Load float64
+	// LoadVec, when non-nil, is the per-service load vector of a grid
+	// sweep (Sweep.LoadGrid): entry d pins service d's load. The
+	// workload must implement VectorWorkload; Load then only labels the
+	// cell (the grid's last-axis value).
+	LoadVec []float64
 	// Seed, when nonzero, overrides Cluster.Seed — the replication axis.
 	Seed uint64
 }
@@ -45,10 +50,26 @@ func (sc Scenario) label() string {
 	if sc.Name != "" {
 		return sc.Name
 	}
-	if sc.Variant != "" {
-		return fmt.Sprintf("%s/%s %s load=%.2f", sc.Policy.Name, sc.Variant, sc.Workload.Label(), sc.load())
+	load := fmt.Sprintf("load=%.2f", sc.load())
+	if sc.LoadVec != nil {
+		load = "load=" + fmtLoadVec(sc.LoadVec)
 	}
-	return fmt.Sprintf("%s %s load=%.2f", sc.Policy.Name, sc.Workload.Label(), sc.load())
+	if sc.Variant != "" {
+		return fmt.Sprintf("%s/%s %s %s", sc.Policy.Name, sc.Variant, sc.Workload.Label(), load)
+	}
+	return fmt.Sprintf("%s %s %s", sc.Policy.Name, sc.Workload.Label(), load)
+}
+
+// fmtLoadVec renders a grid point as "(0.30,0.05)".
+func fmtLoadVec(vec []float64) string {
+	s := "("
+	for i, v := range vec {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%.2f", v)
+	}
+	return s + ")"
 }
 
 // Run executes the scenario on the calling goroutine. The outcome is a
@@ -63,10 +84,19 @@ func (sc Scenario) Run(ctx context.Context) CellResult {
 		Workload: sc.Workload.Label(),
 		Variant:  sc.Variant,
 		Load:     sc.load(),
+		LoadVec:  sc.LoadVec,
 		Seed:     sc.Cluster.Seed,
 	}
 	start := time.Now()
-	res.Outcome, res.Err = sc.Workload.Run(ctx, sc.Cluster, sc.Policy, sc.load())
+	if sc.LoadVec != nil {
+		vw, ok := sc.Workload.(VectorWorkload)
+		if !ok {
+			panic(fmt.Sprintf("experiments: workload %q cannot run a load vector (does not implement VectorWorkload)", sc.Workload.Label()))
+		}
+		res.Outcome, res.Err = vw.RunVector(ctx, sc.Cluster, sc.Policy, sc.LoadVec)
+	} else {
+		res.Outcome, res.Err = sc.Workload.Run(ctx, sc.Cluster, sc.Policy, sc.load())
+	}
 	res.Wall = time.Since(start)
 	return res
 }
@@ -76,11 +106,14 @@ type CellResult struct {
 	// Index is the scenario's position in the Runner's input.
 	Index int
 	// Name, Policy, Workload, Variant, Load, Seed identify the cell.
+	// LoadVec is the per-service load vector for grid-sweep cells (nil
+	// for scalar cells).
 	Name     string
 	Policy   string
 	Workload string
 	Variant  string
 	Load     float64
+	LoadVec  []float64
 	Seed     uint64
 	// Outcome is the workload's measurement (partial when Err != nil,
 	// zero when the cell was skipped after cancellation).

@@ -29,6 +29,16 @@ type Workload interface {
 	Run(ctx context.Context, cluster ClusterConfig, spec PolicySpec, load float64) (CellOutcome, error)
 }
 
+// VectorWorkload is a Workload that can run a per-service load vector —
+// the contract grid sweeps (Sweep.LoadGrid) dispatch through. The same
+// determinism rules as Run apply: the outcome must be a pure function
+// of (cluster, spec, loads).
+type VectorWorkload interface {
+	Workload
+	// RunVector replays the workload with service d pinned at loads[d].
+	RunVector(ctx context.Context, cluster ClusterConfig, spec PolicySpec, loads []float64) (CellOutcome, error)
+}
+
 // CellOutcome is the measurement a Workload produces for one cell.
 type CellOutcome struct {
 	// RT sketches the response times of successful queries in constant

@@ -1,0 +1,174 @@
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap is one 2-D scalar field for RenderHeatmap: Z[yi][xi] holds
+// the value at row tick Y[yi] and column tick X[xi]. Rows render with
+// the largest Y at the top (a conventional y axis); NaN cells render
+// blank ("missing", distinguishable from every ramp glyph).
+type Heatmap struct {
+	// Title heads the facet (optional).
+	Title string
+	// XLabel and YLabel name the axes (optional).
+	XLabel string
+	YLabel string
+	// X and Y are the column and row tick values; len(Z) must equal
+	// len(Y) and every row's length len(X).
+	X, Y []float64
+	// Z[yi][xi] is the cell value; NaN marks a missing cell.
+	Z [][]float64
+	// Min and Max, when Max > Min, pin the color scale — use one shared
+	// range to make facets comparable (e.g. the same metric across
+	// policies). Otherwise the scale spans the finite Z range.
+	Min, Max float64
+}
+
+// heatRamp orders the cell glyphs light → dark. Blank is excluded so a
+// missing (NaN) cell can never be confused with a low value.
+const heatRamp = ".:-=+*#%@"
+
+// heatCellWidth is the rendered width of one grid column; each cell
+// shows its glyph tripled ("===") so levels stay readable at a glance.
+const heatCellWidth = 6
+
+// scale returns the color-scale range: the pinned [Min, Max] when set,
+// else the finite range of Z.
+func (h Heatmap) scale() (lo, hi float64) {
+	if h.Max > h.Min {
+		return h.Min, h.Max
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, row := range h.Z {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > hi { // all cells missing
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// glyph maps v onto the ramp for the scale [lo, hi] (flat scales take
+// the middle glyph; out-of-range values clamp to the ends).
+func heatGlyph(v, lo, hi float64) byte {
+	if hi <= lo {
+		return heatRamp[len(heatRamp)/2]
+	}
+	frac := (v - lo) / (hi - lo)
+	frac = math.Max(0, math.Min(1, frac))
+	return heatRamp[int(math.Round(frac*float64(len(heatRamp)-1)))]
+}
+
+func (h Heatmap) validate() error {
+	if len(h.X) == 0 || len(h.Y) == 0 {
+		return errors.New("plot: heatmap needs at least one row and one column")
+	}
+	if len(h.Z) != len(h.Y) {
+		return fmt.Errorf("plot: heatmap has %d rows of Z for %d Y ticks", len(h.Z), len(h.Y))
+	}
+	for yi, row := range h.Z {
+		if len(row) != len(h.X) {
+			return fmt.Errorf("plot: heatmap row %d has %d cells for %d X ticks", yi, len(row), len(h.X))
+		}
+	}
+	return nil
+}
+
+// RenderHeatmap writes the grid as ASCII: one glyph-cell per (X, Y)
+// point, darker glyph = larger value, row labels on the left, column
+// ticks below, and a scale legend mapping the ramp's endpoints back to
+// values. The output is deterministic byte-for-byte for a given
+// Heatmap — golden-testable like Render.
+func RenderHeatmap(w io.Writer, h Heatmap) error {
+	if err := h.validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		b.WriteString(h.Title + "\n")
+	}
+	lo, hi := h.scale()
+
+	// Rows: largest Y on top. The y-axis label rides the middle row.
+	rowLabelWidth := 9
+	mid := (len(h.Y) - 1) / 2
+	order := make([]int, len(h.Y))
+	for i := range order {
+		order[i] = i
+	}
+	// Y may arrive in any order; render by descending tick value using
+	// a stable selection so equal ticks keep input order.
+	for i := 0; i < len(order); i++ {
+		maxAt := i
+		for j := i + 1; j < len(order); j++ {
+			if h.Y[order[j]] > h.Y[order[maxAt]] {
+				maxAt = j
+			}
+		}
+		order[i], order[maxAt] = order[maxAt], order[i]
+	}
+	for rank, yi := range order {
+		label := formatTick(h.Y[yi])
+		prefix := ""
+		if h.YLabel != "" && rank == mid {
+			prefix = trunc(h.YLabel, rowLabelWidth-len(label)-1) + " "
+		}
+		var row strings.Builder
+		fmt.Fprintf(&row, "%*s |", rowLabelWidth, prefix+label)
+		for xi := range h.X {
+			v := h.Z[yi][xi]
+			cell := "   "
+			if !math.IsNaN(v) {
+				g := heatGlyph(v, lo, hi)
+				cell = strings.Repeat(string(g), 3)
+			}
+			fmt.Fprintf(&row, " %-*s", heatCellWidth-1, cell)
+		}
+		b.WriteString(strings.TrimRight(row.String(), " ") + "\n")
+	}
+
+	// Axis rule and column ticks.
+	fmt.Fprintf(&b, "%*s +%s\n", rowLabelWidth, "", strings.Repeat("-", heatCellWidth*len(h.X)))
+	var ticks strings.Builder
+	fmt.Fprintf(&ticks, "%*s ", rowLabelWidth, "")
+	for _, x := range h.X {
+		fmt.Fprintf(&ticks, " %-*s", heatCellWidth-1, trunc(formatTick(x), heatCellWidth-1))
+	}
+	b.WriteString(strings.TrimRight(ticks.String(), " ") + "\n")
+	if h.XLabel != "" {
+		fmt.Fprintf(&b, "%*s  %s\n", rowLabelWidth, "", h.XLabel)
+	}
+	fmt.Fprintf(&b, "%*s  scale: %c = %s .. %c = %s (blank = missing)\n",
+		rowLabelWidth, "", heatRamp[0], formatTick(lo), heatRamp[len(heatRamp)-1], formatTick(hi))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderHeatmaps renders several facets in sequence, separated by a
+// blank line — one facet per (policy, metric) is the grid-sweep
+// convention.
+func RenderHeatmaps(w io.Writer, maps ...Heatmap) error {
+	for i, h := range maps {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := RenderHeatmap(w, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// gridHeatmap is the shared fixture: a 3×4 ρ-grid with one missing
+// cell, the shape RhoGridResult.Heatmaps produces.
+func gridHeatmap() Heatmap {
+	return Heatmap{
+		Title:  "RhoGrid[flowlet]: web p99 (s) over web-rho × batch-rho",
+		XLabel: "batch rho",
+		YLabel: "web rho",
+		X:      []float64{0.05, 0.2, 0.35, 0.5},
+		Y:      []float64{0.3, 0.55, 0.8},
+		Z: [][]float64{
+			{0.11, 0.12, 0.14, 0.18},
+			{0.12, 0.15, 0.22, 0.35},
+			{0.16, 0.28, 0.55, math.NaN()},
+		},
+	}
+}
+
+// TestRenderHeatmapGolden pins the renderer byte-for-byte, like
+// TestRenderErrorBarsGolden does for Render: rows descend by Y tick
+// (0.80 on top), the missing cell renders blank, and the legend maps
+// the ramp endpoints back to values.
+func TestRenderHeatmapGolden(t *testing.T) {
+	var b strings.Builder
+	if err := RenderHeatmap(&b, gridHeatmap()); err != nil {
+		t.Fatal(err)
+	}
+	want := `RhoGrid[flowlet]: web p99 (s) over web-rho × batch-rho
+    0.800 | :::   ===   @@@
+web 0.550 | ...   :::   ---   +++
+    0.300 | ...   ...   :::   :::
+          +------------------------
+           0.050 0.200 0.350 0.500
+           batch rho
+           scale: . = 0.110 .. @ = 0.550 (blank = missing)
+`
+	if got := b.String(); got != want {
+		t.Errorf("heatmap mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderHeatmapsFacets(t *testing.T) {
+	a, c := gridHeatmap(), gridHeatmap()
+	c.Title = "RhoGrid[random2]: web p99 (s) over web-rho × batch-rho"
+	var b strings.Builder
+	if err := RenderHeatmaps(&b, a, c); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "scale:") != 2 {
+		t.Fatalf("want two facets, got:\n%s", out)
+	}
+	if !strings.Contains(out, "\n\nRhoGrid[random2]") {
+		t.Fatalf("facets must be separated by a blank line:\n%s", out)
+	}
+}
+
+func TestRenderHeatmapPinnedScale(t *testing.T) {
+	// A pinned [Min, Max] keeps glyphs comparable across facets: with a
+	// shared scale of [0, 1.1], the 0.55 peak is mid-ramp, not '@'.
+	h := gridHeatmap()
+	h.Min, h.Max = 0, 1.1
+	var b strings.Builder
+	if err := RenderHeatmap(&b, h); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(out, "\n") {
+		if _, cells, ok := strings.Cut(line, "|"); ok && strings.Contains(cells, "@") {
+			t.Fatalf("pinned scale must shift glyphs off the top of the ramp:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "= 1.100") {
+		t.Fatalf("legend must report the pinned maximum:\n%s", out)
+	}
+}
+
+func TestRenderHeatmapValidation(t *testing.T) {
+	if err := RenderHeatmap(&strings.Builder{}, Heatmap{}); err == nil {
+		t.Fatal("empty heatmap must be rejected")
+	}
+	h := gridHeatmap()
+	h.Z = h.Z[:2]
+	if err := RenderHeatmap(&strings.Builder{}, h); err == nil {
+		t.Fatal("row/tick mismatch must be rejected")
+	}
+	h = gridHeatmap()
+	h.Z[1] = h.Z[1][:3]
+	if err := RenderHeatmap(&strings.Builder{}, h); err == nil {
+		t.Fatal("ragged Z row must be rejected")
+	}
+}
+
+func TestRenderHeatmapFlatAndAllMissing(t *testing.T) {
+	h := Heatmap{X: []float64{1, 2}, Y: []float64{1}, Z: [][]float64{{5, 5}}}
+	var b strings.Builder
+	if err := RenderHeatmap(&b, h); err != nil {
+		t.Fatal(err)
+	}
+	mid := string(heatRamp[len(heatRamp)/2])
+	if !strings.Contains(b.String(), strings.Repeat(mid, 3)) {
+		t.Fatalf("flat field should render the middle glyph:\n%s", b.String())
+	}
+	h.Z = [][]float64{{math.NaN(), math.NaN()}}
+	b.Reset()
+	if err := RenderHeatmap(&b, h); err != nil {
+		t.Fatal(err)
+	}
+	// Ramp glyphs may appear in labels and legend, but every grid cell
+	// (after the "|" of a row line) must be blank.
+	for _, line := range strings.Split(b.String(), "\n") {
+		if _, cells, ok := strings.Cut(line, "|"); ok && strings.TrimSpace(cells) != "" {
+			t.Fatalf("all-missing field must render blank cells, got row %q", line)
+		}
+	}
+}

@@ -205,7 +205,9 @@ func Render(w io.Writer, cfg Config, series ...Series) error {
 
 // err returns the error half-width of point i (0 when absent or NaN).
 func (s Series) err(i int) float64 {
-	if s.YErr == nil || i >= len(s.YErr) || math.IsNaN(s.YErr[i]) {
+	// Non-finite half-widths (the stats package's "unknown interval"
+	// sentinel for n < 2) render as no bar, like an absent YErr.
+	if s.YErr == nil || i >= len(s.YErr) || math.IsNaN(s.YErr[i]) || math.IsInf(s.YErr[i], 0) {
 		return 0
 	}
 	return s.YErr[i]

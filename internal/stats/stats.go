@@ -111,10 +111,15 @@ func TInv95(df int) float64 {
 }
 
 // MeanCI95 returns the half-width of the Student-t 95% confidence
-// interval on the mean of xs (0 when n < 2).
+// interval on the mean of xs. With fewer than two observations the
+// interval width is unknown, not zero, so n < 2 returns +Inf: a
+// consumer gating on "interval narrow enough" (the adaptive
+// replication controller in internal/experiments) can then never
+// mistake a single replicate for a converged cell. Use
+// Dist.ReportedCI95 where the value feeds serialized artifacts.
 func MeanCI95(xs []float64) float64 {
 	if len(xs) < 2 {
-		return 0
+		return math.Inf(1)
 	}
 	return TInv95(len(xs)-1) * StdErr(xs)
 }
@@ -122,8 +127,11 @@ func MeanCI95(xs []float64) float64 {
 // Dist summarizes a sample of observations: the point estimate (Mean)
 // together with its dispersion across replicates. CI95 is the
 // half-width of the Student-t 95% interval on the mean — report
-// Mean ± CI95. N == 1 yields zero Std/StdErr/CI95 ("unknown", not
-// "exact").
+// Mean ± CI95. N < 2 yields zero Std/StdErr but a CI95 of +Inf: with
+// one observation the interval is unknown, not exact, and an infinite
+// width is the value that makes "is this interval tight enough?"
+// checks fail safe. Serialization boundaries map the non-finite
+// sentinel back to 0 via ReportedCI95.
 type Dist struct {
 	N      int
 	Mean   float64
@@ -136,7 +144,7 @@ type Dist struct {
 
 // Describe computes the Dist of xs.
 func Describe(xs []float64) Dist {
-	d := Dist{N: len(xs), Mean: Mean(xs)}
+	d := Dist{N: len(xs), Mean: Mean(xs), CI95: MeanCI95(xs)}
 	if d.N == 0 {
 		return d
 	}
@@ -151,11 +159,24 @@ func Describe(xs []float64) Dist {
 	return d
 }
 
-// Lo returns the lower edge of the 95% interval, Mean − CI95.
+// Lo returns the lower edge of the 95% interval, Mean − CI95
+// (−Inf when the interval is unknown, i.e. N < 2).
 func (d Dist) Lo() float64 { return d.Mean - d.CI95 }
 
-// Hi returns the upper edge of the 95% interval, Mean + CI95.
+// Hi returns the upper edge of the 95% interval, Mean + CI95
+// (+Inf when the interval is unknown, i.e. N < 2).
 func (d Dist) Hi() float64 { return d.Mean + d.CI95 }
+
+// ReportedCI95 returns CI95 for serialized reports (JSON, TSV, plot
+// error bars): the non-finite "unknown" sentinel of N < 2 maps to 0,
+// the artifact convention documented in docs/RESULTS_SCHEMA.md — a
+// zero ci95 there reads "unknown", never "exact".
+func (d Dist) ReportedCI95() float64 {
+	if math.IsInf(d.CI95, 0) || math.IsNaN(d.CI95) {
+		return 0
+	}
+	return d.CI95
+}
 
 // Replicated pairs the raw per-replicate values of a metric with the
 // Dist of their float64 projection — e.g. Replicated[time.Duration]

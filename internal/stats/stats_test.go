@@ -30,13 +30,41 @@ func TestDescribeKnownValues(t *testing.T) {
 }
 
 func TestDescribeDegenerate(t *testing.T) {
-	if d := Describe(nil); d.N != 0 || d.Mean != 0 || d.CI95 != 0 {
+	// Below two replicates the interval is unknown — CI95 is +Inf so an
+	// adaptive stopper can never read a 1-seed cell as converged, and
+	// ReportedCI95 maps the sentinel to 0 at serialization boundaries.
+	if d := Describe(nil); d.N != 0 || d.Mean != 0 || !math.IsInf(d.CI95, 1) {
 		t.Fatalf("empty: %+v", d)
 	}
-	// One replicate: point estimate with zero (unknown) dispersion.
 	d := Describe([]float64{7})
-	if d.N != 1 || d.Mean != 7 || d.Std != 0 || d.CI95 != 0 {
+	if d.N != 1 || d.Mean != 7 || d.Std != 0 || !math.IsInf(d.CI95, 1) {
 		t.Fatalf("single: %+v", d)
+	}
+	if got := d.ReportedCI95(); got != 0 {
+		t.Fatalf("ReportedCI95 of unknown interval = %g, want 0", got)
+	}
+	if !math.IsInf(d.Hi(), 1) || !math.IsInf(d.Lo(), -1) {
+		t.Fatalf("unknown interval edges: lo=%g hi=%g", d.Lo(), d.Hi())
+	}
+}
+
+func TestMeanCI95UnknownBelowTwo(t *testing.T) {
+	// Regression for the adaptive-replication early-stop bug: the old
+	// MeanCI95 returned 0 for n < 2, which a "relative CI below target?"
+	// gate reads as instant convergence at one seed.
+	if !math.IsInf(MeanCI95(nil), 1) {
+		t.Fatal("MeanCI95(nil) must be +Inf (unknown), not 0")
+	}
+	if !math.IsInf(MeanCI95([]float64{3.5}), 1) {
+		t.Fatal("MeanCI95 of one observation must be +Inf (unknown), not 0")
+	}
+	if ci := MeanCI95([]float64{1, 2}); math.IsInf(ci, 0) || ci <= 0 {
+		t.Fatalf("MeanCI95 of two observations = %g, want finite and positive", ci)
+	}
+	// Finite intervals pass through ReportedCI95 untouched.
+	d := Describe([]float64{1, 2, 3})
+	if d.ReportedCI95() != d.CI95 {
+		t.Fatalf("ReportedCI95 altered a finite interval: %g != %g", d.ReportedCI95(), d.CI95)
 	}
 }
 

@@ -61,10 +61,22 @@ type (
 	Interval   = stats.Interval
 	CellStats  = experiments.CellStats
 	SweepStats = experiments.SweepStats
+	// LoadGrid is the vector load axis of a grid sweep (Sweep.LoadGrid):
+	// the cross product of per-service ρ axes, one logical cell per grid
+	// point. Adaptive configures adaptive replication for
+	// Runner.RunSweepStats: a mandatory MinSeeds replicate floor per
+	// cell, then one seed per round until the relative CI95 hits
+	// CITarget (cells at policy-crossover boundaries get a tighter
+	// target), capped at MaxSeeds.
+	LoadGrid = experiments.LoadGrid
+	Adaptive = experiments.Adaptive
 
 	// Workload is the arrival-process-plus-demand-model interface every
 	// scenario replays; these are the built-in implementations.
+	// VectorWorkload is the extension grid sweeps dispatch through
+	// (MultiServiceWorkload implements it).
 	Workload        = experiments.Workload
+	VectorWorkload  = experiments.VectorWorkload
 	PoissonWorkload = experiments.PoissonWorkload
 	BurstyWorkload  = experiments.BurstyWorkload
 	TraceWorkload   = experiments.TraceWorkload
@@ -158,6 +170,13 @@ type (
 	PoliciesConfig = experiments.PoliciesConfig
 	PoliciesResult = experiments.PoliciesResult
 	PoliciesRow    = experiments.PoliciesRow
+	// RhoGridConfig/Result: the ρ-grid study — the four-way policy
+	// ablation run over a full web-ρ × batch-ρ load matrix on one
+	// shared pool, with adaptive replication concentrating seeds at
+	// policy-crossover cells; renders per-policy ASCII heatmaps.
+	RhoGridConfig = experiments.RhoGridConfig
+	RhoGridResult = experiments.RhoGridResult
+	RhoGridRow    = experiments.RhoGridRow
 	// MultiServiceStats is a multi-service cell's Extra payload: the
 	// cluster-side flowlet re-steer/rebind counters.
 	MultiServiceStats = experiments.MultiServiceStats
@@ -270,9 +289,16 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, conf
 // MeanDemand is the paper's Poisson-workload CPU cost mean (100 ms).
 const MeanDemand = experiments.MeanDemand
 
-// DeriveSeeds expands a base seed into n well-separated seeds for a
-// Sweep's replication axis.
+// DeriveSeeds expands a base seed into n well-separated, pairwise
+// distinct, nonzero seeds for a Sweep's replication axis.
 func DeriveSeeds(base uint64, n int) []uint64 { return experiments.DeriveSeeds(base, n) }
+
+// ExtendSeeds appends n derived seeds to an existing list, skipping
+// zero and anything already present — how adaptive replication grows a
+// user-supplied seed list to Adaptive.MaxSeeds.
+func ExtendSeeds(existing []uint64, base uint64, n int) []uint64 {
+	return experiments.ExtendSeeds(existing, base, n)
+}
 
 // RunPoisson replays §V's workload: `queries` Poisson arrivals at
 // ratePerSec with Exp(MeanDemand) demands under the given policy.
@@ -368,6 +394,17 @@ func RunInterference(cfg InterferenceConfig) InterferenceResult {
 // the per-victim p99/completion grid plus flowlet re-steer counts.
 func RunPolicies(cfg PoliciesConfig) PoliciesResult {
 	return experiments.RunPolicies(cfg)
+}
+
+// RunRhoGrid runs the policy ablation over a full web-ρ × batch-ρ load
+// matrix on one shared pool (Sweep.LoadGrid), optionally under
+// adaptive replication (RhoGridConfig.Adaptive): every cell runs at
+// least MinSeeds replicates, easy cells stop once their relative CI95
+// hits the target, and cells at policy-crossover boundaries absorb the
+// saved budget. Reports per-(grid point, policy, service) rows and
+// per-policy ASCII heatmaps, byte-identical at any worker count.
+func RunRhoGrid(cfg RhoGridConfig) RhoGridResult {
+	return experiments.RunRhoGrid(cfg)
 }
 
 // RunVIPScale sweeps the advertised service count (default 100 → 10k
